@@ -1,0 +1,34 @@
+//! CMS engine benchmarks: host cost of interpretation, translation and
+//! translated execution of the guest microkernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mb_crusoe::cms::{Cms, CmsConfig};
+use mb_crusoe::kernels::{build_microkernel, MicrokernelVariant};
+use mb_microkernel::MicrokernelInput;
+use std::hint::black_box;
+
+fn bench_cms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cms");
+    let mk = build_microkernel(MicrokernelVariant::KarpSqrt, 32, 8);
+    let input = MicrokernelInput::generate(32);
+    group.bench_function("cold_run", |b| {
+        b.iter(|| {
+            let mut cms = Cms::new(CmsConfig::metablade());
+            let mut st = mk.setup_state(&input);
+            black_box(cms.run(&mk.program, &mut st).unwrap())
+        })
+    });
+    group.bench_function("warm_run", |b| {
+        let mut cms = Cms::new(CmsConfig::metablade());
+        let mut warm = mk.setup_state(&input);
+        cms.run(&mk.program, &mut warm).unwrap();
+        b.iter(|| {
+            let mut st = mk.setup_state(&input);
+            black_box(cms.run(&mk.program, &mut st).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cms);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Cluster-simulator benchmarks: host cost of spawning SPMD jobs and
+//! running collectives over the virtual-time communicator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_cluster::machine::Cluster;
+use mb_cluster::spec::metablade;
+use std::hint::black_box;
+
+fn bench_comm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    for &p in &[8usize, 24] {
+        let cluster = Cluster::new(metablade().with_nodes(p));
+        group.bench_with_input(BenchmarkId::new("allreduce_1k_doubles", p), &p, |b, _| {
+            b.iter(|| {
+                let out = cluster.run(|comm| {
+                    let vals = vec![comm.rank() as f64; 1024];
+                    comm.allreduce_sum(&vals)[0]
+                });
+                black_box(out.makespan_s())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm);
+criterion_main!(benches);

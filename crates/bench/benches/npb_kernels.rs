@@ -1,0 +1,18 @@
+//! NPB kernel benchmarks at class S (native host execution time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mb_npb::mix::table3_kernels;
+use mb_npb::Class;
+use std::hint::black_box;
+
+fn bench_npb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("npb_class_s");
+    group.sample_size(10);
+    for kernel in table3_kernels(Class::S) {
+        group.bench_function(kernel.name(), |b| b.iter(|| black_box(kernel.run())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_npb);
+criterion_main!(benches);

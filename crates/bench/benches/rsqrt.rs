@@ -1,0 +1,22 @@
+//! Native microkernel benchmark: Math sqrt vs Karp sqrt on the host CPU
+//! (the modern-hardware analogue of Table 1's columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_microkernel::{accel_kernel, MicrokernelInput, RsqrtMethod};
+use std::hint::black_box;
+
+fn bench_rsqrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microkernel");
+    let input = MicrokernelInput::generate(512);
+    for method in RsqrtMethod::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("accel_kernel", method.label()),
+            &method,
+            |b, &m| b.iter(|| black_box(accel_kernel(black_box(&input), 8, m))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rsqrt);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Treecode benchmarks: build, walk, and the O(N²) baseline — the
+//! algorithmic heart of the paper's application section.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_treecode::{build_tree, direct_forces, plummer, tree_forces, BoundingBox, Mac};
+use std::hint::black_box;
+
+fn bench_treecode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treecode");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let bodies = plummer(n, 3);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| {
+                let mut bb = bodies.clone();
+                let bx = BoundingBox::containing(&bb.pos);
+                black_box(build_tree(&mut bb, bx, 8))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("walk", n), &n, |b, _| {
+            let mut sorted = bodies.clone();
+            let bx = BoundingBox::containing(&sorted.pos);
+            let tree = build_tree(&mut sorted, bx, 8);
+            b.iter(|| {
+                let mut w = sorted.clone();
+                black_box(tree_forces(&mut w, &tree, &Mac::standard(), 1e-6))
+            })
+        });
+    }
+    // Direct summation crossover evidence (small N only — it is O(N²)).
+    let bodies = plummer(2_000, 3);
+    group.bench_function("direct/2000", |b| {
+        b.iter(|| {
+            let mut w = bodies.clone();
+            black_box(direct_forces(&mut w, 1e-6))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_treecode);
+criterion_main!(benches);

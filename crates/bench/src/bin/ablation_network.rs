@@ -1,0 +1,34 @@
+//! Ablation A3: Table 2's sensitivity to the interconnect — parallel
+//! efficiency at 24 CPUs as latency and bandwidth sweep around Fast
+//! Ethernet (showing the network is the binding constraint).
+
+use mb_cluster::machine::Cluster;
+use mb_cluster::spec::metablade;
+use mb_treecode::parallel::{distributed_step, DistributedConfig};
+use mb_treecode::plummer;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let bodies = plummer(n, 42);
+    let cfg = DistributedConfig::default();
+    let t1 = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg).makespan_s;
+    println!("Ablation A3 — network sweep, N = {n}, P = 24 (t1 = {t1:.2}s)");
+    println!("{:>14}{:>12}{:>12}{:>12}", "bandwidth", "latency", "time (s)", "efficiency");
+    for &(mbps, lat_us) in &[
+        (10.0, 70.0),
+        (100.0, 70.0),   // the paper's Fast Ethernet
+        (100.0, 500.0),
+        (100.0, 10.0),
+        (1000.0, 70.0),  // GigE
+        (1000.0, 10.0),  // Myrinet-class
+    ] {
+        let mut spec = metablade();
+        spec.network.bandwidth_mbps = mbps;
+        spec.network.latency_s = lat_us * 1e-6;
+        let r = distributed_step(&Cluster::new(spec), &bodies, &cfg);
+        println!(
+            "{:>10} Mb/s{:>9} us{:>12.2}{:>12.2}",
+            mbps, lat_us, r.makespan_s, t1 / r.makespan_s / 24.0
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Ablation A1: translation-cache capacity and hot-threshold sweep.
+//!
+//! The CMS win rests on amortizing translation over reuse (§2.2). This
+//! sweep shows total simulated cycles of the microkernel as the cache
+//! shrinks below the working set (forcing retranslation thrash) and as
+//! the hot threshold moves.
+
+use mb_crusoe::cms::{Cms, CmsConfig};
+use mb_crusoe::kernels::{build_microkernel, MicrokernelVariant};
+use mb_microkernel::MicrokernelInput;
+
+fn run_with(capacity_bits: u64, hot: u64) -> (u64, u64, u64) {
+    let mk = build_microkernel(MicrokernelVariant::KarpSqrt, 64, 50);
+    let input = MicrokernelInput::generate(64);
+    let mut cfg = CmsConfig::metablade();
+    cfg.tcache_capacity_bits = capacity_bits;
+    cfg.hot_threshold = hot;
+    let mut cms = Cms::new(cfg);
+    let mut st = mk.setup_state(&input);
+    let stats = cms.run(&mk.program, &mut st).expect("run");
+    (stats.total_cycles, stats.translations, stats.tcache.evictions)
+}
+
+fn main() {
+    println!("Ablation A1 — translation cache capacity (hot threshold = 24)");
+    println!("{:>14}{:>14}{:>14}{:>12}", "capacity", "cycles", "translations", "evictions");
+    for &bits in &[256u64, 1024, 4096, 16_384, 2 * 8 * 1024 * 1024] {
+        let (cycles, tr, ev) = run_with(bits, 24);
+        println!("{:>12} b{:>14}{:>14}{:>12}", bits, cycles, tr, ev);
+    }
+    println!("\nAblation A1b — hot threshold (capacity = 2 MB)");
+    println!("{:>14}{:>14}{:>14}", "threshold", "cycles", "translations");
+    for &hot in &[1u64, 8, 24, 100, 100_000] {
+        let (cycles, tr, _) = run_with(2 * 8 * 1024 * 1024, hot);
+        println!("{:>14}{:>14}{:>14}", hot, cycles, tr);
+    }
+    println!("\n(A threshold beyond the loop count never translates: pure interpretation.)");
+}

@@ -1,0 +1,43 @@
+//! Ablation A4: ambient temperature → failure rate → TCO sensitivity
+//! (the paper's 10-degree doubling law driving the SAC/DTC rows).
+
+use mb_cluster::reliability::FailureLaw;
+use mb_cluster::thermal::{f_to_c, ThermalModel};
+use mb_metrics::tco::{CostConstants, DowntimeModel, SysAdminModel, TcoInputs};
+
+fn main() {
+    let law = FailureLaw::paper_default();
+    let constants = CostConstants::default();
+    println!("Ablation A4 — ambient temperature sweep (traditional P4 tower, 85 W node)");
+    println!("{:>12}{:>14}{:>16}{:>14}", "ambient F", "comp temp C", "failures/yr/24", "4-yr TCO $K");
+    for &ambient_f in &[60.0, 70.0, 75.0, 80.0, 90.0, 100.0] {
+        let thermal = ThermalModel {
+            ambient_c: f_to_c(ambient_f),
+            theta_c_per_w: 0.45,
+        };
+        let temp = thermal.component_temp_c(75.0);
+        let fail_rate = law.expected_failures(24, temp, 1.0);
+        // Downtime scales with the failure rate (paper baseline: 6/yr).
+        let downtime = DowntimeModel {
+            outages_per_year: fail_rate,
+            hours_per_outage: 4.0,
+            whole_cluster: true,
+        };
+        let inputs = TcoInputs {
+            name: "P4".into(),
+            n_nodes: 24,
+            hardware_cost: 17_000.0,
+            software_cost: 0.0,
+            node_watts_load: 85.0,
+            active_cooling: true,
+            footprint_ft2: 20.0,
+            sysadmin: SysAdminModel::traditional(),
+            downtime,
+        };
+        let tco = inputs.evaluate(&constants).total();
+        println!("{:>12.0}{:>14.1}{:>16.2}{:>14.1}", ambient_f, temp, fail_rate, tco / 1e3);
+    }
+    println!("\nBlade reference: TM5600 at 80F closet → {:.1}C, {:.2} failures/yr/24",
+        ThermalModel::blade_closet().component_temp_c(6.0),
+        law.expected_failures(24, ThermalModel::blade_closet().component_temp_c(6.0), 1.0));
+}

@@ -1,0 +1,51 @@
+//! §4's Top500 critique, made quantitative: rank the study's machines by
+//! Linpack Gflops (the Top500 metric) and then by ToPPeR and
+//! performance/power — the orderings disagree, which is the paper's
+//! point. argv[1]: matrix order for the native verification run
+//! (default 256).
+
+use mb_core::experiments::tm5600_analytic;
+use mb_crusoe::hardware::{athlon_mp_1200, pentium4_1300, pentium_iii_500, power3_375};
+use mb_npb::linpack::{linpack_flops, run_linpack};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+    let (verified, residual, mix) = run_linpack(n);
+    println!(
+        "native Linpack check at n = {n}: verified = {verified} (residual {residual:.2e})\n"
+    );
+    // Per-CPU Linpack Gflops from the era models (n = 2000, HPL-style).
+    let mut big = mix;
+    let scale = linpack_flops(2000) / linpack_flops(n);
+    big.fadd = (big.fadd as f64 * scale) as u64;
+    big.fmul = (big.fmul as f64 * scale) as u64;
+    big.useful_ops = (big.useful_ops as f64 * scale) as u64;
+    big.loads = (big.loads as f64 * scale) as u64;
+    big.dram_bytes = (big.dram_bytes as f64 * scale) as u64;
+    let cpus = [
+        ("TM5600 633 (blade)", tm5600_analytic(), 6.0f64),
+        ("Pentium III 500", pentium_iii_500(), 28.0),
+        ("Pentium 4 1300", pentium4_1300(), 75.0),
+        ("Power3 375", power3_375(), 45.0),
+        ("Athlon MP 1200", athlon_mp_1200(), 60.0),
+    ];
+    println!("{:<22}{:>14}{:>16}", "CPU", "Linpack Mflops", "Mflops/CPU-watt");
+    let mut rows: Vec<(String, f64, f64)> = cpus
+        .iter()
+        .map(|(name, cpu, watts)| {
+            let mops = cpu.estimate_kernel_mops(&big);
+            (name.to_string(), mops, mops / watts)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (name, mops, per_watt) in &rows {
+        println!("{name:<22}{mops:>14.0}{per_watt:>16.1}");
+    }
+    let best_flops = rows[0].0.clone();
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    println!(
+        "\nTop500-style winner: {best_flops}; perf-per-watt winner: {} — \
+         \"there is more to price than the cost of acquisition\" (§4).",
+        rows[0].0
+    );
+}

@@ -1,0 +1,31 @@
+//! Checkpoint/restart availability: what the paper's reliability
+//! contrast means for a 30-day production job on each machine.
+
+use mb_cluster::checkpoint::{availability, CheckpointModel};
+use mb_cluster::reliability::FailureLaw;
+use mb_cluster::thermal::ThermalModel;
+
+fn main() {
+    let law = FailureLaw::paper_default();
+    let cp = CheckpointModel {
+        checkpoint_h: 0.1,
+        restart_h: 0.25,
+    };
+    println!("30-day job under optimal (Young) checkpointing, 24 nodes");
+    println!(
+        "{:<26}{:>10}{:>12}{:>14}{:>12}",
+        "machine", "temp C", "MTBF (h)", "tau* (h)", "efficiency"
+    );
+    let cases = [
+        ("P4 tower, 75F office", ThermalModel::traditional_office().component_temp_c(75.0)),
+        ("PIII tower, 75F office", ThermalModel::traditional_office().component_temp_c(28.0)),
+        ("TM5600 blade, 80F closet", ThermalModel::blade_closet().component_temp_c(6.0)),
+    ];
+    for (name, temp) in cases {
+        let r = availability(&law, 24, temp, &cp);
+        println!(
+            "{:<26}{:>10.1}{:>12.0}{:>14.1}{:>12.3}",
+            name, temp, r.mtbf_h, r.tau_opt_h, r.efficiency
+        );
+    }
+}

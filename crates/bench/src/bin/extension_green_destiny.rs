@@ -1,0 +1,42 @@
+//! Run the full 240-node Green Destiny rack (§4.2's "recently-ordered
+//! 240-node Bladed Beowulf ... in the same footprint as MetaBlade"):
+//! 240 simulated ranks, one rack, six square feet.
+//! argv[1]: bodies (default 100,000).
+
+use mb_cluster::machine::Cluster;
+use mb_cluster::spec::green_destiny;
+use mb_metrics::topper::{perf_power_gflop_per_kw, perf_space_mflop_per_ft2};
+use mb_treecode::parallel::{distributed_step, distributed_step_weighted, DistributedConfig};
+use mb_treecode::plummer;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let spec = green_destiny();
+    eprintln!(
+        "spawning {} ranks ({}) for N = {n} ...",
+        spec.nodes, spec.node.cpu.name
+    );
+    let cluster = Cluster::new(spec.clone());
+    let bodies = plummer(n, 9);
+    let cfg = DistributedConfig::default();
+    let warm = distributed_step(&cluster, &bodies, &cfg);
+    let r = distributed_step_weighted(&cluster, &bodies, &cfg, Some(&warm.body_cost));
+    println!(
+        "Green Destiny: {} nodes | peak {:.1} Gflops | sustained {:.2} Gflops at N = {n}",
+        spec.nodes,
+        spec.peak_gflops(),
+        r.gflops
+    );
+    println!(
+        "footprint {} ft^2 -> {:.0} Mflop/ft^2 | {:.2} kW -> {:.1} Gflop/kW",
+        spec.footprint_ft2,
+        perf_space_mflop_per_ft2(r.gflops, spec.footprint_ft2),
+        spec.load_kw(),
+        perf_power_gflop_per_kw(r.gflops, spec.load_kw())
+    );
+    println!(
+        "(production-scale projection: {:.1} Gflops sustained, {:.0} Mflop/ft^2 — Table 6's 3500)",
+        spec.nodes as f64 * spec.node.cpu.sustained_mflops / 1000.0,
+        spec.nodes as f64 * spec.node.cpu.sustained_mflops / spec.footprint_ft2
+    );
+}

@@ -1,0 +1,71 @@
+//! §5 projection: "The TM6000, expected in volume in the last half of
+//! 2002, is expected to improve flop performance over the TM5800 by
+//! another factor of two to three while reducing power requirements in
+//! half again." Build that projected machine and recompute Tables 6/7
+//! and the TCO.
+
+use mb_cluster::spec::{avalon, metablade2, CpuSpec};
+use mb_metrics::report::{render_table6, render_table7, MachineRow};
+use mb_metrics::tco::{CostConstants, DowntimeModel, SysAdminModel, TcoInputs};
+
+fn main() {
+    let mb2 = metablade2();
+    let mut tm6000 = mb2.clone();
+    tm6000.name = "TM6000 projection".into();
+    tm6000.node.cpu = CpuSpec {
+        name: "1-GHz Transmeta TM6000 (projected)".into(),
+        clock_mhz: 1000.0,
+        sustained_mflops: mb2.node.cpu.sustained_mflops * 2.5, // "factor of two to three"
+        peak_flops_per_cycle: 2.0,
+        cpu_watts_load: mb2.node.cpu.cpu_watts_load / 2.0, // "half again"
+    };
+    tm6000.node.node_watts_load = 15.0;
+    let machines = vec![
+        MachineRow {
+            name: "Avalon".into(),
+            gflops: 18.0,
+            area_ft2: avalon().footprint_ft2,
+            power_kw: 18.0,
+        },
+        MachineRow {
+            name: "MB2".into(),
+            gflops: 3.3,
+            area_ft2: 6.0,
+            power_kw: mb2.load_kw(),
+        },
+        MachineRow {
+            name: "TM6000".into(),
+            gflops: tm6000.nodes as f64 * tm6000.node.cpu.sustained_mflops / 1000.0,
+            area_ft2: 6.0,
+            power_kw: tm6000.load_kw(),
+        },
+        MachineRow {
+            name: "GD6000".into(), // 240-node TM6000 rack
+            gflops: 240.0 * tm6000.node.cpu.sustained_mflops / 1000.0,
+            area_ft2: 6.0,
+            power_kw: 240.0 * tm6000.node.node_watts_load / 1000.0,
+        },
+    ];
+    print!("{}", render_table6(&machines));
+    println!();
+    print!("{}", render_table7(&machines));
+    // Projected TCO (same blade operational profile, pricier silicon).
+    let inputs = TcoInputs {
+        name: "TM6000".into(),
+        n_nodes: 24,
+        hardware_cost: 30_000.0,
+        software_cost: 0.0,
+        node_watts_load: tm6000.node.node_watts_load,
+        active_cooling: false,
+        footprint_ft2: 6.0,
+        sysadmin: SysAdminModel::bladed(),
+        downtime: DowntimeModel::bladed(),
+    };
+    let tco = inputs.evaluate(&CostConstants::default());
+    println!(
+        "\nprojected 24-node TM6000 TCO: ${:.0}K — ToPPeR {:.1} $/Mflops vs MetaBlade {:.1}",
+        tco.total() / 1e3,
+        mb_metrics::topper::topper(tco.total(), 24.0 * tm6000.node.cpu.sustained_mflops / 1000.0),
+        mb_metrics::topper::topper(35_000.0, 2.1),
+    );
+}

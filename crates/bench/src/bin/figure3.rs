@@ -1,0 +1,15 @@
+//! Regenerate Figure 3: density image of a gravitational N-body
+//! simulation. argv: [n_bodies] [steps] [pixels] (defaults 20000 60 96).
+//! Writes figure3.pgm and prints an ASCII rendering.
+
+fn main() {
+    let arg = |i: usize, d: usize| {
+        std::env::args().nth(i).and_then(|a| a.parse().ok()).unwrap_or(d)
+    };
+    let (n, steps, px) = (arg(1, 20_000), arg(2, 60), arg(3, 96));
+    eprintln!("evolving a {n}-body self-gravitating disk for {steps} steps ...");
+    let img = mb_core::experiments::figure3(n, steps, px);
+    std::fs::write("figure3.pgm", img.to_pgm()).expect("write figure3.pgm");
+    println!("{}", img.to_ascii());
+    println!("wrote figure3.pgm ({px}x{px})");
+}

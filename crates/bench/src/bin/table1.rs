@@ -1,0 +1,22 @@
+//! Regenerate Table 1: Mflop ratings on the gravitational microkernel
+//! benchmark (Math sqrt vs Karp sqrt) across the five era CPUs.
+
+fn main() {
+    let rows = mb_core::experiments::table1();
+    print!("{}", mb_core::report::render_table1(&rows));
+    println!();
+    println!("Shape checks (paper §3.2):");
+    let by = |frag: &str| rows.iter().find(|r| r.cpu.contains(frag)).unwrap();
+    let tm = by("TM5600");
+    let piii = by("Pentium III");
+    println!(
+        "  TM5600 per-clock vs PIII per-clock (Math sqrt): {:.3} vs {:.3}",
+        tm.math_mflops / 633.0,
+        piii.math_mflops / 500.0
+    );
+    println!(
+        "  Karp/Math gain — TM5600 {:.2}x, PIII {:.2}x",
+        tm.karp_mflops / tm.math_mflops,
+        piii.karp_mflops / piii.math_mflops
+    );
+}

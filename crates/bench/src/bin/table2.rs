@@ -1,0 +1,18 @@
+//! Regenerate Table 2: scalability of the N-body simulation on the
+//! MetaBlade Bladed Beowulf. Body count via argv[1] (default 50,000).
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
+    eprintln!("running distributed treecode with N = {n} bodies ...");
+    let rows = mb_core::experiments::table2(n);
+    print!("{}", mb_core::report::render_table2(&rows));
+    let last = rows.last().unwrap();
+    println!(
+        "\nParallel efficiency at {} CPUs: {:.0}% (the paper's \"drop in efficiency\")",
+        last.cpus,
+        100.0 * last.speedup / last.cpus as f64
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerate Table 3: single-processor NPB 2.3 Mop/s. Class via argv[1]
+//! (S|W|A, default W — the paper's configuration).
+
+use mb_npb::Class;
+
+fn main() {
+    let class = match std::env::args().nth(1).as_deref() {
+        Some("S") => Class::S,
+        Some("A") => Class::A,
+        _ => Class::W,
+    };
+    eprintln!("running NPB kernels at class {class} ...");
+    let rows = mb_core::experiments::table3(class);
+    print!("{}", mb_core::report::render_table3(&rows, class));
+    // Geometric-mean ratios, as the paper's prose summarizes.
+    let gm = |ix: usize| {
+        (rows.iter().map(|r| r.mops[ix].ln()).sum::<f64>() / rows.len() as f64).exp()
+    };
+    println!(
+        "\nGeometric means — Athlon {:.0}, PIII {:.0}, TM5600 {:.0}, Power3 {:.0}",
+        gm(0), gm(1), gm(2), gm(3)
+    );
+    println!(
+        "TM5600 / PIII = {:.2} (paper: \"performs as well as\"); TM5600 / Athlon = {:.2}, TM5600 / Power3 = {:.2} (paper: \"about one-third\")",
+        gm(2) / gm(1), gm(2) / gm(0), gm(2) / gm(3)
+    );
+}

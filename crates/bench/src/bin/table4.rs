@@ -1,0 +1,8 @@
+//! Regenerate Table 4: historical treecode performance ranking.
+
+fn main() {
+    let rows = mb_core::experiments::table4();
+    print!("{}", mb_core::report::render_table4(&rows));
+    println!("\n(MetaBlade rows: production-scale sustained rates from this reproduction's");
+    println!(" calibrated CMS/cluster models; historical rows are the published records.)");
+}

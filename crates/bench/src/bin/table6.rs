@@ -1,0 +1,7 @@
+//! Regenerate Table 6: performance/space for Avalon, MetaBlade and
+//! Green Destiny.
+
+fn main() {
+    let machines = mb_core::experiments::table67_machines();
+    print!("{}", mb_metrics::report::render_table6(&machines));
+}

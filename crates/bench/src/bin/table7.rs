@@ -1,0 +1,7 @@
+//! Regenerate Table 7: performance/power for Avalon, MetaBlade and
+//! Green Destiny.
+
+fn main() {
+    let machines = mb_core::experiments::table67_machines();
+    print!("{}", mb_metrics::report::render_table7(&machines));
+}

@@ -1,0 +1,198 @@
+//! Checkpoint/restart modeling: what the paper's downtime numbers mean
+//! for long-running jobs.
+//!
+//! §4.1 prices downtime per CPU-hour; this module closes the loop for
+//! applications: given the cluster's failure process (from
+//! [`crate::reliability`]), how much wall-clock does a W-hour job
+//! actually take under checkpointing, and what is the optimal
+//! checkpoint interval? Uses the Young/Daly first-order model plus a
+//! Monte-Carlo simulator (seeded, deterministic) that validates it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::reliability::FailureLaw;
+
+/// Checkpointing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointModel {
+    /// Time to write one checkpoint, hours.
+    pub checkpoint_h: f64,
+    /// Time to restart after a failure (reboot + reload), hours.
+    pub restart_h: f64,
+}
+
+impl CheckpointModel {
+    /// Young's optimal checkpoint interval: `τ* = sqrt(2·c·M)` where `M`
+    /// is the cluster MTBF (hours) and `c` the checkpoint cost.
+    pub fn young_interval_h(&self, mtbf_h: f64) -> f64 {
+        (2.0 * self.checkpoint_h * mtbf_h).sqrt()
+    }
+
+    /// First-order expected wall-clock (hours) for `work_h` hours of
+    /// useful computation with checkpoint interval `tau`, on a cluster of
+    /// MTBF `mtbf_h` (Daly's approximation).
+    pub fn expected_walltime_h(&self, work_h: f64, tau: f64, mtbf_h: f64) -> f64 {
+        assert!(tau > 0.0 && mtbf_h > 0.0);
+        // Fraction of each interval spent checkpointing.
+        let segment = tau + self.checkpoint_h;
+        let n_segments = work_h / tau;
+        // Expected failures per segment and rework per failure (half a
+        // segment on average) plus restart.
+        let fail_per_segment = segment / mtbf_h;
+        let rework = fail_per_segment * (0.5 * segment + self.restart_h);
+        n_segments * (segment + rework)
+    }
+
+    /// Monte-Carlo wall-clock simulation (deterministic for a seed):
+    /// simulates exponential failures while executing `work_h` hours of
+    /// work with interval `tau`. Returns simulated wall-clock hours.
+    pub fn simulate_walltime_h(
+        &self,
+        work_h: f64,
+        tau: f64,
+        mtbf_h: f64,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next_failure = sample_exp(&mut rng, mtbf_h);
+        let mut clock = 0.0; // wall-clock
+        let mut done = 0.0; // checkpointed work
+        while done < work_h {
+            let chunk = tau.min(work_h - done);
+            let segment = chunk + self.checkpoint_h;
+            if clock + segment <= next_failure {
+                // Segment completes and checkpoints.
+                clock += segment;
+                done += chunk;
+            } else {
+                // Failure mid-segment: lose the whole segment, restart.
+                clock = next_failure + self.restart_h;
+                next_failure = clock + sample_exp(&mut rng, mtbf_h);
+            }
+        }
+        clock
+    }
+}
+
+fn sample_exp(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(1e-300);
+    -mean * u.ln()
+}
+
+/// Availability summary for a machine under the paper's failure regime.
+#[derive(Debug, Clone, Copy)]
+pub struct AvailabilityReport {
+    /// Cluster MTBF, hours.
+    pub mtbf_h: f64,
+    /// Optimal checkpoint interval, hours.
+    pub tau_opt_h: f64,
+    /// Wall-clock for a 720-hour (30-day) job, hours.
+    pub month_job_walltime_h: f64,
+    /// Efficiency: useful work over wall-clock.
+    pub efficiency: f64,
+}
+
+/// Evaluate a machine: `n` nodes at component temperature `temp_c` under
+/// `law`, with checkpoint parameters `cp`.
+pub fn availability(
+    law: &FailureLaw,
+    n: usize,
+    temp_c: f64,
+    cp: &CheckpointModel,
+) -> AvailabilityReport {
+    let mtbf = law.cluster_mtbf_hours(n, temp_c);
+    let tau = cp.young_interval_h(mtbf);
+    let work = 720.0;
+    let wall = cp.expected_walltime_h(work, tau, mtbf);
+    AvailabilityReport {
+        mtbf_h: mtbf,
+        tau_opt_h: tau,
+        month_job_walltime_h: wall,
+        efficiency: work / wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermal::ThermalModel;
+
+    fn cp() -> CheckpointModel {
+        CheckpointModel {
+            checkpoint_h: 0.1,
+            restart_h: 0.25,
+        }
+    }
+
+    #[test]
+    fn young_interval_grows_with_mtbf() {
+        let c = cp();
+        assert!(c.young_interval_h(1000.0) > c.young_interval_h(100.0));
+        // τ* = sqrt(2·0.1·500) = 10.
+        assert!((c.young_interval_h(500.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walltime_exceeds_work_and_shrinks_with_reliability() {
+        let c = cp();
+        let tau = c.young_interval_h(1460.0);
+        let flaky = c.expected_walltime_h(720.0, tau, 1460.0); // 2-month MTBF
+        let solid = c.expected_walltime_h(720.0, c.young_interval_h(14_600.0), 14_600.0);
+        assert!(flaky > 720.0);
+        assert!(solid > 720.0);
+        assert!(solid < flaky, "reliable machine must finish sooner");
+    }
+
+    #[test]
+    fn optimal_interval_beats_extremes() {
+        let c = cp();
+        let mtbf = 1460.0;
+        let opt = c.expected_walltime_h(720.0, c.young_interval_h(mtbf), mtbf);
+        let too_often = c.expected_walltime_h(720.0, 0.5, mtbf);
+        let too_rare = c.expected_walltime_h(720.0, 500.0, mtbf);
+        assert!(opt < too_often, "checkpointing every 30 min thrashes");
+        assert!(opt < too_rare, "checkpointing twice a month loses too much work");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_the_analytic_model() {
+        let c = cp();
+        let mtbf = 300.0;
+        let tau = c.young_interval_h(mtbf);
+        let analytic = c.expected_walltime_h(720.0, tau, mtbf);
+        let mut total = 0.0;
+        let runs = 40;
+        for seed in 0..runs {
+            total += c.simulate_walltime_h(720.0, tau, mtbf, seed);
+        }
+        let mc = total / runs as f64;
+        let rel = (mc - analytic).abs() / analytic;
+        assert!(rel < 0.15, "MC {mc} vs analytic {analytic} ({rel:.2} rel)");
+    }
+
+    #[test]
+    fn simulation_is_seed_deterministic() {
+        let c = cp();
+        let a = c.simulate_walltime_h(100.0, 5.0, 200.0, 9);
+        let b = c.simulate_walltime_h(100.0, 5.0, 200.0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blades_run_month_jobs_more_efficiently_than_hot_towers() {
+        // The paper's reliability contrast, cashed out as job efficiency.
+        let law = FailureLaw::paper_default();
+        let blade_temp = ThermalModel::blade_closet().component_temp_c(6.0);
+        let tower_temp = ThermalModel::traditional_office().component_temp_c(75.0);
+        let blade = availability(&law, 24, blade_temp, &cp());
+        let tower = availability(&law, 24, tower_temp, &cp());
+        assert!(
+            blade.efficiency > tower.efficiency,
+            "blade {:.3} vs tower {:.3}",
+            blade.efficiency,
+            tower.efficiency
+        );
+        assert!(blade.mtbf_h > tower.mtbf_h);
+    }
+}

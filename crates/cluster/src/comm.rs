@@ -1,0 +1,443 @@
+//! The MPI-like communicator over virtual time.
+//!
+//! Each SPMD rank runs on a real thread and owns a [`Comm`]. All timing is
+//! *virtual*: `compute` charges CPU seconds at the node's sustained rate,
+//! `send`/`recv` charge the LogGP costs of [`crate::network::NetworkModel`],
+//! and a receive waits (in virtual time) until the message's delivery
+//! timestamp. Message transport between threads uses crossbeam channels;
+//! because every receive names its source rank and all collectives use
+//! fixed deterministic patterns, the virtual clocks are bit-reproducible
+//! regardless of host thread scheduling.
+//!
+//! Collectives are the classic binomial-tree / ring algorithms MPICH used
+//! in the paper's era: `bcast` and `reduce` are binomial trees (⌈log₂ P⌉
+//! rounds), `allreduce` is reduce+bcast, `barrier` is an empty allreduce,
+//! `allgather` is a ring, and `alltoallv` is a pairwise exchange.
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::network::NetworkModel;
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: usize,
+    /// User or collective tag.
+    pub tag: u32,
+    /// Virtual delivery time at the receiver's NIC.
+    pub deliver: f64,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+/// Per-rank communication statistics (virtual seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Messages sent.
+    pub sends: u64,
+    /// Messages received.
+    pub recvs: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Virtual seconds spent computing.
+    pub compute_s: f64,
+    /// Virtual seconds blocked waiting for messages.
+    pub wait_s: f64,
+    /// Virtual seconds the NIC/stack kept the CPU busy sending.
+    pub send_busy_s: f64,
+    /// Virtual seconds the NIC/stack kept the CPU busy receiving.
+    pub recv_busy_s: f64,
+}
+
+impl CommStats {
+    /// Seconds the node was doing useful or overhead work (not waiting).
+    pub fn busy_s(&self) -> f64 {
+        self.compute_s + self.send_busy_s + self.recv_busy_s
+    }
+}
+
+const COLLECTIVE_TAG: u32 = 0x8000_0000;
+
+/// One rank's endpoint.
+pub struct Comm {
+    rank: usize,
+    nranks: usize,
+    clock: f64,
+    mflops: f64,
+    net: NetworkModel,
+    tx: Vec<Sender<Msg>>,
+    rx: Receiver<Msg>,
+    pending: Vec<Msg>,
+    coll_seq: u32,
+    /// Running statistics.
+    pub stats: CommStats,
+}
+
+impl Comm {
+    /// Internal constructor (used by `machine::Cluster`).
+    pub(crate) fn new(
+        rank: usize,
+        nranks: usize,
+        mflops: f64,
+        net: NetworkModel,
+        tx: Vec<Sender<Msg>>,
+        rx: Receiver<Msg>,
+    ) -> Self {
+        Self {
+            rank,
+            nranks,
+            clock: 0.0,
+            mflops,
+            net,
+            tx,
+            rx,
+            pending: Vec::new(),
+            coll_seq: 0,
+            stats: CommStats::default(),
+        }
+    }
+
+    /// This rank's id, `0..nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// The network model in force.
+    pub fn network(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// Charge `flops` floating-point operations of computation at this
+    /// node's sustained rate.
+    pub fn compute(&mut self, flops: f64) {
+        let s = flops / (self.mflops * 1e6);
+        self.clock += s;
+        self.stats.compute_s += s;
+    }
+
+    /// Charge raw virtual seconds (e.g. non-FP work).
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "time cannot run backward");
+        self.clock += seconds;
+        self.stats.compute_s += seconds;
+    }
+
+    /// Rebate virtual seconds previously charged — for timing models that
+    /// batch operations (e.g. HPL panel broadcasts pay per-message costs
+    /// eagerly for correctness, then credit back the amortized latency).
+    /// The clock never rewinds past zero.
+    pub fn credit(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.clock = (self.clock - seconds).max(0.0);
+    }
+
+    /// Send `payload` to `dst` with a user tag (must be < 2^31; the high
+    /// bit is reserved for collectives). Non-blocking in virtual time
+    /// beyond the sender-side LogGP busy time.
+    pub fn send(&mut self, dst: usize, tag: u32, payload: Bytes) {
+        assert!(dst < self.nranks, "send to rank {dst} of {}", self.nranks);
+        assert!(tag < COLLECTIVE_TAG, "user tags must be < 2^31");
+        self.send_internal(dst, tag, payload);
+    }
+
+    fn send_internal(&mut self, dst: usize, tag: u32, payload: Bytes) {
+        let bytes = payload.len() as u64;
+        let busy = self.net.send_busy(bytes);
+        self.clock += busy;
+        self.stats.send_busy_s += busy;
+        self.stats.sends += 1;
+        self.stats.bytes_sent += bytes;
+        let deliver = self.clock + self.net.flight(bytes);
+        self.tx[dst]
+            .send(Msg {
+                src: self.rank,
+                tag,
+                deliver,
+                payload,
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Receive the next message from `src` with `tag` (FIFO per
+    /// source/tag pair). Blocks the host thread if needed; charges
+    /// virtual wait time until the message's delivery timestamp plus the
+    /// receiver-side busy time.
+    pub fn recv(&mut self, src: usize, tag: u32) -> Bytes {
+        assert!(tag < COLLECTIVE_TAG, "user tags must be < 2^31");
+        self.recv_internal(src, tag)
+    }
+
+    fn recv_internal(&mut self, src: usize, tag: u32) -> Bytes {
+        let msg = loop {
+            if let Some(i) = self
+                .pending
+                .iter()
+                .position(|m| m.src == src && m.tag == tag)
+            {
+                break self.pending.remove(i);
+            }
+            let m = self.rx.recv().expect("all peers hung up");
+            if m.src == src && m.tag == tag {
+                break m;
+            }
+            self.pending.push(m);
+        };
+        if msg.deliver > self.clock {
+            self.stats.wait_s += msg.deliver - self.clock;
+            self.clock = msg.deliver;
+        }
+        let busy = self.net.recv_busy(msg.payload.len() as u64);
+        self.clock += busy;
+        self.stats.recv_busy_s += busy;
+        self.stats.recvs += 1;
+        self.stats.bytes_recv += msg.payload.len() as u64;
+        msg.payload
+    }
+
+    /// Send a slice of doubles (little-endian serialization).
+    pub fn send_f64s(&mut self, dst: usize, tag: u32, vals: &[f64]) {
+        self.send(dst, tag, pack_f64s(vals));
+    }
+
+    /// Receive a vector of doubles.
+    pub fn recv_f64s(&mut self, src: usize, tag: u32) -> Vec<f64> {
+        unpack_f64s(&self.recv(src, tag))
+    }
+
+    fn next_coll_tag(&mut self, op: u32) -> u32 {
+        let tag = COLLECTIVE_TAG | (op << 20) | (self.coll_seq & 0xf_ffff);
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        tag
+    }
+
+    /// Broadcast from `root`: binomial tree. Returns the payload on every
+    /// rank (on the root, the argument must be `Some`).
+    pub fn bcast(&mut self, root: usize, payload: Option<Bytes>) -> Bytes {
+        let n = self.nranks;
+        let tag = self.next_coll_tag(1);
+        let rel = (self.rank + n - root) % n;
+        let mut data = if rel == 0 {
+            payload.expect("root must supply the broadcast payload")
+        } else {
+            Bytes::new()
+        };
+        let mut mask = 1;
+        while mask < n {
+            if rel >= mask && rel < 2 * mask {
+                let src = (rel - mask + root) % n;
+                data = self.recv_internal(src, tag);
+            } else if rel < mask && rel + mask < n {
+                let dst = (rel + mask + root) % n;
+                self.send_internal(dst, tag, data.clone());
+            }
+            mask <<= 1;
+        }
+        data
+    }
+
+    /// Element-wise sum-reduce of a double vector to `root` (binomial
+    /// tree). Returns `Some(sum)` on the root, `None` elsewhere.
+    pub fn reduce_sum(&mut self, root: usize, vals: &[f64]) -> Option<Vec<f64>> {
+        let n = self.nranks;
+        let tag = self.next_coll_tag(2);
+        let rel = (self.rank + n - root) % n;
+        let mut acc = vals.to_vec();
+        let mut mask = 1;
+        while mask < n {
+            if rel & mask != 0 {
+                let dst = (rel - mask + root) % n;
+                self.send_internal(dst, tag, pack_f64s(&acc));
+                return None;
+            }
+            if rel + mask < n {
+                let src = (rel + mask + root) % n;
+                let theirs = unpack_f64s(&self.recv_internal(src, tag));
+                assert_eq!(theirs.len(), acc.len(), "reduce length mismatch");
+                // Charge the combine cost: one add per element.
+                self.compute(acc.len() as f64);
+                for (a, b) in acc.iter_mut().zip(theirs) {
+                    *a += b;
+                }
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Allreduce (sum) of a double vector: reduce to rank 0 then
+    /// broadcast.
+    pub fn allreduce_sum(&mut self, vals: &[f64]) -> Vec<f64> {
+        let reduced = self.reduce_sum(0, vals);
+        let payload = reduced.map(|v| pack_f64s(&v));
+        unpack_f64s(&self.bcast(0, payload))
+    }
+
+    /// Barrier: empty allreduce.
+    pub fn barrier(&mut self) {
+        let _ = self.allreduce_sum(&[]);
+    }
+
+    /// Ring allgather: each rank contributes one payload; everyone gets
+    /// all payloads, indexed by rank.
+    pub fn allgather(&mut self, mine: Bytes) -> Vec<Bytes> {
+        let n = self.nranks;
+        let tag = self.next_coll_tag(3);
+        let mut chunks: Vec<Option<Bytes>> = vec![None; n];
+        chunks[self.rank] = Some(mine);
+        let right = (self.rank + 1) % n;
+        let left = (self.rank + n - 1) % n;
+        for step in 0..n.saturating_sub(1) {
+            let send_idx = (self.rank + n - step) % n;
+            let recv_idx = (self.rank + n - step - 1) % n;
+            let out = chunks[send_idx].clone().expect("ring invariant");
+            self.send_internal(right, tag, out);
+            let inp = self.recv_internal(left, tag);
+            chunks[recv_idx] = Some(inp);
+        }
+        chunks.into_iter().map(|c| c.expect("complete ring")).collect()
+    }
+
+    /// Pairwise-exchange personalized all-to-all: `outgoing[d]` goes to
+    /// rank `d`; returns `incoming[s]` from each rank `s`.
+    pub fn alltoallv(&mut self, outgoing: Vec<Bytes>) -> Vec<Bytes> {
+        let n = self.nranks;
+        assert_eq!(outgoing.len(), n, "alltoallv needs one payload per rank");
+        let tag = self.next_coll_tag(4);
+        let mut incoming: Vec<Bytes> = vec![Bytes::new(); n];
+        incoming[self.rank] = outgoing[self.rank].clone();
+        for k in 1..n {
+            let dst = (self.rank + k) % n;
+            let src = (self.rank + n - k) % n;
+            self.send_internal(dst, tag, outgoing[dst].clone());
+            incoming[src] = self.recv_internal(src, tag);
+        }
+        incoming
+    }
+
+    /// Scatter: `root` holds one payload per rank; every rank receives
+    /// its slice. Non-roots pass `None`.
+    pub fn scatter(&mut self, root: usize, payloads: Option<Vec<Bytes>>) -> Bytes {
+        let n = self.nranks;
+        let tag = self.next_coll_tag(6);
+        if self.rank == root {
+            let payloads = payloads.expect("root must supply scatter payloads");
+            assert_eq!(payloads.len(), n, "one payload per rank");
+            let mut mine = Bytes::new();
+            for (dst, p) in payloads.into_iter().enumerate() {
+                if dst == root {
+                    mine = p;
+                } else {
+                    self.send_internal(dst, tag, p);
+                }
+            }
+            mine
+        } else {
+            self.recv_internal(root, tag)
+        }
+    }
+
+    /// Reduce-scatter (sum): every rank contributes a vector of
+    /// `n × chunk` doubles; rank `r` receives the element-wise sum of
+    /// everyone's `r`-th chunk. (Reduce-to-root then scatter — the
+    /// pattern MPICH used at this era for small payloads.)
+    pub fn reduce_scatter_sum(&mut self, vals: &[f64], chunk: usize) -> Vec<f64> {
+        let n = self.nranks;
+        assert_eq!(vals.len(), n * chunk, "need n×chunk elements");
+        let reduced = self.reduce_sum(0, vals);
+        let payloads = reduced.map(|full| {
+            (0..n)
+                .map(|r| pack_f64s(&full[r * chunk..(r + 1) * chunk]))
+                .collect::<Vec<_>>()
+        });
+        unpack_f64s(&self.scatter(0, payloads))
+    }
+
+    /// Inclusive prefix scan (sum): rank `r` receives the element-wise
+    /// sum of ranks `0..=r`'s vectors. Linear pipeline (rank order).
+    pub fn scan_sum(&mut self, vals: &[f64]) -> Vec<f64> {
+        let n = self.nranks;
+        let tag = self.next_coll_tag(7);
+        let mut acc = vals.to_vec();
+        if self.rank > 0 {
+            let prev = unpack_f64s(&self.recv_internal(self.rank - 1, tag));
+            assert_eq!(prev.len(), acc.len(), "scan length mismatch");
+            self.compute(acc.len() as f64);
+            for (a, b) in acc.iter_mut().zip(prev) {
+                *a += b;
+            }
+        }
+        if self.rank + 1 < n {
+            self.send_internal(self.rank + 1, tag, pack_f64s(&acc));
+        }
+        acc
+    }
+
+    /// Gather every rank's payload at `root` (rank order). Returns
+    /// `Some(vec)` on the root, `None` elsewhere.
+    pub fn gather(&mut self, root: usize, mine: Bytes) -> Option<Vec<Bytes>> {
+        let n = self.nranks;
+        let tag = self.next_coll_tag(5);
+        if self.rank == root {
+            let mut all: Vec<Bytes> = Vec::with_capacity(n);
+            for src in 0..n {
+                if src == root {
+                    all.push(mine.clone());
+                } else {
+                    all.push(self.recv_internal(src, tag));
+                }
+            }
+            Some(all)
+        } else {
+            self.send_internal(root, tag, mine);
+            None
+        }
+    }
+}
+
+/// Serialize doubles little-endian.
+pub fn pack_f64s(vals: &[f64]) -> Bytes {
+    let mut v = Vec::with_capacity(vals.len() * 8);
+    for x in vals {
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    Bytes::from(v)
+}
+
+/// Deserialize doubles little-endian.
+pub fn unpack_f64s(b: &Bytes) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0, "payload is not a whole number of doubles");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let vals = vec![0.0, -1.5, std::f64::consts::PI, f64::MAX, 1e-300];
+        assert_eq!(unpack_f64s(&pack_f64s(&vals)), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of doubles")]
+    fn ragged_payload_rejected() {
+        unpack_f64s(&Bytes::from_static(&[1, 2, 3]));
+    }
+}

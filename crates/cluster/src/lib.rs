@@ -1,0 +1,48 @@
+//! Beowulf cluster simulator — the machine substrate for *"Honey, I
+//! Shrunk the Beowulf!"*.
+//!
+//! The paper's MetaBlade is "twenty-four compute nodes with each node
+//! containing a 633-MHz Transmeta TM5600 CPU …, 256-MB SDRAM, 10-GB hard
+//! disk, and 100-Mb/s network interface. We connect each compute node to a
+//! 100-Mb/s Fast Ethernet switch, resulting in a cluster with a star
+//! topology" (§3.1). That machine no longer exists, so this crate
+//! simulates it — and its traditional-Beowulf comparison points — in
+//! enough detail to regenerate the paper's scalability, power, thermal and
+//! reliability results:
+//!
+//! * [`spec`] — CPU/node/network/cluster specifications and the catalog of
+//!   the paper's machines (MetaBlade, MetaBlade2, Avalon, Loki, …);
+//! * [`network`] — a LogGP-style Fast-Ethernet model (per-message latency,
+//!   per-byte serialization at sender and receiver, store-and-forward
+//!   switch hop);
+//! * [`comm`] — an MPI-like communicator: SPMD ranks on real threads, each
+//!   with a **virtual clock**; sends/receives/collectives charge modeled
+//!   time, `compute(flops)` charges CPU time. Virtual time is fully
+//!   deterministic: a rank's clock depends only on its own event sequence
+//!   and on the send timestamps of messages it receives;
+//! * [`machine`] — the cluster runtime: run an SPMD closure over all
+//!   ranks, gather results, per-rank statistics and the makespan;
+//! * [`power`] — node and cluster power accounting (load/idle, cooling);
+//! * [`thermal`] — ambient → component temperature model;
+//! * [`reliability`] — the paper's empirical failure law ("the failure
+//!   rate of a component doubles for every 10 °C increase in
+//!   temperature"), MTBF, expected downtime, and failure injection;
+//! * [`trace`] — per-rank event traces for tests and ablations;
+//! * [`checkpoint`] — Young/Daly checkpoint-restart modeling plus a
+//!   Monte-Carlo validator, closing the loop from the failure law to
+//!   long-job efficiency.
+
+pub mod checkpoint;
+pub mod comm;
+pub mod machine;
+pub mod network;
+pub mod power;
+pub mod reliability;
+pub mod spec;
+pub mod thermal;
+pub mod trace;
+
+pub use comm::{Comm, CommStats};
+pub use machine::{Cluster, SpmdOutcome};
+pub use network::NetworkModel;
+pub use spec::{cluster_catalog, ClusterSpec, CpuSpec, NetworkSpec, NodeSpec, PackagingKind};

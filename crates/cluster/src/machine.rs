@@ -1,0 +1,372 @@
+//! The cluster runtime: run an SPMD closure over all ranks of a
+//! [`ClusterSpec`] and gather results, virtual clocks and statistics.
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, CommStats, Msg};
+use crate::network::NetworkModel;
+use crate::spec::ClusterSpec;
+
+/// Result of one SPMD run.
+#[derive(Debug, Clone)]
+pub struct SpmdOutcome<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank final virtual clocks, seconds.
+    pub clocks: Vec<f64>,
+    /// Per-rank communication/computation statistics.
+    pub stats: Vec<CommStats>,
+}
+
+impl<R> SpmdOutcome<R> {
+    /// Wall-clock of the parallel job: the slowest rank.
+    pub fn makespan_s(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Parallel efficiency versus a given serial time.
+    pub fn efficiency(&self, serial_s: f64) -> f64 {
+        let p = self.clocks.len() as f64;
+        serial_s / (p * self.makespan_s())
+    }
+
+    /// Aggregate virtual compute seconds across ranks.
+    pub fn total_compute_s(&self) -> f64 {
+        self.stats.iter().map(|s| s.compute_s).sum()
+    }
+
+    /// Aggregate bytes sent across ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes_sent).sum()
+    }
+}
+
+/// A simulated cluster ready to run SPMD jobs.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+}
+
+impl Cluster {
+    /// Build a cluster from a spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Run `f` as one SPMD process per node. Each invocation gets a
+    /// [`Comm`] wired to every peer; the closure's return values, final
+    /// virtual clocks and stats come back indexed by rank.
+    ///
+    /// Ranks run on real OS threads; virtual time stays deterministic
+    /// because every receive names its source (see [`crate::comm`]).
+    ///
+    /// ```
+    /// use mb_cluster::machine::Cluster;
+    /// use mb_cluster::spec::metablade;
+    /// let cluster = Cluster::new(metablade().with_nodes(4));
+    /// let out = cluster.run(|comm| {
+    ///     let sum = comm.allreduce_sum(&[comm.rank() as f64]);
+    ///     sum[0]
+    /// });
+    /// assert_eq!(out.results, vec![6.0; 4]); // 0+1+2+3 on every rank
+    /// assert!(out.makespan_s() > 0.0);
+    /// ```
+    pub fn run<R, F>(&self, f: F) -> SpmdOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let n = self.spec.nodes;
+        assert!(n > 0, "cluster has no nodes");
+        let net = NetworkModel::new(self.spec.network);
+        let mflops = self.spec.node.cpu.sustained_mflops;
+        // One inbox per rank; every rank holds a sender clone to each inbox.
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Msg>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut comms: Vec<Comm> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Comm::new(rank, n, mflops, net, txs.clone(), rx))
+            .collect();
+        // Drop the original senders so channels close when ranks finish.
+        drop(txs);
+
+        let f = &f;
+        let mut results: Vec<Option<(R, f64, CommStats)>> =
+            (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, mut comm) in comms.drain(..).enumerate() {
+                handles.push((
+                    rank,
+                    scope.spawn(move || {
+                        let r = f(&mut comm);
+                        (r, comm.now(), comm.stats)
+                    }),
+                ));
+            }
+            for (rank, h) in handles {
+                let out = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+                results[rank] = Some(out);
+            }
+        });
+        let mut vals = Vec::with_capacity(n);
+        let mut clocks = Vec::with_capacity(n);
+        let mut stats = Vec::with_capacity(n);
+        for r in results {
+            let (v, c, s) = r.expect("every rank completes");
+            vals.push(v);
+            clocks.push(c);
+            stats.push(s);
+        }
+        SpmdOutcome {
+            results: vals,
+            clocks,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::pack_f64s;
+    use crate::spec::metablade;
+    use bytes::Bytes;
+
+    fn small_cluster(n: usize) -> Cluster {
+        Cluster::new(metablade().with_nodes(n))
+    }
+
+    #[test]
+    fn ping_pong_times_are_symmetric_and_positive() {
+        let c = small_cluster(2);
+        let out = c.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, Bytes::from_static(b"hello"));
+                let r = comm.recv(1, 8);
+                assert_eq!(&r[..], b"world");
+            } else {
+                let r = comm.recv(0, 7);
+                assert_eq!(&r[..], b"hello");
+                comm.send(0, 8, Bytes::from_static(b"world"));
+            }
+            comm.now()
+        });
+        // One round trip ≥ 2 × (latency + overheads).
+        assert!(out.makespan_s() > 2.0 * 70e-6, "{}", out.makespan_s());
+        assert!(out.makespan_s() < 1e-3);
+        assert_eq!(out.stats[0].sends, 1);
+        assert_eq!(out.stats[0].recvs, 1);
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic_across_runs() {
+        let c = small_cluster(8);
+        let job = |comm: &mut crate::comm::Comm| {
+            let vals = vec![comm.rank() as f64; 16];
+            let sum = comm.allreduce_sum(&vals);
+            comm.compute(1e6);
+            comm.barrier();
+            (sum[0], comm.now())
+        };
+        let a = c.run(job);
+        let b = c.run(job);
+        for r in 0..8 {
+            assert_eq!(a.results[r].0, 28.0);
+            assert_eq!(
+                a.results[r].1, b.results[r].1,
+                "rank {r} clock must be reproducible"
+            );
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_to_all_from_any_root() {
+        for root in [0, 3, 6] {
+            let c = small_cluster(7);
+            let out = c.run(|comm| {
+                let payload = (comm.rank() == root).then(|| pack_f64s(&[42.0, root as f64]));
+                let got = comm.bcast(root, payload);
+                crate::comm::unpack_f64s(&got)
+            });
+            for r in out.results {
+                assert_eq!(r, vec![42.0, root as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_collects_at_root_only() {
+        let c = small_cluster(6);
+        let out = c.run(|comm| comm.reduce_sum(2, &[1.0, comm.rank() as f64]));
+        for (rank, r) in out.results.iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(r.as_ref().unwrap(), &vec![6.0, 15.0]);
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let c = small_cluster(5);
+        let out = c.run(|comm| {
+            let mine = pack_f64s(&[comm.rank() as f64 * 10.0]);
+            comm.allgather(mine)
+                .iter()
+                .map(|b| crate::comm::unpack_f64s(b)[0])
+                .collect::<Vec<_>>()
+        });
+        for r in out.results {
+            assert_eq!(r, vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_personalized_payloads() {
+        let n = 4;
+        let c = small_cluster(n);
+        let out = c.run(|comm| {
+            let outgoing: Vec<Bytes> = (0..n)
+                .map(|d| pack_f64s(&[(comm.rank() * 100 + d) as f64]))
+                .collect();
+            comm.alltoallv(outgoing)
+                .iter()
+                .map(|b| crate::comm::unpack_f64s(b)[0])
+                .collect::<Vec<_>>()
+        });
+        for (rank, incoming) in out.results.iter().enumerate() {
+            for (src, &v) in incoming.iter().enumerate() {
+                assert_eq!(v, (src * 100 + rank) as f64, "src {src} → dst {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let c = small_cluster(5);
+        let out = c.run(|comm| {
+            comm.gather(0, pack_f64s(&[comm.rank() as f64]))
+                .map(|v| v.iter().map(|b| crate::comm::unpack_f64s(b)[0]).collect::<Vec<_>>())
+        });
+        assert_eq!(out.results[0].as_ref().unwrap(), &vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert!(out.results[1].is_none());
+    }
+
+    #[test]
+    fn compute_charges_at_sustained_rate() {
+        let c = small_cluster(1);
+        let out = c.run(|comm| {
+            comm.compute(87.5e6); // exactly one second at 87.5 Mflops
+            comm.now()
+        });
+        assert!((out.results[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let c = small_cluster(2);
+        let out = c.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Bytes::from_static(b"first"));
+                comm.send(1, 2, Bytes::from_static(b"second"));
+                0
+            } else {
+                // Receive in reverse tag order.
+                let b = comm.recv(0, 2);
+                let a = comm.recv(0, 1);
+                assert_eq!(&b[..], b"second");
+                assert_eq!(&a[..], b"first");
+                1
+            }
+        });
+        assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn barrier_aligns_no_one_before_the_slowest() {
+        let c = small_cluster(4);
+        let out = c.run(|comm| {
+            if comm.rank() == 3 {
+                comm.compute(87.5e6); // 1 virtual second of work
+            }
+            comm.barrier();
+            comm.now()
+        });
+        for (rank, t) in out.results.iter().enumerate() {
+            assert!(*t >= 1.0, "rank {rank} left the barrier at {t}");
+        }
+    }
+
+    #[test]
+    fn efficiency_of_embarrassingly_parallel_work_is_high() {
+        let serial_flops = 87.5e6 * 8.0;
+        let c = small_cluster(8);
+        let out = c.run(|comm| {
+            comm.compute(serial_flops / 8.0);
+            comm.barrier();
+        });
+        let serial_s = serial_flops / 87.5e6;
+        let eff = out.efficiency(serial_s);
+        assert!(eff > 0.95, "efficiency {eff}");
+    }
+}
+
+#[cfg(test)]
+mod collective_tests {
+    use super::*;
+    use crate::comm::pack_f64s;
+    use crate::spec::metablade;
+    use bytes::Bytes;
+
+    #[test]
+    fn scatter_routes_each_slice() {
+        let c = Cluster::new(metablade().with_nodes(5));
+        let out = c.run(|comm| {
+            let payloads = (comm.rank() == 2).then(|| {
+                (0..5).map(|r| pack_f64s(&[r as f64 * 3.0])).collect::<Vec<Bytes>>()
+            });
+            crate::comm::unpack_f64s(&comm.scatter(2, payloads))[0]
+        });
+        assert_eq!(out.results, vec![0.0, 3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_sums_chunks() {
+        let n = 4;
+        let chunk = 3;
+        let c = Cluster::new(metablade().with_nodes(n));
+        let out = c.run(move |comm| {
+            // Rank r contributes value (r+1) everywhere.
+            let vals = vec![(comm.rank() + 1) as f64; n * chunk];
+            comm.reduce_scatter_sum(&vals, chunk)
+        });
+        // Sum over ranks of (r+1) = 10, for every chunk element.
+        for r in 0..n {
+            assert_eq!(out.results[r], vec![10.0; chunk]);
+        }
+    }
+
+    #[test]
+    fn scan_is_inclusive_prefix_sum() {
+        let c = Cluster::new(metablade().with_nodes(6));
+        let out = c.run(|comm| comm.scan_sum(&[1.0, (comm.rank() + 1) as f64]));
+        for (r, v) in out.results.iter().enumerate() {
+            assert_eq!(v[0], (r + 1) as f64, "rank {r} count");
+            let tri = ((r + 1) * (r + 2) / 2) as f64;
+            assert_eq!(v[1], tri, "rank {r} triangular");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The LogGP-style network timing model.
+//!
+//! A switched star of full-duplex links. For one message of `k` bytes,
+//!
+//! ```text
+//! sender busy:   o  +  k·G              (overhead + NIC serialization)
+//! in flight:     L  (+ k·G again through a store-and-forward switch)
+//! receiver busy: o  +  k·G              (charged when the receiver recvs)
+//! ```
+//!
+//! Sender-side serialization makes back-to-back sends from one node queue
+//! behind each other (the rank's own virtual clock advances); receiver-side
+//! serialization makes incast (many-to-one) queue at the receiver. Both
+//! effects are what limit the treecode's parallel efficiency on Fast
+//! Ethernet in Table 2.
+
+use crate::spec::NetworkSpec;
+
+/// Timing calculator for one interconnect. Stateless — all queueing is
+/// carried by the ranks' virtual clocks, which keeps simulated time fully
+/// deterministic under real-thread execution.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    spec: NetworkSpec,
+}
+
+impl NetworkModel {
+    /// Build a model from a spec.
+    pub fn new(spec: NetworkSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Per-byte serialization time (G), seconds.
+    pub fn gap_per_byte(&self) -> f64 {
+        8.0 / (self.spec.bandwidth_mbps * 1e6)
+    }
+
+    /// Time the *sender* is busy for a `bytes`-byte send: software
+    /// overhead plus NIC serialization.
+    pub fn send_busy(&self, bytes: u64) -> f64 {
+        self.spec.overhead_s + bytes as f64 * self.gap_per_byte()
+    }
+
+    /// Additional in-flight time after the sender finishes: wire/switch
+    /// latency, plus a second serialization if the switch is
+    /// store-and-forward.
+    pub fn flight(&self, bytes: u64) -> f64 {
+        let extra = if self.spec.store_and_forward {
+            bytes as f64 * self.gap_per_byte()
+        } else {
+            0.0
+        };
+        self.spec.latency_s + extra
+    }
+
+    /// Time the *receiver* is busy consuming the message.
+    pub fn recv_busy(&self, bytes: u64) -> f64 {
+        self.spec.overhead_s + bytes as f64 * self.gap_per_byte()
+    }
+
+    /// End-to-end time for one isolated message (both endpoints idle).
+    pub fn ping_time(&self, bytes: u64) -> f64 {
+        self.send_busy(bytes) + self.flight(bytes) + self.recv_busy(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe() -> NetworkModel {
+        NetworkModel::new(NetworkSpec::fast_ethernet())
+    }
+
+    #[test]
+    fn gap_matches_bandwidth() {
+        // 100 Mb/s ⇒ 80 ns/byte.
+        assert!((fe().gap_per_byte() - 80e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn small_message_is_latency_bound() {
+        let m = fe();
+        let t = m.ping_time(8);
+        // Dominated by 70 µs latency + 2×15 µs overheads.
+        assert!(t > 99e-6 && t < 110e-6, "{t}");
+    }
+
+    #[test]
+    fn large_message_is_bandwidth_bound() {
+        let m = fe();
+        let t = m.ping_time(1_250_000); // 10 Mb
+        // ≥ 3 serializations of 0.1 s each (tx + switch + rx).
+        assert!(t > 0.29 && t < 0.32, "{t}");
+    }
+
+    #[test]
+    fn cut_through_removes_one_serialization() {
+        let mut spec = NetworkSpec::fast_ethernet();
+        spec.store_and_forward = false;
+        let ct = NetworkModel::new(spec);
+        let sf = fe();
+        let bytes = 125_000;
+        let diff = sf.ping_time(bytes) - ct.ping_time(bytes);
+        assert!((diff - 0.01).abs() < 1e-9, "one 10-ms hop: {diff}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Cluster power accounting.
+//!
+//! Nodes draw `node_watts_load` while busy (computing or driving the NIC)
+//! and `node_watts_idle` while blocked; traditional packaging additionally
+//! pays cooling power — "typically ... half a watt per every watt
+//! dissipated" (§4.1). Bladed packaging needs "no fans or active cooling".
+
+use crate::comm::CommStats;
+use crate::spec::{ClusterSpec, PackagingKind};
+
+/// Cooling power drawn per watt of IT load for traditionally-packaged,
+/// actively-cooled clusters (the paper's 0.5 W/W).
+pub const COOLING_OVERHEAD_PER_WATT: f64 = 0.5;
+
+/// Power/energy summary of one SPMD run on a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSummary {
+    /// Job wall-clock (virtual), seconds.
+    pub makespan_s: f64,
+    /// IT energy (nodes only), joules.
+    pub it_energy_j: f64,
+    /// Cooling energy, joules (zero for blades).
+    pub cooling_energy_j: f64,
+    /// Average wall power including cooling, watts.
+    pub avg_watts: f64,
+    /// Peak wall power (all nodes at load, plus cooling), watts.
+    pub peak_watts: f64,
+}
+
+impl PowerSummary {
+    /// Total energy including cooling, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.it_energy_j + self.cooling_energy_j
+    }
+}
+
+/// Account energy for an SPMD run: each rank is at load for its busy
+/// seconds and idle for the remainder of the makespan (nodes do not power
+/// off while peers finish).
+pub fn account(spec: &ClusterSpec, stats: &[CommStats], clocks: &[f64]) -> PowerSummary {
+    assert_eq!(stats.len(), spec.nodes, "one stats entry per node");
+    let makespan = clocks.iter().copied().fold(0.0, f64::max);
+    let mut it = 0.0;
+    for s in stats {
+        let busy = s.busy_s().min(makespan);
+        let idle = (makespan - busy).max(0.0);
+        it += busy * spec.node.node_watts_load + idle * spec.node.node_watts_idle;
+    }
+    let cooling = match spec.packaging {
+        PackagingKind::Traditional => it * COOLING_OVERHEAD_PER_WATT,
+        PackagingKind::Bladed => 0.0,
+    };
+    let peak_it = spec.nodes as f64 * spec.node.node_watts_load;
+    let peak = match spec.packaging {
+        PackagingKind::Traditional => peak_it * (1.0 + COOLING_OVERHEAD_PER_WATT),
+        PackagingKind::Bladed => peak_it,
+    };
+    PowerSummary {
+        makespan_s: makespan,
+        it_energy_j: it,
+        cooling_energy_j: cooling,
+        avg_watts: if makespan > 0.0 {
+            (it + cooling) / makespan
+        } else {
+            0.0
+        },
+        peak_watts: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{metablade, traditional_piii};
+
+    fn fully_busy_stats(n: usize, seconds: f64) -> (Vec<CommStats>, Vec<f64>) {
+        let stats = vec![
+            CommStats {
+                compute_s: seconds,
+                ..Default::default()
+            };
+            n
+        ];
+        (stats, vec![seconds; n])
+    }
+
+    #[test]
+    fn metablade_at_load_draws_520_watts() {
+        let spec = metablade();
+        let (stats, clocks) = fully_busy_stats(spec.nodes, 100.0);
+        let p = account(&spec, &stats, &clocks);
+        assert!((p.avg_watts - 520.8).abs() < 1.0, "{}", p.avg_watts);
+        assert_eq!(p.cooling_energy_j, 0.0, "blades have no cooling power");
+        assert!((p.peak_watts - 520.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traditional_cluster_pays_cooling() {
+        let spec = traditional_piii();
+        let (stats, clocks) = fully_busy_stats(spec.nodes, 10.0);
+        let p = account(&spec, &stats, &clocks);
+        assert!(p.cooling_energy_j > 0.0);
+        assert!((p.cooling_energy_j / p.it_energy_j - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_ranks_draw_idle_power() {
+        let spec = metablade().with_nodes(2);
+        // Rank 0 busy 10 s; rank 1 idle the whole time.
+        let stats = vec![
+            CommStats {
+                compute_s: 10.0,
+                ..Default::default()
+            },
+            CommStats::default(),
+        ];
+        let clocks = vec![10.0, 0.0];
+        let p = account(&spec, &stats, &clocks);
+        let expect = 10.0 * spec.node.node_watts_load + 10.0 * spec.node.node_watts_idle;
+        assert!((p.it_energy_j - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_makespan_is_zero_power() {
+        let spec = metablade().with_nodes(1);
+        let p = account(&spec, &[CommStats::default()], &[0.0]);
+        assert_eq!(p.avg_watts, 0.0);
+        assert_eq!(p.total_energy_j(), 0.0);
+    }
+}

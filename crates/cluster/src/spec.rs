@@ -1,0 +1,336 @@
+//! Machine specifications and the catalog of the paper's clusters.
+
+use serde::{Deserialize, Serialize};
+
+/// A CPU as the cluster simulator sees it: a clock, an *effective
+/// application floating-point rate* (what the treecode actually sustains
+/// per processor — derivable from the `mb-crusoe` models and cross-checked
+/// against the paper's Table 4), and electrical characteristics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Display name.
+    pub name: String,
+    /// Core clock, MHz.
+    pub clock_mhz: f64,
+    /// Sustained application Mflops per processor on the treecode
+    /// workload (the rate `Comm::compute` charges against).
+    pub sustained_mflops: f64,
+    /// Peak flops per cycle (for peak-Gflops bookkeeping; the TM5600
+    /// counts 1, giving the paper's 24 × 633 MHz = 15.2 Gflops peak).
+    pub peak_flops_per_cycle: f64,
+    /// CPU power at load, watts.
+    pub cpu_watts_load: f64,
+}
+
+/// A compute node: CPU plus memory, disk and NIC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// The processor.
+    pub cpu: CpuSpec,
+    /// Memory, MB (capacity checks for workloads).
+    pub mem_mb: u64,
+    /// Disk, GB.
+    pub disk_gb: u64,
+    /// NIC speed, Mb/s.
+    pub nic_mbps: f64,
+    /// Whole-node wall power at load, watts (CPU + memory + disk + NIC +
+    /// PSU loss / chassis share).
+    pub node_watts_load: f64,
+    /// Whole-node wall power when idle, watts.
+    pub node_watts_idle: f64,
+}
+
+/// The interconnect: a switched star (every node has one link to the
+/// switch), parameterized LogGP-style.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// One-way small-message latency (software + wire + switch), seconds.
+    pub latency_s: f64,
+    /// Link bandwidth, Mb/s.
+    pub bandwidth_mbps: f64,
+    /// Per-message send/receive software overhead, seconds.
+    pub overhead_s: f64,
+    /// Store-and-forward switch: a message is fully serialized twice
+    /// (node→switch, switch→node). Cut-through switches serialize once.
+    pub store_and_forward: bool,
+}
+
+impl NetworkSpec {
+    /// Era-typical switched 100-Mb/s Fast Ethernet with MPI over TCP:
+    /// ~70 µs one-way latency, store-and-forward.
+    pub fn fast_ethernet() -> Self {
+        NetworkSpec {
+            latency_s: 70e-6,
+            bandwidth_mbps: 100.0,
+            overhead_s: 15e-6,
+            store_and_forward: true,
+        }
+    }
+
+    /// Seconds to move `bytes` end-to-end once the sender starts
+    /// transmitting (excludes sender overhead, which `Comm` charges).
+    pub fn wire_time(&self, bytes: u64) -> f64 {
+        let ser = bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6);
+        let hops = if self.store_and_forward { 2.0 } else { 1.0 };
+        self.latency_s + hops * ser
+    }
+}
+
+/// How the cluster is packaged (feeds space/cooling models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PackagingKind {
+    /// Commodity towers / rack servers with fans and machine-room cooling.
+    Traditional,
+    /// RLX-style blades: 24 per 3U chassis, no active cooling.
+    Bladed,
+}
+
+/// A whole cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Display name.
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Per-node spec (homogeneous clusters, as in the paper).
+    pub node: NodeSpec,
+    /// Interconnect.
+    pub network: NetworkSpec,
+    /// Packaging.
+    pub packaging: PackagingKind,
+    /// Footprint, ft².
+    pub footprint_ft2: f64,
+}
+
+impl ClusterSpec {
+    /// Peak Gflops: nodes × clock × flops/cycle.
+    pub fn peak_gflops(&self) -> f64 {
+        self.nodes as f64 * self.node.cpu.clock_mhz * 1e6 * self.node.cpu.peak_flops_per_cycle
+            / 1e9
+    }
+
+    /// Cluster wall power at load, kW (nodes only; cooling handled by the
+    /// power module).
+    pub fn load_kw(&self) -> f64 {
+        self.nodes as f64 * self.node.node_watts_load / 1000.0
+    }
+
+    /// A copy of this spec with a different node count (for scalability
+    /// sweeps like Table 2).
+    pub fn with_nodes(&self, nodes: usize) -> Self {
+        let mut s = self.clone();
+        s.nodes = nodes;
+        s
+    }
+}
+
+/// The 24-node MetaBlade Bladed Beowulf (SC'01 configuration).
+///
+/// The sustained per-CPU treecode rate of 87.5 Mflops is the paper's own
+/// Table 4 figure (2.1 Gflops / 24 CPUs); the `mb-crusoe` CMS simulation of
+/// the gravity kernel independently lands in this regime.
+pub fn metablade() -> ClusterSpec {
+    ClusterSpec {
+        name: "MetaBlade".into(),
+        nodes: 24,
+        node: NodeSpec {
+            cpu: CpuSpec {
+                name: "633-MHz Transmeta TM5600".into(),
+                clock_mhz: 633.0,
+                sustained_mflops: 87.5,
+                peak_flops_per_cycle: 1.0,
+                cpu_watts_load: 6.0,
+            },
+            mem_mb: 256,
+            disk_gb: 10,
+            nic_mbps: 100.0,
+            node_watts_load: 21.7,
+            node_watts_idle: 9.0,
+        },
+        network: NetworkSpec::fast_ethernet(),
+        packaging: PackagingKind::Bladed,
+        footprint_ft2: 6.0,
+    }
+}
+
+/// MetaBlade2: 24 × 800-MHz TM5800 with CMS 4.3.x (3.3 Gflops sustained).
+pub fn metablade2() -> ClusterSpec {
+    let mut s = metablade();
+    s.name = "MetaBlade2".into();
+    s.node.cpu = CpuSpec {
+        name: "800-MHz Transmeta TM5800".into(),
+        clock_mhz: 800.0,
+        sustained_mflops: 137.5, // 3.3 Gflops / 24
+        peak_flops_per_cycle: 1.0,
+        cpu_watts_load: 3.5, // §5: "only 3.5 watts per CPU"
+    };
+    s.node.node_watts_load = 19.0;
+    s
+}
+
+/// Green Destiny: the recently-ordered 240-node Bladed Beowulf of §4.2,
+/// ten RLX System 324 chassis in one rack footprint.
+pub fn green_destiny() -> ClusterSpec {
+    let mut s = metablade();
+    s.name = "Green Destiny".into();
+    s.nodes = 240;
+    s.footprint_ft2 = 6.0;
+    s
+}
+
+/// Avalon, the traditional Alpha Beowulf the paper compares against in
+/// Tables 6–7 (Gordon Bell price/performance winner, 1998).
+pub fn avalon() -> ClusterSpec {
+    ClusterSpec {
+        name: "Avalon".into(),
+        nodes: 140,
+        node: NodeSpec {
+            cpu: CpuSpec {
+                name: "533-MHz DEC Alpha EV56".into(),
+                clock_mhz: 533.0,
+                sustained_mflops: 128.6, // 18 Gflops / 140 CPUs (Table 6 regime)
+                peak_flops_per_cycle: 2.0,
+                cpu_watts_load: 50.0,
+            },
+            mem_mb: 256,
+            disk_gb: 3,
+            nic_mbps: 100.0,
+            node_watts_load: 128.6, // 18 kW / 140 nodes
+            node_watts_idle: 60.0,
+        },
+        network: NetworkSpec::fast_ethernet(),
+        packaging: PackagingKind::Traditional,
+        footprint_ft2: 120.0,
+    }
+}
+
+/// Loki, the 16 × Pentium Pro 200 Beowulf of the 1997 Gordon Bell
+/// price/performance prize; the paper notes the TM5600 is "about twice"
+/// its per-processor treecode performance.
+pub fn loki() -> ClusterSpec {
+    ClusterSpec {
+        name: "Loki".into(),
+        nodes: 16,
+        node: NodeSpec {
+            cpu: CpuSpec {
+                name: "200-MHz Intel Pentium Pro".into(),
+                clock_mhz: 200.0,
+                sustained_mflops: 43.8, // ≈ half the TM5600's 87.5
+                peak_flops_per_cycle: 1.0,
+                cpu_watts_load: 35.0,
+            },
+            mem_mb: 128,
+            disk_gb: 3,
+            nic_mbps: 100.0,
+            node_watts_load: 90.0,
+            node_watts_idle: 45.0,
+        },
+        network: NetworkSpec::fast_ethernet(),
+        packaging: PackagingKind::Traditional,
+        footprint_ft2: 16.0,
+    }
+}
+
+/// A traditional 24-node Pentium III Beowulf (Table 5's PIII column) —
+/// the "comparably-clocked traditional Beowulf" whose performance the
+/// paper puts at ~4/3 of MetaBlade's.
+pub fn traditional_piii() -> ClusterSpec {
+    ClusterSpec {
+        name: "PIII Beowulf".into(),
+        nodes: 24,
+        node: NodeSpec {
+            cpu: CpuSpec {
+                name: "500-MHz Intel Pentium III".into(),
+                clock_mhz: 500.0,
+                sustained_mflops: 116.7, // 4/3 × the TM5600 (§4.1: blade is 75%)
+                peak_flops_per_cycle: 1.0,
+                cpu_watts_load: 28.0,
+            },
+            mem_mb: 256,
+            disk_gb: 10,
+            nic_mbps: 100.0,
+            node_watts_load: 48.0,
+            node_watts_idle: 24.0,
+        },
+        network: NetworkSpec::fast_ethernet(),
+        packaging: PackagingKind::Traditional,
+        footprint_ft2: 20.0,
+    }
+}
+
+/// All catalog machines.
+pub fn cluster_catalog() -> Vec<ClusterSpec> {
+    vec![
+        metablade(),
+        metablade2(),
+        green_destiny(),
+        avalon(),
+        loki(),
+        traditional_piii(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metablade_peak_matches_paper() {
+        // §3.3: "With a peak rating of 15.2 Gflops".
+        let s = metablade();
+        assert!((s.peak_gflops() - 15.192).abs() < 0.01, "{}", s.peak_gflops());
+    }
+
+    #[test]
+    fn metablade_sustained_is_2_1_gflops() {
+        let s = metablade();
+        let sustained = s.nodes as f64 * s.node.cpu.sustained_mflops / 1000.0;
+        assert!((sustained - 2.1).abs() < 0.01);
+        // 2.1 / 15.2 = 14% of peak (§3.3).
+        assert!((sustained / s.peak_gflops() - 0.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn metablade_power_matches_table7_regime() {
+        let s = metablade();
+        assert!((s.load_kw() - 0.52).abs() < 0.01, "{}", s.load_kw());
+    }
+
+    #[test]
+    fn wire_time_components() {
+        let net = NetworkSpec::fast_ethernet();
+        // Zero bytes: pure latency.
+        assert!((net.wire_time(0) - 70e-6).abs() < 1e-12);
+        // 125 kB at 100 Mb/s = 10 ms per hop, two hops store-and-forward.
+        let t = net.wire_time(125_000);
+        assert!((t - (70e-6 + 0.02)).abs() < 1e-6, "{t}");
+        let cut = NetworkSpec {
+            store_and_forward: false,
+            ..net
+        };
+        assert!(cut.wire_time(125_000) < t);
+    }
+
+    #[test]
+    fn with_nodes_scales_only_count() {
+        let s = metablade().with_nodes(8);
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.node.cpu.name, metablade().node.cpu.name);
+    }
+
+    #[test]
+    fn catalog_is_self_consistent() {
+        for s in cluster_catalog() {
+            assert!(s.nodes > 0);
+            assert!(s.node.cpu.sustained_mflops > 0.0);
+            assert!(s.peak_gflops() > 0.0);
+            assert!(s.footprint_ft2 > 0.0);
+            assert!(
+                s.node.node_watts_load >= s.node.cpu.cpu_watts_load,
+                "{}: node wall power below CPU power",
+                s.name
+            );
+            assert!(s.node.node_watts_idle < s.node.node_watts_load);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Ambient → component temperature model.
+//!
+//! A simple steady-state thermal-resistance model: a component running at
+//! `watts` above an ambient of `ambient_c` settles at
+//! `ambient + θ · watts`, where θ (°C/W) encodes heatsink + airflow. The
+//! paper's operational contrast: traditional Beowulfs "in [a] typical
+//! office environment where the ambient temperature hovers around 75 °F"
+//! versus the Bladed Beowulf "in a dusty 80 °F environment" — the blades
+//! run cooler *despite* warmer ambient because each node dissipates so
+//! little.
+
+use serde::{Deserialize, Serialize};
+
+/// Convert Fahrenheit to Celsius (the paper quotes ambients in °F).
+pub fn f_to_c(f: f64) -> f64 {
+    (f - 32.0) * 5.0 / 9.0
+}
+
+/// Steady-state thermal model of one node.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Ambient temperature, °C.
+    pub ambient_c: f64,
+    /// Thermal resistance junction-to-ambient, °C per watt. Actively
+    /// cooled towers have low θ (big fans); passively cooled blades rely
+    /// on chassis convection with a moderate θ — viable only because the
+    /// TM5600 dissipates ~6 W.
+    pub theta_c_per_w: f64,
+}
+
+impl ThermalModel {
+    /// Traditional tower node: fans and heatsinks, θ ≈ 0.45 °C/W, office
+    /// ambient 75 °F.
+    pub fn traditional_office() -> Self {
+        Self {
+            ambient_c: f_to_c(75.0),
+            theta_c_per_w: 0.45,
+        }
+    }
+
+    /// Passively-cooled blade in the paper's dusty 80 °F closet,
+    /// θ ≈ 2.0 °C/W (no fans, chassis convection only).
+    pub fn blade_closet() -> Self {
+        Self {
+            ambient_c: f_to_c(80.0),
+            theta_c_per_w: 2.0,
+        }
+    }
+
+    /// Steady-state component temperature at a dissipation, °C.
+    pub fn component_temp_c(&self, watts: f64) -> f64 {
+        self.ambient_c + self.theta_c_per_w * watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fahrenheit_conversion() {
+        assert!((f_to_c(32.0)).abs() < 1e-12);
+        assert!((f_to_c(212.0) - 100.0).abs() < 1e-12);
+        assert!((f_to_c(75.0) - 23.89).abs() < 0.01);
+    }
+
+    #[test]
+    fn blade_cpu_runs_cooler_than_hot_tower_cpu_despite_warmer_ambient() {
+        // 6-W TM5600 in the 80 °F closet vs 75-W P4 in the 75 °F office.
+        let blade = ThermalModel::blade_closet().component_temp_c(6.0);
+        let p4 = ThermalModel::traditional_office().component_temp_c(75.0);
+        assert!(
+            blade < p4,
+            "TM5600 at {blade:.1} °C should run cooler than P4 at {p4:.1} °C"
+        );
+    }
+
+    #[test]
+    fn temperature_rises_linearly_with_power() {
+        let m = ThermalModel::blade_closet();
+        let t6 = m.component_temp_c(6.0);
+        let t12 = m.component_temp_c(12.0);
+        assert!((t12 - t6 - 6.0 * m.theta_c_per_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_watts_sits_at_ambient() {
+        let m = ThermalModel::traditional_office();
+        assert_eq!(m.component_temp_c(0.0), m.ambient_c);
+    }
+}

@@ -1,0 +1,119 @@
+//! Lightweight per-rank event traces for tests and ablations.
+//!
+//! The simulator itself stays trace-free for speed; SPMD jobs that want a
+//! timeline record events into a [`Tracer`] and return it from the rank
+//! closure.
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Started a compute region of the given flops.
+    Compute {
+        /// Flops charged.
+        flops: f64,
+    },
+    /// Sent a message.
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Received a message.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Entered a named phase (tree build, force walk, …).
+    Phase(&'static str),
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Virtual time, seconds.
+    pub at: f64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// An append-only event recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    events: Vec<Event>,
+}
+
+impl Tracer {
+    /// Fresh empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event at a virtual time.
+    pub fn record(&mut self, at: f64, kind: EventKind) {
+        self.events.push(Event { at, kind });
+    }
+
+    /// All events, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Duration between the first and last event.
+    pub fn span_s(&self) -> f64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.at - a.at,
+            _ => 0.0,
+        }
+    }
+
+    /// Virtual time spent between each `Phase(name)` event and the next
+    /// phase boundary (or the last event).
+    pub fn phase_time(&self, name: &str) -> f64 {
+        let mut total = 0.0;
+        let mut start: Option<f64> = None;
+        for e in &self.events {
+            if let EventKind::Phase(p) = e.kind {
+                if let Some(s) = start.take() {
+                    total += e.at - s;
+                }
+                if p == name {
+                    start = Some(e.at);
+                }
+            }
+        }
+        if let (Some(s), Some(last)) = (start, self.events.last()) {
+            total += last.at - s;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_accounting() {
+        let mut t = Tracer::new();
+        t.record(0.0, EventKind::Phase("build"));
+        t.record(1.0, EventKind::Compute { flops: 10.0 });
+        t.record(2.0, EventKind::Phase("walk"));
+        t.record(5.0, EventKind::Phase("idle"));
+        t.record(6.0, EventKind::Send { dst: 1, bytes: 8 });
+        assert!((t.phase_time("build") - 2.0).abs() < 1e-12);
+        assert!((t.phase_time("walk") - 3.0).abs() < 1e-12);
+        assert!((t.phase_time("idle") - 1.0).abs() < 1e-12);
+        assert!((t.span_s() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracer_is_zero_span() {
+        let t = Tracer::new();
+        assert_eq!(t.span_s(), 0.0);
+        assert_eq!(t.phase_time("anything"), 0.0);
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! MetaBlade core — the paper's contribution as a library.
+//!
+//! `mb-core` ties the substrates together: the cluster catalog
+//! (`mb-cluster`), the Crusoe and hardware-CPU models (`mb-crusoe`), the
+//! treecode (`mb-treecode`), the NPB kernels (`mb-npb`) and the TCO
+//! metrics (`mb-metrics`) — and exposes one driver per paper artifact:
+//!
+//! * [`experiments::table1`] — gravitational microkernel Mflops;
+//! * [`experiments::table2`] — N-body scalability on MetaBlade;
+//! * [`experiments::table3`] — NPB class-W single-CPU Mop/s;
+//! * [`experiments::table4`] — historical treecode placing;
+//! * [`experiments::table5`] / [`experiments::table6`] /
+//!   [`experiments::table7`] — TCO, performance/space, performance/power;
+//! * [`experiments::figure3`] — the N-body density image;
+//! * [`experiments::sustained_gflops`] — the §3.3 2.1-Gflops/14%-of-peak
+//!   headline run.
+//!
+//! [`history`] carries the Table 4 machine records; [`report`] renders
+//! every table in the paper's layout; [`hpl`] runs a distributed
+//! Linpack on the simulated machines (the §4 Top500 tie-in).
+
+pub mod experiments;
+pub mod history;
+pub mod hpl;
+pub mod report;

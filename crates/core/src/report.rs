@@ -1,0 +1,118 @@
+//! Render Tables 1–4 in the paper's layouts (Tables 5–7 render in
+//! `mb-metrics::report`).
+
+use crate::experiments::{Table1Row, Table2Row, Table3Row};
+use crate::history::{Provenance, TreecodeRecord};
+
+/// Table 1: "Mflop Ratings on a Gravitational Microkernel Benchmark".
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Table 1. Mflop Ratings on a Gravitational Microkernel Benchmark\n");
+    s.push_str(&format!(
+        "{:<28}{:>12}{:>12}\n",
+        "Processor", "Math sqrt", "Karp sqrt"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<28}{:>12.1}{:>12.1}\n",
+            r.cpu, r.math_mflops, r.karp_mflops
+        ));
+    }
+    s
+}
+
+/// Table 2: "Scalability of an N-body Simulation on the MetaBlade
+/// Bladed Beowulf".
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Table 2. Scalability of an N-body Simulation on the MetaBlade Bladed Beowulf\n");
+    s.push_str(&format!("{:>7}{:>14}{:>12}\n", "# CPUs", "Time (sec)", "Speed-Up"));
+    for r in rows {
+        s.push_str(&format!(
+            "{:>7}{:>14.2}{:>12.2}\n",
+            r.cpus, r.time_s, r.speedup
+        ));
+    }
+    s
+}
+
+/// Table 3: "Single Processor Performance (Mops) for Class W NPB 2.3
+/// Benchmarks".
+pub fn render_table3(rows: &[Table3Row], class: mb_npb::Class) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Table 3. Single Processor Performance (Mops) for Class {class} NPB 2.3 Benchmarks\n"
+    ));
+    s.push_str(&format!(
+        "{:<6}{:>12}{:>12}{:>12}{:>12}\n",
+        "Code", "Athlon MP", "Pentium 3", "TM5600", "Power3"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<6}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{}\n",
+            r.code,
+            r.mops[0],
+            r.mops[1],
+            r.mops[2],
+            r.mops[3],
+            if r.verified { "" } else { "   [VERIFY FAILED]" }
+        ));
+    }
+    s
+}
+
+/// Table 4: "Historical Performance of Treecode on Clusters and
+/// Supercomputers".
+pub fn render_table4(rows: &[TreecodeRecord]) -> String {
+    let mut s = String::new();
+    s.push_str("Table 4. Historical Performance of Treecode on Clusters and Supercomputers\n");
+    s.push_str(&format!(
+        "{:<26}{:>7}{:>9}{:>13}  {}\n",
+        "Machine", "CPUs", "Gflop", "Mflop/proc", "source"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<26}{:>7}{:>9.2}{:>13.1}  {}\n",
+            r.machine,
+            r.nproc,
+            r.gflops,
+            r.mflops_per_proc(),
+            match r.provenance {
+                Provenance::Recorded => "recorded",
+                Provenance::Simulated => "simulated",
+            }
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renderers_emit_headers_and_rows() {
+        let t1 = render_table1(&[Table1Row {
+            cpu: "Test CPU".into(),
+            math_mflops: 100.0,
+            karp_mflops: 150.0,
+        }]);
+        assert!(t1.contains("Math sqrt") && t1.contains("Test CPU") && t1.contains("150.0"));
+
+        let t2 = render_table2(&[Table2Row {
+            cpus: 24,
+            time_s: 1.5,
+            speedup: 18.0,
+        }]);
+        assert!(t2.contains("Speed-Up") && t2.contains("24") && t2.contains("18.00"));
+
+        let t4 = render_table4(&[TreecodeRecord {
+            machine: "Testkit".into(),
+            cpu: "x".into(),
+            nproc: 10,
+            gflops: 1.0,
+            provenance: Provenance::Simulated,
+        }]);
+        assert!(t4.contains("Testkit") && t4.contains("100.0") && t4.contains("simulated"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Disassembly and schedule visualization: human-readable listings of
+//! guest programs and of the translator's molecule packing — the
+//! debugging surface a production simulator needs.
+
+use crate::atoms::crack_block;
+use crate::isa::{Addr, Insn};
+use crate::molecule::FuClass;
+use crate::program::Program;
+use crate::schedule::{schedule_block, CoreParams};
+
+fn fmt_addr(a: &Addr) -> String {
+    let mut parts = Vec::new();
+    if let Some(b) = a.base {
+        parts.push(format!("r{}", b.0));
+    }
+    if let Some((i, s)) = a.index {
+        if s == 0 {
+            parts.push(format!("r{}", i.0));
+        } else {
+            parts.push(format!("r{}*{}", i.0, 1u64 << s));
+        }
+    }
+    if a.disp != 0 || parts.is_empty() {
+        parts.push(format!("{}", a.disp));
+    }
+    format!("[{}]", parts.join("+"))
+}
+
+/// Disassemble one instruction.
+pub fn disasm_insn(insn: &Insn) -> String {
+    use Insn::*;
+    match insn {
+        MovImm(d, v) => format!("mov    r{}, {v}", d.0),
+        Mov(d, s) => format!("mov    r{}, r{}", d.0, s.0),
+        Add(d, s) => format!("add    r{}, r{}", d.0, s.0),
+        AddImm(d, v) => format!("add    r{}, {v}", d.0),
+        Sub(d, s) => format!("sub    r{}, r{}", d.0, s.0),
+        IMul(d, s) => format!("imul   r{}, r{}", d.0, s.0),
+        And(d, s) => format!("and    r{}, r{}", d.0, s.0),
+        AndImm(d, v) => format!("and    r{}, {v:#x}", d.0),
+        Or(d, s) => format!("or     r{}, r{}", d.0, s.0),
+        Xor(d, s) => format!("xor    r{}, r{}", d.0, s.0),
+        Shl(d, k) => format!("shl    r{}, {k}", d.0),
+        Shr(d, k) => format!("shr    r{}, {k}", d.0),
+        Sar(d, k) => format!("sar    r{}, {k}", d.0),
+        Load(d, a) => format!("mov    r{}, {}", d.0, fmt_addr(a)),
+        Store(a, s) => format!("mov    {}, r{}", fmt_addr(a), s.0),
+        FLoad(d, a) => format!("movsd  f{}, {}", d.0, fmt_addr(a)),
+        FStore(a, s) => format!("movsd  {}, f{}", fmt_addr(a), s.0),
+        FMovImm(d, v) => format!("movsd  f{}, {v}", d.0),
+        FMov(d, s) => format!("movsd  f{}, f{}", d.0, s.0),
+        FAdd(d, s) => format!("addsd  f{}, f{}", d.0, s.0),
+        FSub(d, s) => format!("subsd  f{}, f{}", d.0, s.0),
+        FMul(d, s) => format!("mulsd  f{}, f{}", d.0, s.0),
+        FDiv(d, s) => format!("divsd  f{}, f{}", d.0, s.0),
+        FSqrt(d) => format!("sqrtsd f{0}, f{0}", d.0),
+        FAddMem(d, a) => format!("addsd  f{}, {}", d.0, fmt_addr(a)),
+        FMulMem(d, a) => format!("mulsd  f{}, {}", d.0, fmt_addr(a)),
+        Cvtsi2sd(d, s) => format!("cvtsi2sd f{}, r{}", d.0, s.0),
+        Cvtsd2si(d, s) => format!("cvtsd2si r{}, f{}", d.0, s.0),
+        FBits(d, s) => format!("movq   f{}, r{}", d.0, s.0),
+        IBits(d, s) => format!("movq   r{}, f{}", d.0, s.0),
+        Cmp(a, b) => format!("cmp    r{}, r{}", a.0, b.0),
+        CmpImm(a, v) => format!("cmp    r{}, {v}", a.0),
+        FCmp(a, b) => format!("comisd f{}, f{}", a.0, b.0),
+        Jcc(c, t) => format!("j{:<5} {t}", format!("{c:?}").to_lowercase()),
+        Jmp(t) => format!("jmp    {t}"),
+        Halt => "hlt".to_string(),
+    }
+}
+
+/// Disassemble a whole program with instruction indices and block-leader
+/// markers.
+pub fn disasm_program(program: &Program) -> String {
+    let leaders = program.leaders();
+    let mut out = String::new();
+    for (i, insn) in program.insns.iter().enumerate() {
+        let marker = if leaders.contains(&i) { "=>" } else { "  " };
+        out.push_str(&format!("{marker} {i:>5}: {}\n", disasm_insn(insn)));
+    }
+    out
+}
+
+/// Render the translator's molecule packing of one block: one line per
+/// cycle, atoms labeled by functional unit.
+pub fn dump_schedule(program: &Program, pc: usize, core: &CoreParams) -> String {
+    let range = program.block_at(pc);
+    let atoms = crack_block(&program.insns[range.clone()], core.crack);
+    let schedule = schedule_block(&atoms, core);
+    let mut out = format!(
+        "block {}..{} on {}: {} insns -> {} atoms in {} cycles (density {:.2})\n",
+        range.start,
+        range.end,
+        core.name,
+        range.len(),
+        schedule.n_atoms,
+        schedule.cycles,
+        schedule.packing_density()
+    );
+    for (cycle, mol) in schedule.molecules.iter().enumerate() {
+        if mol.is_empty() {
+            out.push_str(&format!("  {cycle:>4}: (stall)\n"));
+            continue;
+        }
+        let slots: Vec<String> = mol
+            .atoms
+            .iter()
+            .map(|&ai| {
+                let a = &atoms[ai];
+                format!("{}:{:?}", fu_tag(FuClass::for_op(a.kind)), a.kind)
+            })
+            .collect();
+        out.push_str(&format!("  {cycle:>4}: {}\n", slots.join("  ")));
+    }
+    out
+}
+
+fn fu_tag(f: FuClass) -> &'static str {
+    match f {
+        FuClass::Alu => "ALU",
+        FuClass::Fpu => "FPU",
+        FuClass::Mem => "MEM",
+        FuClass::Branch => "BR",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, FReg, Reg};
+    use crate::program::ProgramBuilder;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.push(Insn::MovImm(Reg(0), 4));
+        b.bind(top);
+        b.push(Insn::FLoad(FReg(0), Addr::base(Reg(0), 16)));
+        b.push(Insn::FMul(FReg(0), FReg(0)));
+        b.push(Insn::FSqrt(FReg(0)));
+        b.push(Insn::AddImm(Reg(0), -1));
+        b.push(Insn::CmpImm(Reg(0), 0));
+        b.jcc(Cond::Gt, top);
+        b.push(Insn::Halt);
+        b.finish()
+    }
+
+    #[test]
+    fn disassembly_covers_every_instruction() {
+        let p = sample();
+        let text = disasm_program(&p);
+        assert_eq!(text.lines().count(), p.len());
+        assert!(text.contains("sqrtsd f0, f0"));
+        assert!(text.contains("movsd  f0, [r0+16]"));
+        assert!(text.contains("jgt"));
+        assert!(text.contains("hlt"));
+        // Block leaders marked.
+        assert!(text.lines().next().unwrap().starts_with("=>"));
+    }
+
+    #[test]
+    fn schedule_dump_shows_cycles_and_units() {
+        let p = sample();
+        let dump = dump_schedule(&p, 1, &CoreParams::tm5600_vliw());
+        assert!(dump.contains("FPU:"), "{dump}");
+        assert!(dump.contains("ALU:"), "{dump}");
+        assert!(dump.contains("cycles"), "{dump}");
+    }
+
+    #[test]
+    fn every_insn_variant_disassembles() {
+        use Insn::*;
+        let a = Addr::indexed(Reg(1), Reg(2), 3, 5);
+        let all = vec![
+            MovImm(Reg(0), -7),
+            Mov(Reg(0), Reg(1)),
+            Add(Reg(0), Reg(1)),
+            AddImm(Reg(0), 1),
+            Sub(Reg(0), Reg(1)),
+            IMul(Reg(0), Reg(1)),
+            And(Reg(0), Reg(1)),
+            AndImm(Reg(0), 0xff),
+            Or(Reg(0), Reg(1)),
+            Xor(Reg(0), Reg(1)),
+            Shl(Reg(0), 2),
+            Shr(Reg(0), 2),
+            Sar(Reg(0), 2),
+            Load(Reg(0), a),
+            Store(a, Reg(0)),
+            FLoad(FReg(0), a),
+            FStore(a, FReg(0)),
+            FMovImm(FReg(0), 1.5),
+            FMov(FReg(0), FReg(1)),
+            FAdd(FReg(0), FReg(1)),
+            FSub(FReg(0), FReg(1)),
+            FMul(FReg(0), FReg(1)),
+            FDiv(FReg(0), FReg(1)),
+            FSqrt(FReg(0)),
+            FAddMem(FReg(0), a),
+            FMulMem(FReg(0), a),
+            Cvtsi2sd(FReg(0), Reg(0)),
+            Cvtsd2si(Reg(0), FReg(0)),
+            FBits(FReg(0), Reg(0)),
+            IBits(Reg(0), FReg(0)),
+            Cmp(Reg(0), Reg(1)),
+            CmpImm(Reg(0), 3),
+            FCmp(FReg(0), FReg(1)),
+            Jcc(Cond::Ne, 9),
+            Jmp(4),
+            Halt,
+        ];
+        for insn in all {
+            let s = disasm_insn(&insn);
+            assert!(!s.is_empty());
+        }
+        // Indexed addressing formats with scale.
+        assert!(disasm_insn(&Load(Reg(0), a)).contains("r2*8"));
+    }
+}

@@ -1,0 +1,117 @@
+//! The CMS interpreter module.
+//!
+//! "The interpreter module interprets x86 instructions one at a time,
+//! filters infrequently executed code from being needlessly optimized, and
+//! collects run-time statistical information about the x86 instruction
+//! stream to decide if optimizations are necessary" (§2.2).
+//!
+//! Interpretation is semantically identical to translated execution but
+//! costs a fixed number of VLIW cycles per guest instruction (the decode /
+//! dispatch / bookkeeping loop of the interpreter itself).
+
+use crate::isa::{Insn, MachineState, MemFault, Step};
+
+/// Result of interpreting one basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpResult {
+    /// Guest instructions interpreted.
+    pub insns: u64,
+    /// VLIW cycles charged.
+    pub cycles: u64,
+    /// Where control goes next (`None` after `Halt`).
+    pub next_pc: Option<usize>,
+}
+
+/// Interpret the straight-line block `insns[start..end]`, charging
+/// `cycles_per_insn` for every guest instruction executed.
+///
+/// The block may exit early only through its final control instruction;
+/// non-control instructions always fall through.
+pub fn interpret_block(
+    state: &mut MachineState,
+    insns: &[Insn],
+    start: usize,
+    end: usize,
+    cycles_per_insn: u64,
+) -> Result<InterpResult, MemFault> {
+    let mut executed = 0u64;
+    let mut pc = start;
+    while pc < end {
+        let step = state.execute(&insns[pc])?;
+        executed += 1;
+        match step {
+            Step::Next => pc += 1,
+            Step::Jump(t) => {
+                return Ok(InterpResult {
+                    insns: executed,
+                    cycles: executed * cycles_per_insn,
+                    next_pc: Some(t),
+                })
+            }
+            Step::Halted => {
+                return Ok(InterpResult {
+                    insns: executed,
+                    cycles: executed * cycles_per_insn,
+                    next_pc: None,
+                })
+            }
+        }
+    }
+    Ok(InterpResult {
+        insns: executed,
+        cycles: executed * cycles_per_insn,
+        next_pc: Some(end),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Reg};
+
+    #[test]
+    fn straight_line_block_falls_through() {
+        let insns = vec![
+            Insn::MovImm(Reg(0), 3),
+            Insn::AddImm(Reg(0), 4),
+            Insn::MovImm(Reg(1), 1),
+        ];
+        let mut st = MachineState::new(4);
+        let r = interpret_block(&mut st, &insns, 0, 2, 20).unwrap();
+        assert_eq!(r.insns, 2);
+        assert_eq!(r.cycles, 40);
+        assert_eq!(r.next_pc, Some(2));
+        assert_eq!(st.regs[0], 7);
+        assert_eq!(st.regs[1], 0, "instruction beyond block not executed");
+    }
+
+    #[test]
+    fn taken_branch_reports_target() {
+        let insns = vec![
+            Insn::CmpImm(Reg(0), 0),
+            Insn::Jcc(Cond::Eq, 5),
+            Insn::MovImm(Reg(1), 9),
+        ];
+        let mut st = MachineState::new(4);
+        let r = interpret_block(&mut st, &insns, 0, 2, 10).unwrap();
+        assert_eq!(r.next_pc, Some(5));
+        assert_eq!(r.insns, 2);
+    }
+
+    #[test]
+    fn untaken_branch_falls_through() {
+        let insns = vec![Insn::CmpImm(Reg(0), 1), Insn::Jcc(Cond::Eq, 5)];
+        let mut st = MachineState::new(4);
+        let r = interpret_block(&mut st, &insns, 0, 2, 10).unwrap();
+        assert_eq!(r.next_pc, Some(2));
+    }
+
+    #[test]
+    fn halt_ends_execution() {
+        let insns = vec![Insn::Halt];
+        let mut st = MachineState::new(4);
+        let r = interpret_block(&mut st, &insns, 0, 1, 10).unwrap();
+        assert_eq!(r.next_pc, None);
+        assert!(st.halted);
+    }
+}

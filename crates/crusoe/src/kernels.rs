@@ -1,0 +1,391 @@
+//! The gravitational microkernel as guest-ISA programs — the workload of
+//! the paper's Table 1.
+//!
+//! Both variants compute exactly the same accelerations as the native
+//! implementation in `mb-microkernel` (same operation order, so results
+//! agree to rounding), looping `sweeps` times over `n` source particles:
+//!
+//! * **Math sqrt** — `rinv = 1 / sqrt(r²)` with the guest `FSqrt`/`FDiv`
+//!   instructions (which CMS/EV56 expand in software — the very effect
+//!   Table 1 probes);
+//! * **Karp sqrt** — IEEE-754 range reduction with integer bit surgery,
+//!   table lookup + Chebyshev interpolation, two Newton–Raphson steps,
+//!   all adds/multiplies.
+//!
+//! Guest memory layout (word addresses): a small scalar/constant block,
+//! the Karp coefficient table, then the four source arrays.
+
+use mb_microkernel::karp::SEGMENTS;
+use mb_microkernel::{KarpTable, MicrokernelInput, FLOPS_PER_INTERACTION};
+
+use crate::isa::{Addr, Cond, FReg, Insn, MachineState, Reg};
+use crate::program::{Program, ProgramBuilder};
+
+/// Which Table 1 column to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicrokernelVariant {
+    /// `1/sqrt` via `FSqrt` + `FDiv`.
+    MathSqrt,
+    /// Karp's algorithm (table + Chebyshev + Newton–Raphson).
+    KarpSqrt,
+}
+
+impl MicrokernelVariant {
+    /// Paper column heading.
+    pub fn label(self) -> &'static str {
+        match self {
+            MicrokernelVariant::MathSqrt => "Math sqrt",
+            MicrokernelVariant::KarpSqrt => "Karp sqrt",
+        }
+    }
+}
+
+// ---- memory layout (word addresses) ----
+const EPS2: i64 = 2;
+const NEGPX: i64 = 3;
+const NEGPY: i64 = 4;
+const NEGPZ: i64 = 5;
+const AX: i64 = 6;
+const AY: i64 = 7;
+const AZ: i64 = 8;
+const ONE: i64 = 9;
+const HALF: i64 = 10;
+const THREE: i64 = 11;
+const INVWIDTH: i64 = 12;
+const KTAB: i64 = 16;
+const ARRAYS: i64 = KTAB + 3 * SEGMENTS as i64;
+
+/// A built microkernel guest program plus everything needed to set up and
+/// read back its state.
+#[derive(Debug, Clone)]
+pub struct MicrokernelProgram {
+    /// The assembled guest program.
+    pub program: Program,
+    /// Which variant was built.
+    pub variant: MicrokernelVariant,
+    /// Source count.
+    pub n: usize,
+    /// Sweep count.
+    pub sweeps: usize,
+}
+
+impl MicrokernelProgram {
+    /// Guest words of memory the program needs.
+    pub fn mem_words(&self) -> usize {
+        (ARRAYS as usize) + 4 * self.n
+    }
+
+    /// Useful flops credited to a full run (the paper's Mflops numerator).
+    pub fn useful_flops(&self) -> u64 {
+        (self.n * self.sweeps) as u64 * FLOPS_PER_INTERACTION
+    }
+
+    /// Build the initial machine state for an input batch.
+    ///
+    /// Panics if `input.len() != self.n`.
+    pub fn setup_state(&self, input: &MicrokernelInput) -> MachineState {
+        assert_eq!(input.len(), self.n, "input size must match program");
+        let mut st = MachineState::new(self.mem_words());
+        st.poke_f64(EPS2 as usize, input.eps2);
+        st.poke_f64(NEGPX as usize, -input.probe[0]);
+        st.poke_f64(NEGPY as usize, -input.probe[1]);
+        st.poke_f64(NEGPZ as usize, -input.probe[2]);
+        st.poke_f64(ONE as usize, 1.0);
+        st.poke_f64(HALF as usize, 0.5);
+        st.poke_f64(THREE as usize, 3.0);
+        st.poke_f64(INVWIDTH as usize, SEGMENTS as f64 / 3.0);
+        let table = KarpTable::new();
+        for (i, (c0, c1, c2)) in table.coefficients().into_iter().enumerate() {
+            st.poke_f64((KTAB + 3 * i as i64) as usize, c0);
+            st.poke_f64((KTAB + 3 * i as i64 + 1) as usize, c1);
+            st.poke_f64((KTAB + 3 * i as i64 + 2) as usize, c2);
+        }
+        let n = self.n as i64;
+        for (i, (p, &m)) in input.src.iter().zip(&input.mass).enumerate() {
+            let i = i as i64;
+            st.poke_f64((ARRAYS + i) as usize, p[0]);
+            st.poke_f64((ARRAYS + n + i) as usize, p[1]);
+            st.poke_f64((ARRAYS + 2 * n + i) as usize, p[2]);
+            st.poke_f64((ARRAYS + 3 * n + i) as usize, m);
+        }
+        st
+    }
+
+    /// Read the accumulated acceleration after a run.
+    pub fn read_accel(&self, st: &MachineState) -> [f64; 3] {
+        [
+            st.peek_f64(AX as usize),
+            st.peek_f64(AY as usize),
+            st.peek_f64(AZ as usize),
+        ]
+    }
+}
+
+/// Emit the Karp reciprocal-square-root sequence: `f5 ← 1/sqrt(f3)`,
+/// clobbering `f4..f8` and `r4..r12`.
+fn emit_karp_rsqrt(b: &mut ProgramBuilder) {
+    use Insn::*;
+    let f = FReg;
+    let r = Reg;
+    // --- range reduction: f3 = m · 4^k ---
+    b.push(IBits(r(4), f(3))); // bits
+    b.push(Mov(r(5), r(4)));
+    b.push(Shr(r(5), 52));
+    b.push(AndImm(r(5), 0x7ff));
+    b.push(AddImm(r(5), -1023)); // e
+    b.push(Mov(r(6), r(5)));
+    b.push(Sar(r(6), 1)); // k = e >> 1
+    b.push(AndImm(r(5), 1)); // odd
+    b.push(Mov(r(7), r(4)));
+    b.push(MovImm(r(8), 0x000f_ffff_ffff_ffff));
+    b.push(And(r(7), r(8)));
+    b.push(Mov(r(9), r(5)));
+    b.push(AddImm(r(9), 1023));
+    b.push(Shl(r(9), 52));
+    b.push(Or(r(7), r(9)));
+    b.push(FBits(f(4), r(7))); // m ∈ [1,4)
+    // --- table lookup + Chebyshev (constants live in f9/f13/f14/f15) ---
+    b.push(FMov(f(5), f(4)));
+    b.push(FSub(f(5), f(13))); // m − 1
+    b.push(FMul(f(5), f(9))); // pos = (m−1)·SEGMENTS/3
+    b.push(Cvtsd2si(r(10), f(5))); // idx (truncate)
+    b.push(Cvtsi2sd(f(6), r(10)));
+    b.push(FSub(f(5), f(6))); // frac
+    b.push(FAdd(f(5), f(5))); // 2·frac
+    b.push(FSub(f(5), f(13))); // t ∈ [−1,1]
+    b.push(Mov(r(11), r(10)));
+    b.push(Shl(r(11), 1));
+    b.push(Add(r(11), r(10))); // 3·idx
+    b.push(FLoad(f(6), Addr::base(r(11), KTAB + 2))); // c2 at [3·idx + KTAB + 2]
+    b.push(FMul(f(6), f(5))); // c2·t
+    b.push(FAddMem(f(6), Addr::base(r(11), KTAB + 1))); // + c1
+    b.push(FMul(f(6), f(5))); // ·t
+    b.push(FAddMem(f(6), Addr::base(r(11), KTAB))); // + c0 → y
+    // --- two Newton–Raphson steps: y ← y·(3 − m·y²)·0.5 ---
+    for _ in 0..2 {
+        b.push(FMov(f(7), f(6)));
+        b.push(FMul(f(7), f(6))); // y²
+        b.push(FMul(f(7), f(4))); // m·y²
+        b.push(FMov(f(8), f(14)));
+        b.push(FSub(f(8), f(7))); // 3 − m·y²
+        b.push(FMul(f(6), f(8)));
+        b.push(FMul(f(6), f(15))); // × 0.5
+    }
+    // --- undo range reduction: × 2^(−k) ---
+    b.push(MovImm(r(12), 1023));
+    b.push(Sub(r(12), r(6)));
+    b.push(Shl(r(12), 52));
+    b.push(FBits(f(7), r(12)));
+    b.push(FMul(f(6), f(7)));
+    b.push(FMov(f(5), f(6))); // rinv → f5
+}
+
+/// Build the microkernel guest program for `n` sources and `sweeps`
+/// sweeps (the paper uses 500 sweeps).
+pub fn build_microkernel(
+    variant: MicrokernelVariant,
+    n: usize,
+    sweeps: usize,
+) -> MicrokernelProgram {
+    assert!(n > 0 && sweeps > 0, "empty microkernel");
+    use Insn::*;
+    let f = FReg;
+    let r = Reg;
+    let n_i = n as i64;
+    let mut b = ProgramBuilder::new();
+    // r0 = i, r1 = n, r2 = remaining sweeps.
+    b.push(MovImm(r(1), n_i));
+    b.push(MovImm(r(2), sweeps as i64));
+    b.push(FMovImm(f(10), 0.0)); // ax
+    b.push(FMovImm(f(11), 0.0)); // ay
+    b.push(FMovImm(f(12), 0.0)); // az
+    // Loop-invariant constants, hoisted into the registers the paper's
+    // hand-optimized kernels would use.
+    b.push(FLoad(f(9), Addr::abs(INVWIDTH)));
+    b.push(FLoad(f(13), Addr::abs(ONE)));
+    b.push(FLoad(f(14), Addr::abs(THREE)));
+    b.push(FLoad(f(15), Addr::abs(HALF)));
+    let sweep_top = b.label();
+    b.bind(sweep_top);
+    b.push(MovImm(r(0), 0));
+    let i_top = b.label();
+    b.bind(i_top);
+    // dx, dy, dz
+    b.push(FLoad(f(0), Addr::base(r(0), ARRAYS)));
+    b.push(FAddMem(f(0), Addr::abs(NEGPX)));
+    b.push(FLoad(f(1), Addr::base(r(0), ARRAYS + n_i)));
+    b.push(FAddMem(f(1), Addr::abs(NEGPY)));
+    b.push(FLoad(f(2), Addr::base(r(0), ARRAYS + 2 * n_i)));
+    b.push(FAddMem(f(2), Addr::abs(NEGPZ)));
+    // r² = dx² + dy² + dz² + eps²
+    b.push(FMov(f(3), f(0)));
+    b.push(FMul(f(3), f(0)));
+    b.push(FMov(f(4), f(1)));
+    b.push(FMul(f(4), f(1)));
+    b.push(FAdd(f(3), f(4)));
+    b.push(FMov(f(4), f(2)));
+    b.push(FMul(f(4), f(2)));
+    b.push(FAdd(f(3), f(4)));
+    b.push(FAddMem(f(3), Addr::abs(EPS2)));
+    // rinv → f5
+    match variant {
+        MicrokernelVariant::MathSqrt => {
+            b.push(FMov(f(4), f(3)));
+            b.push(FSqrt(f(4)));
+            b.push(FMov(f(5), f(13)));
+            b.push(FDiv(f(5), f(4)));
+        }
+        MicrokernelVariant::KarpSqrt => emit_karp_rsqrt(&mut b),
+    }
+    // s = m · rinv³
+    b.push(FMov(f(4), f(5)));
+    b.push(FMul(f(4), f(5)));
+    b.push(FMul(f(4), f(5)));
+    b.push(FMulMem(f(4), Addr::base(r(0), ARRAYS + 3 * n_i)));
+    // accumulate
+    b.push(FMov(f(6), f(4)));
+    b.push(FMul(f(6), f(0)));
+    b.push(FAdd(f(10), f(6)));
+    b.push(FMov(f(6), f(4)));
+    b.push(FMul(f(6), f(1)));
+    b.push(FAdd(f(11), f(6)));
+    b.push(FMov(f(6), f(4)));
+    b.push(FMul(f(6), f(2)));
+    b.push(FAdd(f(12), f(6)));
+    // i++, inner loop
+    b.push(AddImm(r(0), 1));
+    b.push(Cmp(r(0), r(1)));
+    b.jcc(Cond::Lt, i_top);
+    // sweep--, outer loop
+    b.push(AddImm(r(2), -1));
+    b.push(CmpImm(r(2), 0));
+    b.jcc(Cond::Gt, sweep_top);
+    // store results
+    b.push(FStore(Addr::abs(AX), f(10)));
+    b.push(FStore(Addr::abs(AY), f(11)));
+    b.push(FStore(Addr::abs(AZ), f(12)));
+    b.push(Halt);
+    MicrokernelProgram {
+        program: b.finish(),
+        variant,
+        n,
+        sweeps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cms::{Cms, CmsConfig};
+    use crate::hardware::hardware_catalog;
+    use mb_microkernel::{accel_kernel, RsqrtMethod};
+
+    fn native_result(input: &MicrokernelInput, sweeps: usize, v: MicrokernelVariant) -> [f64; 3] {
+        let method = match v {
+            MicrokernelVariant::MathSqrt => RsqrtMethod::MathSqrt,
+            MicrokernelVariant::KarpSqrt => RsqrtMethod::KarpSqrt,
+        };
+        accel_kernel(input, sweeps, method).accel
+    }
+
+    fn assert_close(a: [f64; 3], b: [f64; 3], tol: f64, what: &str) {
+        for i in 0..3 {
+            let denom = b[i].abs().max(1.0);
+            assert!(
+                ((a[i] - b[i]) / denom).abs() < tol,
+                "{what} axis {i}: {} vs {}",
+                a[i],
+                b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn math_variant_matches_native_on_cms() {
+        let input = MicrokernelInput::generate(24);
+        let mk = build_microkernel(MicrokernelVariant::MathSqrt, 24, 3);
+        let mut st = mk.setup_state(&input);
+        let mut cms = Cms::new(CmsConfig::metablade());
+        cms.run(&mk.program, &mut st).unwrap();
+        assert_close(
+            mk.read_accel(&st),
+            native_result(&input, 3, MicrokernelVariant::MathSqrt),
+            1e-13,
+            "math/cms",
+        );
+    }
+
+    #[test]
+    fn karp_variant_matches_native_on_cms() {
+        let input = MicrokernelInput::generate(24);
+        let mk = build_microkernel(MicrokernelVariant::KarpSqrt, 24, 3);
+        let mut st = mk.setup_state(&input);
+        let mut cms = Cms::new(CmsConfig::metablade());
+        cms.run(&mk.program, &mut st).unwrap();
+        assert_close(
+            mk.read_accel(&st),
+            native_result(&input, 3, MicrokernelVariant::KarpSqrt),
+            1e-12,
+            "karp/cms",
+        );
+    }
+
+    #[test]
+    fn both_variants_agree_with_each_other_on_hardware_models() {
+        let input = MicrokernelInput::generate(16);
+        for cpu in hardware_catalog() {
+            let mut results = Vec::new();
+            for v in [MicrokernelVariant::MathSqrt, MicrokernelVariant::KarpSqrt] {
+                let mk = build_microkernel(v, 16, 2);
+                let mut st = mk.setup_state(&input);
+                cpu.run(&mk.program, &mut st).unwrap();
+                results.push(mk.read_accel(&st));
+            }
+            assert_close(results[0], results[1], 1e-12, cpu.params.name);
+        }
+    }
+
+    #[test]
+    fn hot_microkernel_is_translated_on_cms() {
+        let input = MicrokernelInput::generate(8);
+        let mk = build_microkernel(MicrokernelVariant::MathSqrt, 8, 100);
+        let mut st = mk.setup_state(&input);
+        let mut cms = Cms::new(CmsConfig::metablade());
+        let stats = cms.run(&mk.program, &mut st).unwrap();
+        assert!(stats.translations >= 1);
+        assert!(stats.translated_fraction() > 0.8);
+    }
+
+    #[test]
+    fn karp_beats_math_in_steady_state_where_sqrt_is_software() {
+        // On the Crusoe (software sqrt, long blocking divide), Karp's
+        // all-mul/add pipeline wins per interaction once the one-time
+        // translation cost has been amortized — measure with a warm
+        // translation cache, as Table 1's 500-sweep loop does.
+        let input = MicrokernelInput::generate(32);
+        let mut cycles = Vec::new();
+        for v in [MicrokernelVariant::MathSqrt, MicrokernelVariant::KarpSqrt] {
+            let mk = build_microkernel(v, 32, 50);
+            let mut cms = Cms::new(CmsConfig::metablade());
+            let mut warm = mk.setup_state(&input);
+            cms.run(&mk.program, &mut warm).unwrap();
+            let mut st = mk.setup_state(&input);
+            let stats = cms.run(&mk.program, &mut st).unwrap();
+            assert!(stats.translations == 0, "{v:?}: cache should be warm");
+            cycles.push(stats.total_cycles);
+        }
+        assert!(
+            cycles[1] < cycles[0],
+            "karp {} !< math {}",
+            cycles[1],
+            cycles[0]
+        );
+    }
+
+    #[test]
+    fn useful_flops_accounting() {
+        let mk = build_microkernel(MicrokernelVariant::KarpSqrt, 10, 7);
+        assert_eq!(mk.useful_flops(), 70 * FLOPS_PER_INTERACTION);
+    }
+}
+

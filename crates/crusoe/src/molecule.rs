@@ -1,0 +1,172 @@
+//! Molecules, atoms' operation kinds, and functional-unit classes.
+//!
+//! "In Transmeta's terminology, the Crusoe processor's VLIW [instruction]
+//! is called a *molecule*. Each molecule can be 64 bits or 128 bits long
+//! and can contain up to four RISC-like instructions called *atoms*, which
+//! are executed in parallel. The format of the molecule directly determines
+//! how atoms get routed to functional units" (§2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The operation performed by one atom. Latency and functional-unit
+/// routing are properties of the *target core*, not of the atom itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Simple integer ALU op (add/sub/logic/shift/compare/move).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// FP add/subtract.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// Fused multiply–add (produced by the fusion peephole on cores with
+    /// FMA datapaths, e.g. the IBM Power3).
+    FpFma,
+    /// FP divide.
+    FpDiv,
+    /// FP square root (only on cores with a hardware sqrt).
+    FpSqrt,
+    /// FP register move / bit-pattern move / int↔fp conversion.
+    FpMov,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Branch (conditional or not).
+    Branch,
+}
+
+impl OpKind {
+    /// Number of distinct operation kinds (for count arrays).
+    pub const COUNT: usize = 11;
+
+    /// Dense index of this kind, `0..COUNT` (for count arrays).
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::IntAlu => 0,
+            OpKind::IntMul => 1,
+            OpKind::FpAdd => 2,
+            OpKind::FpMul => 3,
+            OpKind::FpFma => 4,
+            OpKind::FpDiv => 5,
+            OpKind::FpSqrt => 6,
+            OpKind::FpMov => 7,
+            OpKind::Load => 8,
+            OpKind::Store => 9,
+            OpKind::Branch => 10,
+        }
+    }
+
+    /// True for kinds that execute on the floating-point unit.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpKind::FpAdd
+                | OpKind::FpMul
+                | OpKind::FpFma
+                | OpKind::FpDiv
+                | OpKind::FpSqrt
+                | OpKind::FpMov
+        )
+    }
+}
+
+/// Functional-unit classes of the Crusoe VLIW engine (§2.1: "two integer
+/// units, a floating-point unit, a memory (load/store) unit, and a branch
+/// unit").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Integer ALU (Crusoe has two; each is a 7-stage pipeline).
+    Alu,
+    /// Floating-point unit (10-stage pipeline).
+    Fpu,
+    /// Load/store unit.
+    Mem,
+    /// Branch unit.
+    Branch,
+}
+
+impl FuClass {
+    /// Default routing of an operation kind to a unit class.
+    pub fn for_op(kind: OpKind) -> FuClass {
+        match kind {
+            OpKind::IntAlu | OpKind::IntMul => FuClass::Alu,
+            OpKind::FpAdd
+            | OpKind::FpMul
+            | OpKind::FpFma
+            | OpKind::FpDiv
+            | OpKind::FpSqrt
+            | OpKind::FpMov => FuClass::Fpu,
+            OpKind::Load | OpKind::Store => FuClass::Mem,
+            OpKind::Branch => FuClass::Branch,
+        }
+    }
+}
+
+/// A scheduled molecule: the atoms issued together in one VLIW cycle.
+///
+/// A molecule holding one or two atoms is encoded in the short 64-bit
+/// format; three or four atoms use the 128-bit format. This matters for
+/// code size in the translation cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Molecule {
+    /// Indices (into the block's atom list) of the atoms in this molecule.
+    pub atoms: Vec<usize>,
+}
+
+impl Molecule {
+    /// Max atoms per molecule.
+    pub const MAX_ATOMS: usize = 4;
+
+    /// Encoded size in bits: 64 for ≤2 atoms, 128 for 3–4.
+    pub fn bits(&self) -> u32 {
+        if self.atoms.len() <= 2 {
+            64
+        } else {
+            128
+        }
+    }
+
+    /// True when no atom has been placed in this cycle (an empty molecule
+    /// is a stall cycle and encodes as a 64-bit no-op).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn molecule_format_by_occupancy() {
+        let mut m = Molecule::default();
+        assert!(m.is_empty());
+        assert_eq!(m.bits(), 64);
+        m.atoms = vec![0, 1];
+        assert_eq!(m.bits(), 64);
+        m.atoms = vec![0, 1, 2];
+        assert_eq!(m.bits(), 128);
+        m.atoms = vec![0, 1, 2, 3];
+        assert_eq!(m.bits(), 128);
+    }
+
+    #[test]
+    fn op_routing_covers_all_kinds() {
+        assert_eq!(FuClass::for_op(OpKind::IntAlu), FuClass::Alu);
+        assert_eq!(FuClass::for_op(OpKind::IntMul), FuClass::Alu);
+        assert_eq!(FuClass::for_op(OpKind::FpFma), FuClass::Fpu);
+        assert_eq!(FuClass::for_op(OpKind::Load), FuClass::Mem);
+        assert_eq!(FuClass::for_op(OpKind::Store), FuClass::Mem);
+        assert_eq!(FuClass::for_op(OpKind::Branch), FuClass::Branch);
+    }
+
+    #[test]
+    fn fp_predicate() {
+        assert!(OpKind::FpSqrt.is_fp());
+        assert!(OpKind::FpMov.is_fp());
+        assert!(!OpKind::Load.is_fp());
+        assert!(!OpKind::IntMul.is_fp());
+    }
+}

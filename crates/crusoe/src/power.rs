@@ -1,0 +1,174 @@
+//! Energy and power model for the Crusoe, including LongRun-style DVFS.
+//!
+//! §2.1: "At load, the Transmeta TM5600 and Pentium 4 CPUs generate
+//! approximately 6 and 75 watts, respectively, while an Intel IA-64
+//! generates over 130 watts!" The model charges per-atom energies plus a
+//! leakage/clock-tree floor per cycle, calibrated so the TM5600 running a
+//! dense FP workload at 633 MHz dissipates ≈ 6 W. LongRun scales
+//! frequency and voltage together, so power falls roughly with f·V².
+
+use crate::molecule::OpKind;
+
+/// Per-atom switching energies (nanojoules) and static floor.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    /// Energy per integer ALU / branch atom, nJ.
+    pub nj_int: f64,
+    /// Energy per FP atom, nJ.
+    pub nj_fp: f64,
+    /// Energy per memory atom (L1 access), nJ.
+    pub nj_mem: f64,
+    /// Static + clock-tree power floor at nominal frequency/voltage, W.
+    pub idle_watts: f64,
+}
+
+impl EnergyModel {
+    /// Calibrated TM5600 model: ~6 W running the translated gravity
+    /// kernel at 633 MHz, ~1-W idle floor. The per-atom energies are
+    /// *effective* values — they fold in the CMS bookkeeping work
+    /// (condition codes, commit, chaining) that accompanies each
+    /// architected atom, which is why they exceed raw datapath energies.
+    pub fn tm5600() -> Self {
+        EnergyModel {
+            nj_int: 5.0,
+            nj_fp: 14.0,
+            nj_mem: 10.0,
+            idle_watts: 1.0,
+        }
+    }
+
+    /// nJ for one atom of the given kind.
+    pub fn atom_nj(&self, kind: OpKind) -> f64 {
+        match kind {
+            OpKind::IntAlu | OpKind::IntMul | OpKind::Branch => self.nj_int,
+            OpKind::Load | OpKind::Store => self.nj_mem,
+            _ => self.nj_fp,
+        }
+    }
+
+    /// Total energy in joules for a run: per-atom switching energy plus
+    /// the static floor integrated over the elapsed cycles.
+    pub fn energy_joules(
+        &self,
+        atom_counts: &[u64; OpKind::COUNT],
+        cycles: u64,
+        clock_mhz: f64,
+    ) -> f64 {
+        let kinds = [
+            OpKind::IntAlu,
+            OpKind::IntMul,
+            OpKind::FpAdd,
+            OpKind::FpMul,
+            OpKind::FpFma,
+            OpKind::FpDiv,
+            OpKind::FpSqrt,
+            OpKind::FpMov,
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::Branch,
+        ];
+        let switching: f64 = kinds
+            .iter()
+            .map(|&k| atom_counts[k.index()] as f64 * self.atom_nj(k) * 1e-9)
+            .sum();
+        let seconds = cycles as f64 / (clock_mhz * 1e6);
+        switching + self.idle_watts * seconds
+    }
+
+    /// Average watts over a run.
+    pub fn average_watts(
+        &self,
+        atom_counts: &[u64; OpKind::COUNT],
+        cycles: u64,
+        clock_mhz: f64,
+    ) -> f64 {
+        let seconds = cycles as f64 / (clock_mhz * 1e6);
+        if seconds == 0.0 {
+            return 0.0;
+        }
+        self.energy_joules(atom_counts, cycles, clock_mhz) / seconds
+    }
+}
+
+/// One LongRun operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LongRunState {
+    /// Core frequency, MHz.
+    pub mhz: f64,
+    /// Core voltage, volts.
+    pub volts: f64,
+}
+
+/// The TM5600 LongRun ladder (300–633 MHz, 1.2–1.6 V — the published
+/// TM5600 envelope).
+pub fn tm5600_longrun_states() -> Vec<LongRunState> {
+    vec![
+        LongRunState { mhz: 300.0, volts: 1.20 },
+        LongRunState { mhz: 400.0, volts: 1.30 },
+        LongRunState { mhz: 500.0, volts: 1.40 },
+        LongRunState { mhz: 567.0, volts: 1.50 },
+        LongRunState { mhz: 633.0, volts: 1.60 },
+    ]
+}
+
+/// Power at an operating point relative to full speed: P ∝ f·V².
+pub fn longrun_power_watts(full_power_watts: f64, state: LongRunState, full: LongRunState) -> f64 {
+    full_power_watts * (state.mhz / full.mhz) * (state.volts / full.volts).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_load_is_about_six_watts() {
+        // The translated microkernel's steady-state mix (measured by the
+        // CMS simulator): ~0.9 atoms per cycle, FP-heavy.
+        let m = EnergyModel::tm5600();
+        let cycles = 1_000_000u64;
+        let mut counts = [0u64; OpKind::COUNT];
+        counts[OpKind::FpMul.index()] = 300_000;
+        counts[OpKind::FpAdd.index()] = 150_000;
+        counts[OpKind::IntAlu.index()] = 250_000;
+        counts[OpKind::Load.index()] = 150_000;
+        counts[OpKind::Branch.index()] = 20_000;
+        let w = m.average_watts(&counts, cycles, 633.0);
+        assert!(
+            (4.0..8.0).contains(&w),
+            "TM5600 at load should be ≈6 W, got {w:.2}"
+        );
+    }
+
+    #[test]
+    fn idle_floor_dominates_empty_run() {
+        let m = EnergyModel::tm5600();
+        let counts = [0u64; OpKind::COUNT];
+        let w = m.average_watts(&counts, 1_000_000, 633.0);
+        assert!((w - m.idle_watts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_zero_watts() {
+        let m = EnergyModel::tm5600();
+        let counts = [0u64; OpKind::COUNT];
+        assert_eq!(m.average_watts(&counts, 0, 633.0), 0.0);
+    }
+
+    #[test]
+    fn longrun_scales_power_down_superlinearly() {
+        let states = tm5600_longrun_states();
+        let full = *states.last().unwrap();
+        let slow = states[0];
+        let p = longrun_power_watts(6.0, slow, full);
+        // 300/633 × (1.2/1.6)² ≈ 0.267 ⇒ ~1.6 W.
+        assert!((1.3..1.9).contains(&p), "got {p}");
+        // Monotone along the ladder.
+        let mut prev = 0.0;
+        for s in &states {
+            let w = longrun_power_watts(6.0, *s, full);
+            assert!(w > prev);
+            prev = w;
+        }
+        assert!((longrun_power_watts(6.0, full, full) - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! The paper's cost catalog: five comparably-equipped 24-node clusters
+//! (Table 5), each node with a 500–650 MHz CPU (the P4 is the 1.3-GHz
+//! exception), 256-MB memory and a 10-GB disk.
+//!
+//! Wall powers for the traditional clusters are back-derived from the
+//! paper's own power-cost rows ($11K ⇒ ~85 W/node for Alpha and P4; $6K ⇒
+//! ~48 W/node for Athlon and PIII, all with the 1.5× cooling multiplier);
+//! the blade node is 21.7 W at the wall (6-W TM5600 CPU + memory/disk/NIC +
+//! chassis share), matching the 0.52-kW cluster figure used in Table 7.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tco::{DowntimeModel, SysAdminModel, TcoInputs};
+
+/// The five cluster families of Table 5, in the paper's column order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterFamily {
+    /// 24 × 533-MHz Compaq/DEC Alpha (EV56-class) nodes.
+    Alpha,
+    /// 24 × AMD Athlon nodes.
+    Athlon,
+    /// 24 × 500-MHz Intel Pentium III nodes.
+    PentiumIII,
+    /// 24 × 1.3-GHz Intel Pentium 4 nodes (no slower P4 existed).
+    Pentium4,
+    /// 24 × 633-MHz Transmeta TM5600 RLX ServerBlades (the Bladed Beowulf).
+    Tm5600,
+}
+
+impl ClusterFamily {
+    /// All families in Table 5 column order.
+    pub const ALL: [ClusterFamily; 5] = [
+        ClusterFamily::Alpha,
+        ClusterFamily::Athlon,
+        ClusterFamily::PentiumIII,
+        ClusterFamily::Pentium4,
+        ClusterFamily::Tm5600,
+    ];
+
+    /// Paper column heading.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterFamily::Alpha => "Alpha",
+            ClusterFamily::Athlon => "Athlon",
+            ClusterFamily::PentiumIII => "PIII",
+            ClusterFamily::Pentium4 => "P4",
+            ClusterFamily::Tm5600 => "TM5600",
+        }
+    }
+
+    /// Whether this is the Bladed Beowulf (passive cooling, hot-swap
+    /// blades, bundled management software).
+    pub fn is_bladed(self) -> bool {
+        matches!(self, ClusterFamily::Tm5600)
+    }
+}
+
+/// Cost profile for one cluster family, plus the paper's published Table 5
+/// row (in thousands of dollars, as printed) for regression checking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterCostProfile {
+    /// Which family this is.
+    pub family: ClusterFamily,
+    /// First-principles TCO inputs.
+    pub inputs: TcoInputs,
+    /// The paper's printed Table 5 row: [acquisition, sysadmin,
+    /// power+cooling, space, downtime, TCO], all in $K as printed.
+    pub paper_row_k: [f64; 6],
+}
+
+/// Build the full Table 5 catalog (24 nodes each).
+pub fn cluster_cost_catalog() -> Vec<ClusterCostProfile> {
+    let traditional = |name: &str, hw: f64, watts: f64| TcoInputs {
+        name: name.to_string(),
+        n_nodes: 24,
+        hardware_cost: hw,
+        software_cost: 0.0,
+        node_watts_load: watts,
+        active_cooling: true,
+        footprint_ft2: 20.0,
+        sysadmin: SysAdminModel::traditional(),
+        downtime: DowntimeModel::traditional(),
+    };
+    vec![
+        ClusterCostProfile {
+            family: ClusterFamily::Alpha,
+            inputs: traditional("Alpha", 17_000.0, 85.0),
+            paper_row_k: [17.0, 60.0, 11.0, 8.0, 12.0, 108.0],
+        },
+        ClusterCostProfile {
+            family: ClusterFamily::Athlon,
+            inputs: traditional("Athlon", 15_000.0, 48.0),
+            paper_row_k: [15.0, 60.0, 6.0, 8.0, 12.0, 101.0],
+        },
+        ClusterCostProfile {
+            family: ClusterFamily::PentiumIII,
+            inputs: traditional("PIII", 16_000.0, 48.0),
+            paper_row_k: [16.0, 60.0, 6.0, 8.0, 12.0, 102.0],
+        },
+        ClusterCostProfile {
+            family: ClusterFamily::Pentium4,
+            inputs: traditional("P4", 17_000.0, 85.0),
+            paper_row_k: [17.0, 60.0, 11.0, 8.0, 12.0, 108.0],
+        },
+        ClusterCostProfile {
+            family: ClusterFamily::Tm5600,
+            inputs: TcoInputs {
+                name: "TM5600".to_string(),
+                n_nodes: 24,
+                hardware_cost: 26_000.0,
+                software_cost: 0.0,
+                node_watts_load: 21.7,
+                active_cooling: false,
+                footprint_ft2: 6.0,
+                sysadmin: SysAdminModel::bladed(),
+                downtime: DowntimeModel::bladed(),
+            },
+            paper_row_k: [26.0, 5.0, 2.0, 2.0, 0.0, 35.0],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tco::CostConstants;
+
+    /// Round to the nearest $K the way the paper's table does.
+    fn round_k(x: f64) -> f64 {
+        (x / 1000.0).round()
+    }
+
+    #[test]
+    fn catalog_reproduces_table5_rows() {
+        let constants = CostConstants::default();
+        for profile in cluster_cost_catalog() {
+            let b = profile.inputs.evaluate(&constants);
+            let measured = [
+                round_k(b.acquisition),
+                round_k(b.sysadmin),
+                round_k(b.power_cooling),
+                round_k(b.space),
+                round_k(b.downtime),
+            ];
+            let expected = &profile.paper_row_k[..5];
+            for (i, (&m, &e)) in measured.iter().zip(expected).enumerate() {
+                assert_eq!(
+                    m, e,
+                    "{}: component {i} measured {m}K vs paper {e}K ({b:?})",
+                    profile.family.label()
+                );
+            }
+            // Totals: the paper's TCO row sums its *rounded* components, so
+            // allow ±1K on the recomputed exact total.
+            let total_k = round_k(b.total());
+            assert!(
+                (total_k - profile.paper_row_k[5]).abs() <= 1.0,
+                "{}: total {total_k}K vs paper {}K",
+                profile.family.label(),
+                profile.paper_row_k[5]
+            );
+        }
+    }
+
+    #[test]
+    fn blade_tco_is_about_three_times_cheaper() {
+        // §4.1: "the TCO on our MetaBlade Bladed Beowulf is approximately
+        // three times better than the TCO on a traditional Beowulf."
+        let constants = CostConstants::default();
+        let catalog = cluster_cost_catalog();
+        let blade = catalog
+            .iter()
+            .find(|p| p.family.is_bladed())
+            .unwrap()
+            .inputs
+            .evaluate(&constants)
+            .total();
+        for p in catalog.iter().filter(|p| !p.family.is_bladed()) {
+            let ratio = p.inputs.evaluate(&constants).total() / blade;
+            assert!(
+                (2.5..3.5).contains(&ratio),
+                "{}: TCO ratio {ratio:.2} not ≈ 3×",
+                p.family.label()
+            );
+        }
+    }
+
+    #[test]
+    fn blade_acquisition_is_more_expensive() {
+        // §5: acquisition cost ~50–75% more than a traditional Beowulf.
+        let catalog = cluster_cost_catalog();
+        let blade_hw = 26_000.0;
+        for p in catalog.iter().filter(|p| !p.family.is_bladed()) {
+            let premium = blade_hw / p.inputs.hardware_cost;
+            assert!(
+                (1.4..1.8).contains(&premium),
+                "{}: acquisition premium {premium:.2}",
+                p.family.label()
+            );
+        }
+    }
+}

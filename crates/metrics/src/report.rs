@@ -1,0 +1,175 @@
+//! Render the paper's metric tables as formatted text, in the exact row
+//! and column layouts of the published Tables 5, 6 and 7.
+
+use crate::costs::cluster_cost_catalog;
+use crate::tco::CostConstants;
+use crate::topper::{perf_power_gflop_per_kw, perf_space_mflop_per_ft2};
+
+/// One machine row for Tables 6 and 7 (Avalon / MetaBlade / Green Destiny).
+#[derive(Debug, Clone)]
+pub struct MachineRow {
+    /// Machine name as the paper prints it.
+    pub name: String,
+    /// Sustained treecode performance, Gflops.
+    pub gflops: f64,
+    /// Footprint, ft².
+    pub area_ft2: f64,
+    /// Wall power, kW.
+    pub power_kw: f64,
+}
+
+/// Render Table 5 ("Total Cost of Ownership for a 24-node Cluster Over a
+/// Four-Year Period"), recomputed from first principles.
+pub fn render_table5(constants: &CostConstants) -> String {
+    let mut out = String::new();
+    let catalog = cluster_cost_catalog();
+    out.push_str("Table 5. Total Cost of Ownership for a 24-node Cluster Over a Four-Year Period\n");
+    out.push_str(&format!(
+        "{:<18}{:>9}{:>9}{:>9}{:>9}{:>9}\n",
+        "Cost Parameter", "Alpha", "Athlon", "PIII", "P4", "TM5600"
+    ));
+    let rows: Vec<_> = catalog
+        .iter()
+        .map(|p| p.inputs.evaluate(constants))
+        .collect();
+    let k = |x: f64| format!("${:.0}K", (x / 1000.0).round());
+    let mut line = |label: &str, f: &dyn Fn(usize) -> f64| {
+        out.push_str(&format!(
+            "{:<18}{:>9}{:>9}{:>9}{:>9}{:>9}\n",
+            label,
+            k(f(0)),
+            k(f(1)),
+            k(f(2)),
+            k(f(3)),
+            k(f(4))
+        ));
+    };
+    line("Acquisition", &|i| rows[i].acquisition);
+    line("System Admin", &|i| rows[i].sysadmin);
+    line("Power & Cooling", &|i| rows[i].power_cooling);
+    line("Space", &|i| rows[i].space);
+    line("Downtime", &|i| rows[i].downtime);
+    // The paper's TCO row is the sum of the rounded component rows (e.g.
+    // Alpha: 17+60+11+8+12 = $108K although the exact total is $107.2K).
+    let rounded_total = |i: usize| {
+        let b = &rows[i];
+        [b.acquisition, b.sysadmin, b.power_cooling, b.space, b.downtime]
+            .iter()
+            .map(|x| (x / 1000.0).round() * 1000.0)
+            .sum::<f64>()
+    };
+    line("TCO", &rounded_total);
+    out
+}
+
+/// Render Table 6 ("Performance-Space Ratio of a Traditional Beowulf vs
+/// Bladed Beowulfs") for the given machines.
+pub fn render_table6(machines: &[MachineRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 6. Performance-Space Ratio of a Traditional Beowulf vs. Bladed Beowulfs\n");
+    out.push_str(&format!("{:<22}", "Machine"));
+    for m in machines {
+        out.push_str(&format!("{:>10}", m.name));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "Performance (Gflop)"));
+    for m in machines {
+        out.push_str(&format!("{:>10.1}", m.gflops));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "Area (ft^2)"));
+    for m in machines {
+        out.push_str(&format!("{:>10.0}", m.area_ft2));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "Perf/Space (Mflop/ft^2)"));
+    for m in machines {
+        out.push_str(&format!(
+            "{:>10.0}",
+            perf_space_mflop_per_ft2(m.gflops, m.area_ft2)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render Table 7 ("Performance-Power Ratio for a Traditional Beowulf vs
+/// Bladed Beowulfs") for the given machines.
+pub fn render_table7(machines: &[MachineRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 7. Performance-Power Ratio for a Traditional Beowulf vs. Bladed Beowulfs\n");
+    out.push_str(&format!("{:<22}", "Machine"));
+    for m in machines {
+        out.push_str(&format!("{:>10}", m.name));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "Performance (Gflop)"));
+    for m in machines {
+        out.push_str(&format!("{:>10.1}", m.gflops));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "Power (kW)"));
+    for m in machines {
+        out.push_str(&format!("{:>10.2}", m.power_kw));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "Perf/Power (Gflop/kW)"));
+    for m in machines {
+        out.push_str(&format!(
+            "{:>10.1}",
+            perf_power_gflop_per_kw(m.gflops, m.power_kw)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_renders_all_columns_and_rows() {
+        let s = render_table5(&CostConstants::default());
+        for label in [
+            "Acquisition",
+            "System Admin",
+            "Power & Cooling",
+            "Space",
+            "Downtime",
+            "TCO",
+        ] {
+            assert!(s.contains(label), "missing row {label}:\n{s}");
+        }
+        for col in ["Alpha", "Athlon", "PIII", "P4", "TM5600"] {
+            assert!(s.contains(col), "missing column {col}");
+        }
+        // The headline cells of the paper's printed table.
+        assert!(s.contains("$35K"), "blade TCO missing:\n{s}");
+        assert!(s.contains("$108K"), "Alpha/P4 TCO missing:\n{s}");
+    }
+
+    #[test]
+    fn tables6_and_7_render() {
+        let machines = vec![
+            MachineRow {
+                name: "Avalon".into(),
+                gflops: 18.0,
+                area_ft2: 120.0,
+                power_kw: 18.0,
+            },
+            MachineRow {
+                name: "MB".into(),
+                gflops: 2.1,
+                area_ft2: 6.0,
+                power_kw: 0.52,
+            },
+        ];
+        let t6 = render_table6(&machines);
+        assert!(t6.contains("350"), "MetaBlade perf/space:\n{t6}");
+        assert!(t6.contains("150"), "Avalon perf/space:\n{t6}");
+        let t7 = render_table7(&machines);
+        assert!(t7.contains("4.0"), "MetaBlade perf/power:\n{t7}");
+        assert!(t7.contains("1.0"), "Avalon perf/power:\n{t7}");
+    }
+}

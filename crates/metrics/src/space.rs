@@ -1,0 +1,102 @@
+//! Footprint models: traditional tower/rack Beowulfs vs. blade chassis,
+//! including the footnote-5 scale-up argument ("if we were to scale up our
+//! Bladed Beowulf to 240 nodes, i.e., cluster in a rack, the cost per
+//! square foot over four years would remain at $2400 while the traditional
+//! Beowulf's cost would increase ten-fold to $80,000, i.e., 33 times more
+//! expensive!").
+
+use serde::{Deserialize, Serialize};
+
+/// How a cluster is physically packaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Packaging {
+    /// Traditional Beowulf: commodity mini-towers / 1U-2U rack servers on
+    /// shelves. The paper's 24-node clusters occupy 20 ft².
+    Traditional,
+    /// RLX System 324 blades: 24 ServerBlades per 3U chassis, ten chassis
+    /// (240 nodes) per industry-standard 19-inch rack on 6 ft².
+    Bladed,
+}
+
+/// Footprint model for a cluster of `n` nodes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FootprintModel {
+    /// Packaging style.
+    pub packaging: Packaging,
+    /// Nodes per unit of floor space (a 20-ft² pod of 24 towers, or a
+    /// 6-ft² rack of up to 240 blades).
+    pub nodes_per_unit: usize,
+    /// Square feet per unit.
+    pub ft2_per_unit: f64,
+}
+
+impl FootprintModel {
+    /// The paper's traditional packaging: 24 nodes per 20 ft².
+    pub fn traditional() -> Self {
+        Self {
+            packaging: Packaging::Traditional,
+            nodes_per_unit: 24,
+            ft2_per_unit: 20.0,
+        }
+    }
+
+    /// The paper's blade packaging: up to 240 blades (10 × RLX System 324)
+    /// in one 6-ft² rack footprint.
+    pub fn bladed() -> Self {
+        Self {
+            packaging: Packaging::Bladed,
+            nodes_per_unit: 240,
+            ft2_per_unit: 6.0,
+        }
+    }
+
+    /// Floor space needed for `n_nodes` nodes (whole units are allocated —
+    /// you cannot lease two-thirds of a rack position).
+    pub fn footprint_ft2(&self, n_nodes: usize) -> f64 {
+        if n_nodes == 0 {
+            return 0.0;
+        }
+        let units = n_nodes.div_ceil(self.nodes_per_unit);
+        units as f64 * self.ft2_per_unit
+    }
+
+    /// Four-year space cost at the given $/ft²/yr rate.
+    pub fn space_cost(&self, n_nodes: usize, rate_per_ft2_year: f64, years: f64) -> f64 {
+        self.footprint_ft2(n_nodes) * rate_per_ft2_year * years
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_24_node_footprints() {
+        assert_eq!(FootprintModel::traditional().footprint_ft2(24), 20.0);
+        // The 24-node MetaBlade occupies one (mostly empty) rack position.
+        assert_eq!(FootprintModel::bladed().footprint_ft2(24), 6.0);
+    }
+
+    #[test]
+    fn footnote5_scale_up_is_33x() {
+        // 240 traditional nodes: 10 pods × 20 ft² × $100/ft²/yr × 4 yr = $80K.
+        // 240 blades: still one rack, $2,400. Ratio: 33×.
+        let trad = FootprintModel::traditional().space_cost(240, 100.0, 4.0);
+        let blade = FootprintModel::bladed().space_cost(240, 100.0, 4.0);
+        assert_eq!(trad, 80_000.0);
+        assert_eq!(blade, 2_400.0);
+        assert!((trad / blade - 33.33).abs() < 0.5, "ratio {}", trad / blade);
+    }
+
+    #[test]
+    fn zero_nodes_take_no_space() {
+        assert_eq!(FootprintModel::bladed().footprint_ft2(0), 0.0);
+        assert_eq!(FootprintModel::traditional().footprint_ft2(0), 0.0);
+    }
+
+    #[test]
+    fn partial_units_round_up() {
+        assert_eq!(FootprintModel::traditional().footprint_ft2(25), 40.0);
+        assert_eq!(FootprintModel::bladed().footprint_ft2(241), 12.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The TCO equations of §4.1, evaluated from first-principles inputs.
+//!
+//! All dollar amounts are `f64` dollars; all durations are years unless a
+//! field name says otherwise. The defaults are the paper's stated constants
+//! (four-year operational lifetime, $0.10/kWh, $100/ft²/yr, $5/CPU-hour
+//! downtime, 1.5× power for cooling on actively-cooled clusters).
+
+use serde::{Deserialize, Serialize};
+
+/// Hours in a (non-leap) year, as the paper uses: 8760.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Site- and study-wide cost constants (the paper's §4.1 assumptions).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostConstants {
+    /// Operational lifetime over which TCO is accumulated (paper: 4 years).
+    pub lifetime_years: f64,
+    /// Electric utility rate in $/kWh (paper: $0.10).
+    pub utility_rate_per_kwh: f64,
+    /// Floor-space lease rate in $/ft²/year (paper: $100).
+    pub space_rate_per_ft2_year: f64,
+    /// Lost-revenue rate for downtime in $/CPU/hour (paper: $5.00).
+    pub downtime_rate_per_cpu_hour: f64,
+    /// Extra cooling power per watt dissipated for actively-cooled
+    /// clusters (paper: 0.5 W/W, i.e. power cost is 1.5× the draw).
+    pub cooling_overhead_per_watt: f64,
+    /// Labor rate used for assembly/installation (paper: $100/hour).
+    pub labor_rate_per_hour: f64,
+}
+
+impl Default for CostConstants {
+    fn default() -> Self {
+        Self {
+            lifetime_years: 4.0,
+            utility_rate_per_kwh: 0.10,
+            space_rate_per_ft2_year: 100.0,
+            downtime_rate_per_cpu_hour: 5.0,
+            cooling_overhead_per_watt: 0.5,
+            labor_rate_per_hour: 100.0,
+        }
+    }
+}
+
+/// System-administration cost model (SAC).
+///
+/// Traditional Beowulfs in the paper's experience cost ~$15K/year in labor
+/// and materials; the Bladed Beowulf cost a one-time 2.5-hour setup plus a
+/// budgeted one repair per year.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SysAdminModel {
+    /// One-time setup labor, in hours (blade: 2.5 h; traditional: folded
+    /// into the annual figure).
+    pub setup_hours: f64,
+    /// Recurring annual labor + materials, $/year.
+    pub annual_cost: f64,
+    /// Budgeted repair events per year (parts + labor per event below).
+    pub repairs_per_year: f64,
+    /// Cost per repair event (replacement hardware + install labor).
+    pub cost_per_repair: f64,
+}
+
+impl SysAdminModel {
+    /// The paper's traditional-Beowulf SAC: $15K/year, repairs included.
+    pub fn traditional() -> Self {
+        Self {
+            setup_hours: 0.0,
+            annual_cost: 15_000.0,
+            repairs_per_year: 0.0,
+            cost_per_repair: 0.0,
+        }
+    }
+
+    /// The paper's Bladed-Beowulf SAC: 2.5 h setup at $100/h, then one
+    /// budgeted failure per year at $1200 (hardware + labor) ⇒ $5,050 / 4 yr.
+    pub fn bladed() -> Self {
+        Self {
+            setup_hours: 2.5,
+            annual_cost: 0.0,
+            repairs_per_year: 1.0,
+            cost_per_repair: 1200.0,
+        }
+    }
+
+    /// Total SAC over the study lifetime.
+    pub fn total(&self, constants: &CostConstants) -> f64 {
+        self.setup_hours * constants.labor_rate_per_hour
+            + self.annual_cost * constants.lifetime_years
+            + self.repairs_per_year * self.cost_per_repair * constants.lifetime_years
+    }
+}
+
+/// Downtime cost model (DTC).
+///
+/// The key structural difference the paper leans on: on a traditional
+/// Beowulf "a single failure causes the entire cluster to go down", while a
+/// blade failure is hot-swapped and idles only the failed node.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DowntimeModel {
+    /// Outage events per year.
+    pub outages_per_year: f64,
+    /// Hours per outage.
+    pub hours_per_outage: f64,
+    /// Whether an outage takes the whole cluster down (traditional) or only
+    /// one node (hot-pluggable blades).
+    pub whole_cluster: bool,
+}
+
+impl DowntimeModel {
+    /// Paper's traditional model: a four-hour outage every two months,
+    /// taking the whole cluster down.
+    pub fn traditional() -> Self {
+        Self {
+            outages_per_year: 6.0,
+            hours_per_outage: 4.0,
+            whole_cluster: true,
+        }
+    }
+
+    /// Paper's blade model: one failure per year, diagnosed in an hour via
+    /// the bundled management software, idling only the failed blade.
+    pub fn bladed() -> Self {
+        Self {
+            outages_per_year: 1.0,
+            hours_per_outage: 1.0,
+            whole_cluster: false,
+        }
+    }
+
+    /// Total CPU-hours of downtime over the lifetime for an `n_cpus` cluster.
+    pub fn cpu_hours(&self, n_cpus: usize, constants: &CostConstants) -> f64 {
+        let events = self.outages_per_year * constants.lifetime_years;
+        let affected = if self.whole_cluster { n_cpus as f64 } else { 1.0 };
+        events * self.hours_per_outage * affected
+    }
+
+    /// Total downtime cost over the lifetime.
+    pub fn total(&self, n_cpus: usize, constants: &CostConstants) -> f64 {
+        self.cpu_hours(n_cpus, constants) * constants.downtime_rate_per_cpu_hour
+    }
+}
+
+/// Everything needed to evaluate the TCO equations for one cluster.
+///
+/// ```
+/// use mb_metrics::tco::{CostConstants, DowntimeModel, SysAdminModel, TcoInputs};
+/// let blade = TcoInputs {
+///     name: "TM5600".into(),
+///     n_nodes: 24,
+///     hardware_cost: 26_000.0,
+///     software_cost: 0.0,
+///     node_watts_load: 21.7,
+///     active_cooling: false,
+///     footprint_ft2: 6.0,
+///     sysadmin: SysAdminModel::bladed(),
+///     downtime: DowntimeModel::bladed(),
+/// };
+/// let tco = blade.evaluate(&CostConstants::default());
+/// assert!((tco.total() / 1000.0 - 35.3).abs() < 1.0); // the paper's $35K
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcoInputs {
+    /// Human-readable name (e.g. "TM5600").
+    pub name: String,
+    /// Number of compute nodes (the paper's study: 24).
+    pub n_nodes: usize,
+    /// Hardware acquisition cost (HWC), $.
+    pub hardware_cost: f64,
+    /// Software acquisition cost (SWC), $ — zero for the paper's all-Linux
+    /// clusters but kept as a first-class term since AC = HWC + SWC.
+    pub software_cost: f64,
+    /// Wall power per node under load, watts (CPU + memory + disk + NIC,
+    /// plus chassis overhead share for blades).
+    pub node_watts_load: f64,
+    /// True if the cluster needs active cooling (adds the cooling overhead
+    /// multiplier to power cost). The TM5600 blades need none.
+    pub active_cooling: bool,
+    /// Footprint in square feet.
+    pub footprint_ft2: f64,
+    /// System-administration model.
+    pub sysadmin: SysAdminModel,
+    /// Downtime model.
+    pub downtime: DowntimeModel,
+}
+
+/// The evaluated TCO, broken down exactly as the paper's Table 5 rows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoBreakdown {
+    /// AC = HWC + SWC.
+    pub acquisition: f64,
+    /// SAC.
+    pub sysadmin: f64,
+    /// PCC, including cooling overhead where applicable.
+    pub power_cooling: f64,
+    /// SCC.
+    pub space: f64,
+    /// DTC.
+    pub downtime: f64,
+}
+
+impl TcoBreakdown {
+    /// TCO = AC + OC.
+    pub fn total(&self) -> f64 {
+        self.acquisition + self.operating()
+    }
+
+    /// OC = SAC + PCC + SCC + DTC.
+    pub fn operating(&self) -> f64 {
+        self.sysadmin + self.power_cooling + self.space + self.downtime
+    }
+}
+
+impl TcoInputs {
+    /// Cluster wall power under load, kW (before cooling overhead).
+    pub fn cluster_kw(&self) -> f64 {
+        self.n_nodes as f64 * self.node_watts_load / 1000.0
+    }
+
+    /// Effective power multiplier (1.0 passive, 1 + overhead when cooled).
+    pub fn power_multiplier(&self, constants: &CostConstants) -> f64 {
+        if self.active_cooling {
+            1.0 + constants.cooling_overhead_per_watt
+        } else {
+            1.0
+        }
+    }
+
+    /// Evaluate the full TCO breakdown under the given constants.
+    pub fn evaluate(&self, constants: &CostConstants) -> TcoBreakdown {
+        let hours = HOURS_PER_YEAR * constants.lifetime_years;
+        let power_cooling = self.cluster_kw()
+            * hours
+            * constants.utility_rate_per_kwh
+            * self.power_multiplier(constants);
+        TcoBreakdown {
+            acquisition: self.hardware_cost + self.software_cost,
+            sysadmin: self.sysadmin.total(constants),
+            power_cooling,
+            space: self.footprint_ft2
+                * constants.space_rate_per_ft2_year
+                * constants.lifetime_years,
+            downtime: self.downtime.total(self.n_nodes, constants),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constants() -> CostConstants {
+        CostConstants::default()
+    }
+
+    #[test]
+    fn paper_p4_power_cost() {
+        // §4.1: "a complete Intel P4 node ... generates about 85 watts under
+        // load, which translates to 2.04 kW for 24 nodes ... the cost runs
+        // $7,148 ... pushing the total power cost 50% higher to $10,722."
+        let p4 = TcoInputs {
+            name: "P4".into(),
+            n_nodes: 24,
+            hardware_cost: 17_000.0,
+            software_cost: 0.0,
+            node_watts_load: 85.0,
+            active_cooling: true,
+            footprint_ft2: 20.0,
+            sysadmin: SysAdminModel::traditional(),
+            downtime: DowntimeModel::traditional(),
+        };
+        assert!((p4.cluster_kw() - 2.04).abs() < 1e-9);
+        let raw = p4.cluster_kw() * HOURS_PER_YEAR * 4.0 * 0.10;
+        assert!((raw - 7148.16).abs() < 1.0, "raw power cost {raw}");
+        let b = p4.evaluate(&constants());
+        assert!((b.power_cooling - 10_722.24).abs() < 1.0, "{}", b.power_cooling);
+    }
+
+    #[test]
+    fn paper_traditional_downtime_cost() {
+        // §4.1: 4-hour outage every 2 months ⇒ 96 h over 4 years; ×24 CPUs
+        // = 2304 CPU-hours; × $5 = $11,520.
+        let d = DowntimeModel::traditional();
+        assert_eq!(d.cpu_hours(24, &constants()), 2304.0);
+        assert_eq!(d.total(24, &constants()), 11_520.0);
+    }
+
+    #[test]
+    fn paper_blade_downtime_cost() {
+        // §4.1: one failure/year, one hour each, only the failed node idle
+        // ⇒ 4 CPU-hours over 4 years ⇒ $20.
+        let d = DowntimeModel::bladed();
+        assert_eq!(d.cpu_hours(24, &constants()), 4.0);
+        assert_eq!(d.total(24, &constants()), 20.0);
+    }
+
+    #[test]
+    fn paper_blade_sysadmin_cost() {
+        // §4.1: $250 setup + $1200/year ⇒ $5,050 over 4 years.
+        let s = SysAdminModel::bladed();
+        assert_eq!(s.total(&constants()), 5050.0);
+    }
+
+    #[test]
+    fn paper_traditional_sysadmin_cost() {
+        // §4.1: "about $15K/year or $60K over four years".
+        assert_eq!(SysAdminModel::traditional().total(&constants()), 60_000.0);
+    }
+
+    #[test]
+    fn paper_space_costs() {
+        // §4.1: 20 ft² ⇒ $8,000 over 4 years; 6 ft² ⇒ $2,400.
+        let c = constants();
+        assert_eq!(20.0 * c.space_rate_per_ft2_year * c.lifetime_years, 8000.0);
+        assert_eq!(6.0 * c.space_rate_per_ft2_year * c.lifetime_years, 2400.0);
+    }
+
+    #[test]
+    fn tco_is_sum_of_parts() {
+        let b = TcoBreakdown {
+            acquisition: 1.0,
+            sysadmin: 2.0,
+            power_cooling: 3.0,
+            space: 4.0,
+            downtime: 5.0,
+        };
+        assert_eq!(b.operating(), 14.0);
+        assert_eq!(b.total(), 15.0);
+    }
+
+    #[test]
+    fn passive_cooling_has_unit_multiplier() {
+        let blade = TcoInputs {
+            name: "TM5600".into(),
+            n_nodes: 24,
+            hardware_cost: 26_000.0,
+            software_cost: 0.0,
+            node_watts_load: 21.7,
+            active_cooling: false,
+            footprint_ft2: 6.0,
+            sysadmin: SysAdminModel::bladed(),
+            downtime: DowntimeModel::bladed(),
+        };
+        assert_eq!(blade.power_multiplier(&constants()), 1.0);
+        let b = blade.evaluate(&constants());
+        // 0.5208 kW × 35,040 h × $0.10 ≈ $1,825 — the paper's "$2K" row.
+        assert!((b.power_cooling - 1824.9).abs() < 1.0, "{}", b.power_cooling);
+    }
+}

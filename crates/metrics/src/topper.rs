@@ -1,0 +1,69 @@
+//! ToPPeR and the two "more concrete" derived metrics of §4.2–4.3.
+//!
+//! * **ToPPeR** — Total-Price-Performance Ratio: TCO dollars per sustained
+//!   Mflops (lower is better).
+//! * **price-performance** — the traditional Gordon-Bell-style metric:
+//!   acquisition dollars per sustained Mflops.
+//! * **performance/space** — sustained Mflops per square foot.
+//! * **performance/power** — sustained Gflops per kilowatt at the wall
+//!   (including cooling power for actively-cooled machines).
+
+/// Classic price-performance: acquisition $/Mflops (lower is better).
+pub fn price_performance(acquisition_dollars: f64, sustained_gflops: f64) -> f64 {
+    assert!(sustained_gflops > 0.0, "performance must be positive");
+    acquisition_dollars / (sustained_gflops * 1000.0)
+}
+
+/// ToPPeR: TCO $/Mflops (lower is better).
+pub fn topper(tco_dollars: f64, sustained_gflops: f64) -> f64 {
+    assert!(sustained_gflops > 0.0, "performance must be positive");
+    tco_dollars / (sustained_gflops * 1000.0)
+}
+
+/// Performance/space in Mflop/ft² (higher is better) — Table 6.
+pub fn perf_space_mflop_per_ft2(sustained_gflops: f64, footprint_ft2: f64) -> f64 {
+    assert!(footprint_ft2 > 0.0, "footprint must be positive");
+    sustained_gflops * 1000.0 / footprint_ft2
+}
+
+/// Performance/power in Gflop/kW (higher is better) — Table 7.
+pub fn perf_power_gflop_per_kw(sustained_gflops: f64, power_kw: f64) -> f64 {
+    assert!(power_kw > 0.0, "power must be positive");
+    sustained_gflops / power_kw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topper_ratio_matches_paper_claim() {
+        // §4.1: TCO 3× smaller, performance 75% of a comparably-clocked
+        // traditional Beowulf ⇒ ToPPeR "less than half" (4/9 ≈ 0.44×).
+        let traditional = topper(102_000.0, 2.8);
+        let blade = topper(35_000.0, 0.75 * 2.8);
+        assert!(blade / traditional < 0.5, "ratio {}", blade / traditional);
+        assert!(blade / traditional > 0.4);
+    }
+
+    #[test]
+    fn metrics_have_expected_units() {
+        // 2.1 Gflops in 6 ft² = 350 Mflop/ft² (MetaBlade row of Table 6).
+        assert!((perf_space_mflop_per_ft2(2.1, 6.0) - 350.0).abs() < 1e-9);
+        // 2.1 Gflops at 0.52 kW ≈ 4.0 Gflop/kW (MetaBlade row of Table 7).
+        assert!((perf_power_gflop_per_kw(2.1, 0.52) - 4.038).abs() < 1e-2);
+    }
+
+    #[test]
+    fn price_performance_scales_inversely_with_performance() {
+        let slow = price_performance(50_000.0, 1.0);
+        let fast = price_performance(50_000.0, 2.0);
+        assert_eq!(slow, 2.0 * fast);
+    }
+
+    #[test]
+    #[should_panic(expected = "performance must be positive")]
+    fn zero_performance_is_rejected() {
+        topper(1.0, 0.0);
+    }
+}

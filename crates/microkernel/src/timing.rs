@@ -1,0 +1,58 @@
+//! Native wall-clock Mflops measurement for the microkernel.
+//!
+//! This measures the *host* machine, which is useful as a sanity check of
+//! the two rsqrt implementations and as the calibration anchor mentioned in
+//! EXPERIMENTS.md. Table 1 proper is produced by `mb-crusoe`, which times
+//! the same kernels on the simulated-era CPU models.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::kernel::{accel_kernel, MicrokernelInput, RsqrtMethod};
+
+/// One wall-clock measurement of the microkernel.
+#[derive(Debug, Clone, Copy)]
+pub struct MflopsMeasurement {
+    /// Millions of floating-point operations per second.
+    pub mflops: f64,
+    /// Wall-clock seconds for the measured run.
+    pub seconds: f64,
+    /// Flops executed.
+    pub flops: u64,
+    /// Method measured.
+    pub method: RsqrtMethod,
+}
+
+/// Measure the native Mflops of the microkernel for a given method.
+///
+/// Runs one warm-up pass, then times `sweeps` sweeps over `n` sources.
+/// The accumulated acceleration is routed through [`black_box`] so the
+/// optimizer cannot elide the work.
+pub fn measure_mflops(n: usize, sweeps: usize, method: RsqrtMethod) -> MflopsMeasurement {
+    let input = MicrokernelInput::generate(n);
+    // Warm-up (fills the Karp table, warms caches).
+    black_box(accel_kernel(&input, 1, method));
+    let start = Instant::now();
+    let result = black_box(accel_kernel(&input, sweeps, method));
+    let seconds = start.elapsed().as_secs_f64().max(1e-12);
+    MflopsMeasurement {
+        mflops: result.flops as f64 / seconds / 1e6,
+        seconds,
+        flops: result.flops,
+        method,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_reports_positive_rate() {
+        for method in RsqrtMethod::ALL {
+            let m = measure_mflops(128, 8, method);
+            assert!(m.mflops > 0.0, "{method:?} produced {m:?}");
+            assert_eq!(m.flops, (128 * 8) as u64 * crate::kernel::FLOPS_PER_INTERACTION);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! CG — conjugate gradient with an irregular sparse symmetric
+//! positive-definite matrix (the NPB kernel structure: an inverse-power
+//! iteration whose inner solver is 25 unpreconditioned CG iterations).
+//!
+//! The matrix is a randomly-patterned symmetric matrix made strictly
+//! diagonally dominant (hence SPD), built from the NPB LCG. Verification:
+//! the inner CG residual contracts and the eigenvalue estimate ζ
+//! stabilizes across outer iterations.
+
+use mb_crusoe::hardware::OpMix;
+
+use crate::classes::Class;
+use crate::common::NpbRng;
+use crate::mix::{KernelResult, NpbKernel};
+
+/// Compressed sparse row symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    /// Order.
+    pub n: usize,
+    /// Row start offsets (len n+1).
+    pub row_ptr: Vec<usize>,
+    /// Column indices.
+    pub cols: Vec<u32>,
+    /// Values.
+    pub vals: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Random symmetric strictly-diagonally-dominant matrix with about
+    /// `nz_per_row` off-diagonal entries per row.
+    pub fn random_spd(n: usize, nz_per_row: usize, shift: f64) -> Self {
+        let mut rng = NpbRng::new();
+        // Collect symmetric off-diagonal entries.
+        let mut entries: Vec<(u32, u32, f64)> = Vec::new();
+        for i in 0..n {
+            for _ in 0..nz_per_row / 2 + 1 {
+                let j = (rng.next_f64() * n as f64) as usize % n;
+                if j != i {
+                    let v = rng.next_f64() - 0.5;
+                    entries.push((i as u32, j as u32, v));
+                    entries.push((j as u32, i as u32, v));
+                }
+            }
+        }
+        entries.sort_by_key(|&(i, j, _)| (i, j));
+        entries.dedup_by_key(|e| (e.0, e.1));
+        // Row sums for dominance.
+        let mut row_abs = vec![0.0f64; n];
+        for &(i, _, v) in &entries {
+            row_abs[i as usize] += v.abs();
+        }
+        // Assemble CSR with the dominant diagonal inserted.
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(i, _, _) in &entries {
+            row_ptr[i as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i] + 1; // +1 for the diagonal
+        }
+        let nnz = row_ptr[n];
+        let mut cols = vec![0u32; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut cursor: Vec<usize> = row_ptr[..n].to_vec();
+        let mut placed_diag = vec![false; n];
+        let push = |i: usize,
+                        j: u32,
+                        v: f64,
+                        cursor: &mut Vec<usize>,
+                        cols: &mut Vec<u32>,
+                        vals: &mut Vec<f64>| {
+            cols[cursor[i]] = j;
+            vals[cursor[i]] = v;
+            cursor[i] += 1;
+        };
+        let mut e = 0;
+        for i in 0..n {
+            let diag = row_abs[i] + shift;
+            while e < entries.len() && entries[e].0 as usize == i {
+                let (_, j, v) = entries[e];
+                if !placed_diag[i] && j as usize > i {
+                    push(i, i as u32, diag, &mut cursor, &mut cols, &mut vals);
+                    placed_diag[i] = true;
+                }
+                push(i, j, v, &mut cursor, &mut cols, &mut vals);
+                e += 1;
+            }
+            if !placed_diag[i] {
+                push(i, i as u32, diag, &mut cursor, &mut cols, &mut vals);
+                placed_diag[i] = true;
+            }
+        }
+        SparseMatrix {
+            n,
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `y = A·x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for e in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.vals[e] * x[self.cols[e] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Unpreconditioned CG: solve `A z = x` with `iters` iterations; returns
+/// the final residual norm.
+pub fn cg_solve(a: &SparseMatrix, x: &[f64], z: &mut [f64], iters: usize) -> f64 {
+    let n = a.n;
+    z.fill(0.0);
+    let mut r = x.to_vec();
+    let mut p = r.clone();
+    let mut q = vec![0.0; n];
+    let mut rho = dot(&r, &r);
+    for _ in 0..iters {
+        a.spmv(&p, &mut q);
+        let alpha = rho / dot(&p, &q);
+        for i in 0..n {
+            z[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }
+        let rho_new = dot(&r, &r);
+        let beta = rho_new / rho;
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+    }
+    rho.sqrt()
+}
+
+/// The CG benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Cg {
+    class: Class,
+}
+
+impl Cg {
+    /// New CG instance at a class.
+    pub fn new(class: Class) -> Self {
+        Self { class }
+    }
+}
+
+impl NpbKernel for Cg {
+    fn name(&self) -> &'static str {
+        "CG"
+    }
+
+    fn class(&self) -> Class {
+        self.class
+    }
+
+    fn run(&self) -> KernelResult {
+        let (n, nz_row, outer, shift) = self.class.cg_size();
+        const INNER: usize = 25;
+        let a = SparseMatrix::random_spd(n, nz_row, shift);
+        let mut x = vec![1.0; n];
+        let mut z = vec![0.0; n];
+        let mut zeta_prev = f64::NAN;
+        let mut zeta = 0.0;
+        let mut last_resid = f64::INFINITY;
+        let mut deltas: Vec<f64> = Vec::new();
+        for it in 0..outer {
+            last_resid = cg_solve(&a, &x, &mut z, INNER);
+            zeta = shift + 1.0 / dot(&x, &z);
+            if it > 0 {
+                deltas.push((zeta - zeta_prev).abs());
+            }
+            zeta_prev = zeta;
+            let znorm = dot(&z, &z).sqrt();
+            for i in 0..n {
+                x[i] = z[i] / znorm;
+            }
+        }
+        // The synthetic matrix's small eigenvalues are clustered, so the
+        // inverse power iteration converges geometrically but slowly;
+        // verification (standing in for the official reference value)
+        // demands monotone contraction of the ζ updates plus a small
+        // final relative update.
+        let monotone = deltas.windows(2).all(|w| w[1] <= w[0]);
+        let final_rel = deltas.last().map_or(f64::INFINITY, |d| d / zeta.abs());
+        let verified =
+            zeta.is_finite() && monotone && final_rel < 5e-3 && last_resid.is_finite();
+        let nnz = a.nnz() as u64;
+        let nn = n as u64;
+        let total_inner = (outer * INNER) as u64;
+        let flops = total_inner * (2 * nnz + 10 * nn);
+        let mix = OpMix {
+            fadd: total_inner * (nnz + 5 * nn),
+            fmul: total_inner * (nnz + 5 * nn),
+            fdiv: total_inner * 2,
+            fsqrt: outer as u64 * 2,
+            int_ops: total_inner * nnz, // index chasing
+            loads: total_inner * (2 * nnz + 6 * nn),
+            stores: total_inner * 3 * nn,
+            branches: total_inner * nn,
+            useful_ops: flops,
+            // The matrix streams from memory every SpMV (irregular gather).
+            dram_bytes: total_inner * nnz * 12,
+            fma_fusable: 0.9, // SpMV is pure multiply-add
+        };
+        KernelResult {
+            mix,
+            verified,
+            checksum: zeta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric_and_dominant() {
+        let a = SparseMatrix::random_spd(200, 6, 5.0);
+        // Dominance: diagonal exceeds off-diagonal row sum.
+        for i in 0..200 {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for e in a.row_ptr[i]..a.row_ptr[i + 1] {
+                if a.cols[e] as usize == i {
+                    diag = a.vals[e];
+                } else {
+                    off += a.vals[e].abs();
+                }
+            }
+            assert!(diag > off, "row {i}: {diag} !> {off}");
+        }
+        // Symmetry via dense reconstruction of a few rows.
+        let lookup = |i: usize, j: usize| -> f64 {
+            for e in a.row_ptr[i]..a.row_ptr[i + 1] {
+                if a.cols[e] as usize == j {
+                    return a.vals[e];
+                }
+            }
+            0.0
+        };
+        for i in (0..200).step_by(17) {
+            for e in a.row_ptr[i]..a.row_ptr[i + 1] {
+                let j = a.cols[e] as usize;
+                assert_eq!(lookup(j, i), a.vals[e], "A[{i},{j}] asymmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn cg_contracts_the_residual() {
+        let a = SparseMatrix::random_spd(500, 7, 10.0);
+        let x = vec![1.0; 500];
+        let mut z = vec![0.0; 500];
+        let r5 = cg_solve(&a, &x, &mut z, 5);
+        let r25 = cg_solve(&a, &x, &mut z, 25);
+        assert!(r25 < r5 * 1e-3, "CG residual {r5} → {r25}");
+    }
+
+    #[test]
+    fn cg_solution_satisfies_the_system() {
+        let a = SparseMatrix::random_spd(300, 6, 10.0);
+        let x = vec![1.0; 300];
+        let mut z = vec![0.0; 300];
+        cg_solve(&a, &x, &mut z, 50);
+        let mut az = vec![0.0; 300];
+        a.spmv(&z, &mut az);
+        let err: f64 = az
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-8, "‖Az − x‖ = {err}");
+    }
+
+    #[test]
+    fn class_s_verifies() {
+        let r = Cg::new(Class::S).run();
+        assert!(r.verified, "zeta failed to stabilize: {}", r.checksum);
+        assert!(r.checksum > 10.0, "zeta near the shift: {}", r.checksum);
+        assert!(r.mix.fma_fusable > 0.5);
+    }
+}
+

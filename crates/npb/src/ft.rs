@@ -1,0 +1,384 @@
+//! FT — the 3-D FFT PDE benchmark (an NPB 2.3 kernel beyond the paper's
+//! Table 3, included for completeness of the suite).
+//!
+//! Solves the heat equation `∂u/∂t = α ∇²u` on a periodic cube
+//! spectrally: forward 3-D FFT of a random initial field (NPB LCG), then
+//! per time step multiply each mode by `exp(−4απ²|k|² t)` and inverse
+//! transform, recording a checksum. The FFT is an iterative radix-2
+//! Cooley–Tukey implemented from scratch.
+
+use mb_crusoe::hardware::OpMix;
+
+use crate::classes::Class;
+use crate::common::NpbRng;
+use crate::mix::{KernelResult, NpbKernel};
+
+/// A complex number (no external deps).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cplx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cplx {
+    /// Construct.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex product.
+    pub fn mul(self, o: Cplx) -> Cplx {
+        Cplx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    /// Scale by a real.
+    pub fn scale(self, s: f64) -> Cplx {
+        Cplx::new(self.re * s, self.im * s)
+    }
+
+    /// Squared magnitude.
+    pub fn norm2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place radix-2 Cooley–Tukey FFT. `sign = −1` forward, `+1` inverse
+/// (inverse leaves the 1/n normalization to the caller).
+pub fn fft_inplace(data: &mut [Cplx], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Cplx::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Cplx::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2].mul(w);
+                data[start + k] = Cplx::new(a.re + b.re, a.im + b.im);
+                data[start + k + len / 2] = Cplx::new(a.re - b.re, a.im - b.im);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// A 3-D complex field on an `n³` periodic grid.
+#[derive(Debug, Clone)]
+pub struct Field3 {
+    /// Edge length (power of two).
+    pub n: usize,
+    /// Row-major data.
+    pub data: Vec<Cplx>,
+}
+
+impl Field3 {
+    /// Zero field.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n.is_power_of_two());
+        Self {
+            n,
+            data: vec![Cplx::default(); n * n * n],
+        }
+    }
+
+    /// Random initial field from the NPB LCG (real and imaginary parts).
+    pub fn random(n: usize) -> Self {
+        let mut f = Self::zeros(n);
+        let mut rng = NpbRng::new();
+        for c in f.data.iter_mut() {
+            *c = Cplx::new(rng.next_f64(), rng.next_f64());
+        }
+        f
+    }
+
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+
+    /// 3-D FFT by three passes of 1-D transforms. `sign = −1` forward;
+    /// `+1` inverse with 1/n³ normalization applied.
+    pub fn fft3(&mut self, sign: f64) {
+        let n = self.n;
+        let mut line = vec![Cplx::default(); n];
+        // Along k (contiguous).
+        for i in 0..n {
+            for j in 0..n {
+                let base = self.idx(i, j, 0);
+                line.copy_from_slice(&self.data[base..base + n]);
+                fft_inplace(&mut line, sign);
+                self.data[base..base + n].copy_from_slice(&line);
+            }
+        }
+        // Along j.
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    line[j] = self.data[self.idx(i, j, k)];
+                }
+                fft_inplace(&mut line, sign);
+                for j in 0..n {
+                    let at = self.idx(i, j, k);
+                    self.data[at] = line[j];
+                }
+            }
+        }
+        // Along i.
+        for j in 0..n {
+            for k in 0..n {
+                for i in 0..n {
+                    line[i] = self.data[self.idx(i, j, k)];
+                }
+                fft_inplace(&mut line, sign);
+                for i in 0..n {
+                    let at = self.idx(i, j, k);
+                    self.data[at] = line[i];
+                }
+            }
+        }
+        if sign > 0.0 {
+            let scale = 1.0 / (n * n * n) as f64;
+            for c in self.data.iter_mut() {
+                *c = c.scale(scale);
+            }
+        }
+    }
+
+    /// Total spectral energy Σ|c|².
+    pub fn energy(&self) -> f64 {
+        self.data.iter().map(|c| c.norm2()).sum()
+    }
+}
+
+/// Signed frequency of grid index `i` on an `n`-grid.
+fn freq(i: usize, n: usize) -> f64 {
+    if i <= n / 2 {
+        i as f64
+    } else {
+        i as f64 - n as f64
+    }
+}
+
+/// The FT benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Ft {
+    class: Class,
+}
+
+impl Ft {
+    /// New FT instance at a class.
+    pub fn new(class: Class) -> Self {
+        Self { class }
+    }
+
+    /// Grid edge and time steps per class (scaled to keep single-CPU
+    /// runs tractable, like the other CFD kernels).
+    pub fn size(class: Class) -> (usize, usize) {
+        match class {
+            Class::S => (16, 4),
+            Class::W => (32, 6),
+            Class::A => (64, 6),
+        }
+    }
+}
+
+impl NpbKernel for Ft {
+    fn name(&self) -> &'static str {
+        "FT"
+    }
+
+    fn class(&self) -> Class {
+        self.class
+    }
+
+    fn run(&self) -> KernelResult {
+        let (n, steps) = Ft::size(self.class);
+        let alpha = 1e-6;
+        let mut uhat = Field3::random(n);
+        let e0 = uhat.energy();
+        uhat.fft3(-1.0);
+        // Per-mode decay factors for one step.
+        let mut factors = vec![0.0f64; n * n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let k2 = freq(i, n).powi(2) + freq(j, n).powi(2) + freq(k, n).powi(2);
+                    factors[(i * n + j) * n + k] =
+                        (-4.0 * alpha * std::f64::consts::PI.powi(2) * k2).exp();
+                }
+            }
+        }
+        let mut checksums = Vec::with_capacity(steps);
+        let mut work = uhat.clone();
+        let mut factor_t = vec![1.0f64; n * n * n];
+        for _ in 0..steps {
+            for (f, base) in factor_t.iter_mut().zip(&factors) {
+                *f *= base;
+            }
+            for (w, (&u, &f)) in work.data.iter_mut().zip(uhat.data.iter().zip(&factor_t)) {
+                *w = u.scale(f);
+            }
+            let mut snapshot = work.clone();
+            snapshot.fft3(1.0);
+            // NPB-style checksum: a strided sample of the solution.
+            let mut cs = Cplx::default();
+            for q in 0..1024.min(snapshot.data.len()) {
+                let at = (q * 7919) % snapshot.data.len();
+                cs.re += snapshot.data[at].re;
+                cs.im += snapshot.data[at].im;
+            }
+            checksums.push(cs);
+        }
+        // Verification: diffusion only removes energy; checksums stay
+        // finite; a forward+inverse roundtrip reproduces the initial
+        // field (checked spectrally via Parseval within tolerance).
+        let mut roundtrip = Field3::random(n);
+        let before = roundtrip.data.clone();
+        roundtrip.fft3(-1.0);
+        roundtrip.fft3(1.0);
+        let max_err = roundtrip
+            .data
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| ((a.re - b.re).abs()).max((a.im - b.im).abs()))
+            .fold(0.0f64, f64::max);
+        let mut final_field = work.clone();
+        final_field.fft3(1.0);
+        let e_final = final_field.energy();
+        let verified = max_err < 1e-10
+            && e_final <= e0 * (1.0 + 1e-9)
+            && checksums.iter().all(|c| c.re.is_finite() && c.im.is_finite());
+        let points = (n * n * n) as u64;
+        let log2n = n.trailing_zeros() as u64;
+        // 1-D FFT: 5 n log2 n flops; 3 passes per 3-D transform; one
+        // forward + one inverse per step (plus the initial forward).
+        let transforms = (2 * steps + 1) as u64;
+        let fft_flops = transforms * 3 * 5 * points * log2n;
+        let mix = OpMix {
+            fadd: fft_flops * 6 / 10,
+            fmul: fft_flops * 4 / 10,
+            fdiv: 0,
+            fsqrt: 0,
+            int_ops: transforms * points * 8,
+            loads: transforms * points * 6,
+            stores: transforms * points * 6,
+            branches: transforms * points,
+            useful_ops: fft_flops,
+            dram_bytes: transforms * points * 32, // strided passes stream the cube
+            fma_fusable: 0.5,
+        };
+        KernelResult {
+            mix,
+            verified,
+            checksum: checksums.last().map(|c| c.re).unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_roundtrip_is_identity() {
+        let mut data: Vec<Cplx> = (0..64)
+            .map(|i| Cplx::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let orig = data.clone();
+        fft_inplace(&mut data, -1.0);
+        fft_inplace(&mut data, 1.0);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re / 64.0 - b.re).abs() < 1e-12);
+            assert!((a.im / 64.0 - b.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_pure_tone_is_a_delta() {
+        let n = 32;
+        let k0 = 5;
+        let mut data: Vec<Cplx> = (0..n)
+            .map(|i| {
+                let ph = std::f64::consts::TAU * (k0 * i) as f64 / n as f64;
+                Cplx::new(ph.cos(), ph.sin())
+            })
+            .collect();
+        fft_inplace(&mut data, -1.0);
+        for (k, c) in data.iter().enumerate() {
+            let mag = c.norm2().sqrt();
+            if k == k0 {
+                assert!((mag - n as f64).abs() < 1e-9, "peak {mag}");
+            } else {
+                assert!(mag < 1e-9, "leak at {k}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_holds_in_3d() {
+        let mut f = Field3::random(8);
+        let spatial = f.energy();
+        f.fft3(-1.0);
+        let spectral = f.energy() / (8.0f64 * 8.0 * 8.0);
+        assert!(
+            ((spatial - spectral) / spatial).abs() < 1e-12,
+            "{spatial} vs {spectral}"
+        );
+    }
+
+    #[test]
+    fn diffusion_decays_energy_monotonically() {
+        let (n, _) = Ft::size(Class::S);
+        let mut uhat = Field3::random(n);
+        uhat.fft3(-1.0);
+        let alpha = 1e-3; // strong diffusion so decay is visible
+        let mut prev = f64::INFINITY;
+        for step in 1..=4 {
+            let mut snapshot = uhat.clone();
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        let k2 =
+                            freq(i, n).powi(2) + freq(j, n).powi(2) + freq(k, n).powi(2);
+                        let f = (-4.0
+                            * alpha
+                            * std::f64::consts::PI.powi(2)
+                            * k2
+                            * step as f64)
+                            .exp();
+                        let at = (i * n + j) * n + k;
+                        snapshot.data[at] = snapshot.data[at].scale(f);
+                    }
+                }
+            }
+            snapshot.fft3(1.0);
+            let e = snapshot.energy();
+            assert!(e < prev, "step {step}: energy {e} !< {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn class_s_verifies() {
+        let r = Ft::new(Class::S).run();
+        assert!(r.verified);
+        assert!(r.checksum.is_finite());
+        assert!(r.mix.fadd > r.mix.fmul, "FFT butterflies are add-heavy");
+    }
+}

@@ -1,0 +1,45 @@
+//! NAS Parallel Benchmarks 2.3-style kernels — the task-level workload of
+//! the paper's Table 3.
+//!
+//! §3.4: "These benchmarks, based on Fortran 77 and the MPI standard,
+//! approximate the performance that a typical user can expect for a
+//! portable parallel program on a distributed memory computer":
+//!
+//! * **BT** — simulated CFD application solving block-tridiagonal systems
+//!   of 5×5 blocks (ADI);
+//! * **SP** — simulated CFD application solving scalar pentadiagonal
+//!   systems (ADI);
+//! * **LU** — simulated CFD application solving a block lower-triangular /
+//!   block upper-triangular system (SSOR);
+//! * **MG** — multigrid V-cycles on the 3-D scalar Poisson equation;
+//! * **EP** — embarrassingly parallel Gaussian-pair generation;
+//! * **IS** — parallel sort over small integers;
+//! * **CG** (bonus) — conjugate gradient with an irregular sparse matrix;
+//! * **FT** (bonus) — the 3-D FFT spectral PDE solver;
+//! * **Linpack** ([`linpack`]) — dense LU with partial pivoting, the
+//!   Top500 yardstick §4 critiques (see `experiment_top500`).
+//!
+//! Each kernel implements the benchmark's numerical method from scratch
+//! in Rust (EP and IS follow the NPB specification exactly, including the
+//! NPB linear congruential generator; the CFD solvers BT/SP/LU apply the
+//! specified solver structure to synthetic systems with manufactured
+//! solutions — see DESIGN.md for the substitution notes), verifies
+//! itself, and returns an operation-mix profile
+//! ([`mb_crusoe::hardware::OpMix`]) which the era CPU models turn into
+//! the per-architecture Mop/s of Table 3.
+
+pub mod bt;
+pub mod cg;
+pub mod classes;
+pub mod common;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod linpack;
+pub mod lu;
+pub mod mg;
+pub mod mix;
+pub mod sp;
+
+pub use classes::Class;
+pub use mix::{KernelResult, NpbKernel};

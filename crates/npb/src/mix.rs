@@ -1,0 +1,55 @@
+//! The kernel interface: run natively, verify, and report an operation
+//! mix for the era CPU models.
+
+use mb_crusoe::hardware::OpMix;
+
+use crate::classes::Class;
+
+/// Outcome of one kernel run.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Operation profile (feeds `HwCpu::estimate_kernel_mops`).
+    pub mix: OpMix,
+    /// Did the kernel's self-verification pass?
+    pub verified: bool,
+    /// A checksum of the numerical result (for regression tests).
+    pub checksum: f64,
+}
+
+/// A runnable NPB kernel.
+pub trait NpbKernel {
+    /// Benchmark name ("EP", "IS", …).
+    fn name(&self) -> &'static str;
+
+    /// Problem class.
+    fn class(&self) -> Class;
+
+    /// Execute the kernel natively and return mix + verification.
+    fn run(&self) -> KernelResult;
+}
+
+/// All Table 3 kernels at a class, in the paper's row order
+/// (BT, SP, LU, MG, EP, IS).
+pub fn table3_kernels(class: Class) -> Vec<Box<dyn NpbKernel>> {
+    vec![
+        Box::new(crate::bt::Bt::new(class)),
+        Box::new(crate::sp::Sp::new(class)),
+        Box::new(crate::lu::Lu::new(class)),
+        Box::new(crate::mg::Mg::new(class)),
+        Box::new(crate::ep::Ep::new(class)),
+        Box::new(crate::is::Is::new(class)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_the_paper_rows_in_order() {
+        let kernels = table3_kernels(Class::S);
+        let names: Vec<_> = kernels.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["BT", "SP", "LU", "MG", "EP", "IS"]);
+        assert!(kernels.iter().all(|k| k.class() == Class::S));
+    }
+}

@@ -1,0 +1,144 @@
+//! Domain decomposition: Morton-ordered cost zones.
+//!
+//! Warren–Salmon decompose by cutting the space-filling-curve order into
+//! P contiguous segments of equal *work* (cost zones): because the curve
+//! preserves locality, each segment is a compact region, which keeps the
+//! locally-essential-tree exchange small. Work weights default to uniform
+//! and can be fed back from the previous step's interaction counts.
+
+use crate::body::Bodies;
+use crate::morton::BoundingBox;
+
+/// Split bodies into `nranks` Morton-contiguous zones of (approximately)
+/// equal total weight. Returns per-rank index lists into `bodies` (which
+/// is *not* reordered). Every body lands in exactly one zone; zones for
+/// high ranks may be empty when `nranks > n`.
+pub fn cost_zones(
+    bodies: &Bodies,
+    bb: &BoundingBox,
+    nranks: usize,
+    weights: Option<&[f64]>,
+) -> Vec<Vec<usize>> {
+    assert!(nranks > 0);
+    let n = bodies.len();
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "one weight per body");
+    }
+    let keys = bodies.keys(bb);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| keys[i]);
+    let total: f64 = match weights {
+        Some(w) => w.iter().sum(),
+        None => n as f64,
+    };
+    let mut zones = vec![Vec::new(); nranks];
+    let mut acc = 0.0;
+    for &i in &order {
+        let w = weights.map_or(1.0, |w| w[i]);
+        // Zone of the weight midpoint of this body.
+        let mid = acc + w / 2.0;
+        let z = ((mid / total) * nranks as f64) as usize;
+        zones[z.min(nranks - 1)].push(i);
+        acc += w;
+    }
+    zones
+}
+
+/// Bounding box of a zone (`None` for an empty zone).
+pub fn zone_box(bodies: &Bodies, zone: &[usize]) -> Option<BoundingBox> {
+    if zone.is_empty() {
+        return None;
+    }
+    let pts: Vec<[f64; 3]> = zone.iter().map(|&i| bodies.pos[i]).collect();
+    Some(BoundingBox::containing(&pts))
+}
+
+/// Load imbalance of a decomposition: max zone weight over mean zone
+/// weight (1.0 = perfect).
+pub fn imbalance(zones: &[Vec<usize>], weights: Option<&[f64]>) -> f64 {
+    let loads: Vec<f64> = zones
+        .iter()
+        .map(|z| match weights {
+            Some(w) => z.iter().map(|&i| w[i]).sum(),
+            None => z.len() as f64,
+        })
+        .collect();
+    let total: f64 = loads.iter().sum();
+    if total == 0.0 {
+        return 1.0;
+    }
+    let mean = total / zones.len() as f64;
+    loads.iter().copied().fold(0.0, f64::max) / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic::plummer;
+
+    #[test]
+    fn zones_partition_all_bodies() {
+        let b = plummer(1000, 1);
+        let bb = BoundingBox::containing(&b.pos);
+        let zones = cost_zones(&b, &bb, 7, None);
+        let mut seen = vec![false; 1000];
+        for z in &zones {
+            for &i in z {
+                assert!(!seen[i], "body {i} in two zones");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_weights_balance_counts() {
+        let b = plummer(960, 2);
+        let bb = BoundingBox::containing(&b.pos);
+        let zones = cost_zones(&b, &bb, 24, None);
+        assert!((imbalance(&zones, None) - 1.0).abs() < 0.05);
+        for z in &zones {
+            assert_eq!(z.len(), 40);
+        }
+    }
+
+    #[test]
+    fn weighted_zones_balance_weight_not_count() {
+        let b = plummer(400, 3);
+        let bb = BoundingBox::containing(&b.pos);
+        // First 100 bodies (by index) are 10× heavier.
+        let weights: Vec<f64> = (0..400).map(|i| if i < 100 { 10.0 } else { 1.0 }).collect();
+        let zones = cost_zones(&b, &bb, 8, Some(&weights));
+        let imb = imbalance(&zones, Some(&weights));
+        assert!(imb < 1.5, "weighted imbalance {imb}");
+    }
+
+    #[test]
+    fn zones_are_spatially_compact() {
+        // Total volume of zone boxes should be far below P × global
+        // volume (zones are not random scatters).
+        let b = plummer(2000, 4);
+        let bb = BoundingBox::containing(&b.pos);
+        let zones = cost_zones(&b, &bb, 16, None);
+        let global = bb.size.powi(3);
+        let total_zone_vol: f64 = zones
+            .iter()
+            .filter_map(|z| zone_box(&b, z))
+            .map(|zb| zb.size.powi(3))
+            .sum();
+        assert!(
+            total_zone_vol < 8.0 * global,
+            "zones too spread out: {total_zone_vol} vs {global}"
+        );
+    }
+
+    #[test]
+    fn more_ranks_than_bodies_yields_empty_tail_zones() {
+        let b = plummer(3, 5);
+        let bb = BoundingBox::containing(&b.pos);
+        let zones = cost_zones(&b, &bb, 8, None);
+        let populated = zones.iter().filter(|z| !z.is_empty()).count();
+        assert_eq!(populated, 3);
+        assert!(zone_box(&b, &zones[7]).is_none() || !zones[7].is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Flop accounting — the bookkeeping behind the paper's Gflops claims.
+//!
+//! §3.3: a 9,753,824-particle run "completed about 1.35 × 10¹⁵
+//! floating-point operations sustaining a rate of 2.1 Gflops". Treecodes
+//! count a fixed per-interaction budget; the community convention (used
+//! by Loki, Avalon and the paper) is ≈ 38 flops per particle–particle
+//! interaction (separation, softened r², reciprocal sqrt by Karp's
+//! method, r⁻³, three axis updates, potential) and a larger budget for
+//! particle–cell interactions with quadrupoles.
+
+/// Flops per particle–particle interaction (separation 3, r² 6, Karp
+/// reciprocal sqrt 10, r⁻³ 2, mass scale 1, 3-axis acceleration 9,
+/// potential 2, bookkeeping 5 — the canonical 38).
+pub const FLOPS_PP: u64 = 38;
+
+/// Flops per particle–cell monopole interaction (same kernel as PP).
+pub const FLOPS_PC_MONO: u64 = 38;
+
+/// Extra flops for the traceless-quadrupole terms of one particle–cell
+/// interaction (Qr⃗ 15, r⃗ᵀQr⃗ 5, two extra powers of 1/r 4, acceleration
+/// and potential updates 12).
+pub const FLOPS_PC_QUAD_EXTRA: u64 = 36;
+
+/// Interaction counts from a force walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InteractionCounts {
+    /// Particle–particle (leaf direct) interactions.
+    pub pp: u64,
+    /// Particle–cell (multipole) interactions.
+    pub pc: u64,
+}
+
+impl InteractionCounts {
+    /// Total flops under the standard accounting.
+    pub fn flops(&self, quadrupole: bool) -> u64 {
+        let pc_cost = if quadrupole {
+            FLOPS_PC_MONO + FLOPS_PC_QUAD_EXTRA
+        } else {
+            FLOPS_PC_MONO
+        };
+        self.pp * FLOPS_PP + self.pc * pc_cost
+    }
+
+    /// Merge counts.
+    pub fn add(&mut self, other: InteractionCounts) {
+        self.pp += other.pp;
+        self.pc += other.pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_accounting() {
+        let c = InteractionCounts { pp: 10, pc: 4 };
+        assert_eq!(c.flops(false), 10 * 38 + 4 * 38);
+        assert_eq!(c.flops(true), 10 * 38 + 4 * 74);
+    }
+
+    #[test]
+    fn paper_scale_consistency() {
+        // §3.3: 1.35e15 flops over ~1000 steps of a 9.75M-body run means
+        // ≈ 1.35e12 flops/step ⇒ ≈ 3.6e10 interactions/step ⇒ ≈ 3,700
+        // interactions per body per step — a plausible treecode regime
+        // (the point of this test is that our constants put the paper's
+        // numbers in a sane interaction range, i.e. O(10³–10⁴)/body).
+        let flops_per_step = 1.35e15 / 1000.0;
+        let per_body = flops_per_step / FLOPS_PP as f64 / 9_753_824.0;
+        assert!(
+            (1.0e3..1.0e4).contains(&per_body),
+            "interactions/body/step = {per_body}"
+        );
+    }
+
+    #[test]
+    fn add_merges() {
+        let mut a = InteractionCounts { pp: 1, pc: 2 };
+        a.add(InteractionCounts { pp: 10, pc: 20 });
+        assert_eq!(a, InteractionCounts { pp: 11, pc: 22 });
+    }
+}

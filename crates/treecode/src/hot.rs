@@ -1,0 +1,107 @@
+//! The hashed oct-tree: a hash table from Morton keys to cells.
+//!
+//! Warren & Salmon's central data structure ("A Parallel Hashed Oct-Tree
+//! N-Body Algorithm", SC'93): instead of pointers, cells are looked up by
+//! key, which makes the tree trivially mergeable, shippable across ranks,
+//! and cheap to prune — the properties the parallel treecode exploits.
+
+use std::collections::HashMap;
+
+use crate::morton::{BoundingBox, Key};
+
+/// Payload of a cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// A leaf holding bodies `range.0..range.1` of the Morton-sorted
+    /// body array.
+    Leaf {
+        /// Start body index (inclusive).
+        start: u32,
+        /// End body index (exclusive).
+        end: u32,
+    },
+    /// An internal cell; bit `d` of the mask is set when daughter `d`
+    /// exists.
+    Internal {
+        /// Daughter-presence bitmask.
+        child_mask: u8,
+    },
+}
+
+/// One cell of the tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    /// This cell's key.
+    pub key: Key,
+    /// Leaf or internal.
+    pub kind: NodeKind,
+    /// Bodies under this cell.
+    pub count: u32,
+    /// Total mass.
+    pub mass: f64,
+    /// Center of mass.
+    pub com: [f64; 3],
+    /// Traceless quadrupole about the center of mass, packed
+    /// `(xx, yy, zz, xy, xz, yz)`, `Q_ij = Σ m (3 xᵢxⱼ − r²δᵢⱼ)`.
+    pub quad: [f64; 6],
+    /// Distance from the cell's geometric center to its center of mass —
+    /// the Barnes–Hut "offset" safety term in the opening criterion.
+    pub delta: f64,
+}
+
+/// The tree: hash table plus the bounding cube it was built in.
+#[derive(Debug, Clone)]
+pub struct HashedOctTree {
+    /// Key → cell.
+    pub nodes: HashMap<u64, Node>,
+    /// The global bounding cube.
+    pub bb: BoundingBox,
+    /// Bodies per leaf ceiling used at build time.
+    pub leaf_capacity: usize,
+}
+
+impl HashedOctTree {
+    /// Look up a cell.
+    pub fn get(&self, key: Key) -> Option<&Node> {
+        self.nodes.get(&key.0)
+    }
+
+    /// The root cell (panics on an empty tree).
+    pub fn root(&self) -> &Node {
+        self.get(Key::ROOT).expect("tree has a root")
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no cells exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate existing daughters of an internal node.
+    pub fn children<'a>(&'a self, node: &Node) -> impl Iterator<Item = &'a Node> + 'a {
+        let (mask, key) = match node.kind {
+            NodeKind::Internal { child_mask } => (child_mask, node.key),
+            NodeKind::Leaf { .. } => (0, node.key),
+        };
+        (0..8u8).filter_map(move |d| {
+            if mask & (1 << d) != 0 {
+                Some(self.get(key.child(d)).expect("masked child exists"))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Depth of the deepest cell (root = 0).
+    pub fn depth(&self) -> u32 {
+        self.nodes
+            .values()
+            .map(|n| n.key.level())
+            .max()
+            .unwrap_or(0)
+    }
+}

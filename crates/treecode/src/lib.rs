@@ -1,0 +1,71 @@
+//! Warren–Salmon hashed oct-tree N-body library — the treecode whose
+//! "nearly 20,000 lines of code" the paper benchmarks (§3.5.1), rebuilt
+//! in Rust.
+//!
+//! "N-body methods are widely used in a variety of computational physics
+//! algorithms where long-range interactions are important. Several
+//! proposed methods allow N-body simulations to be performed on arbitrary
+//! collections of bodies in O(N) or O(N log N) time. These methods
+//! represent a system of N bodies in a hierarchical manner by the use of a
+//! spatial tree data structure" (§3.5.1, citing Warren & Salmon's parallel
+//! hashed oct-tree algorithm, SC'93).
+//!
+//! Modules:
+//!
+//! * [`morton`] — space-filling-curve keys (the "hashed" part: bodies and
+//!   cells are named by Morton keys, and the tree is a hash table);
+//! * [`body`] — structure-of-arrays particle storage;
+//! * [`hot`] — the hashed oct-tree itself;
+//! * [`build`] — tree construction from Morton-sorted bodies;
+//! * [`moments`] — monopole + traceless quadrupole moments, bottom-up;
+//! * [`mac`] — multipole acceptance criteria (Barnes–Hut opening angle);
+//! * [`traverse`] — the force walk, serial or rayon-parallel, with flop
+//!   and interaction accounting;
+//! * [`direct`] — O(N²) direct summation (accuracy baseline);
+//! * [`integrate`] — leapfrog (KDK) integration and energy diagnostics;
+//! * [`ic`] — initial conditions (Plummer sphere, uniform cube, two-body
+//!   orbit, cold disk);
+//! * [`decompose`] — Morton-ordered domain decomposition with cost zones;
+//! * [`parallel`] — the distributed treecode over `mb-cluster`'s
+//!   simulated Beowulf: locally-essential-tree exchange, per-rank walks,
+//!   virtual-time accounting (this is what regenerates Table 2);
+//! * [`flops`] — the flop-accounting constants behind the paper's Gflops
+//!   numbers;
+//! * [`render`] — Figure-3-style density projections (PGM / ASCII);
+//! * [`group`] — grouped walks (one interaction list per leaf, the
+//!   production codes' vectorization);
+//! * [`neighbors`] — tree-accelerated range queries;
+//! * [`sph`] — smoothed particle hydrodynamics on the same tree (the
+//!   "3000 lines interfaced to the same treecode library" of §3.5.1);
+//! * [`vortex`] — the vortex particle method (Biot–Savart via the tree,
+//!   the Salmon–Warren–Winckelmans application).
+
+pub mod body;
+pub mod build;
+pub mod decompose;
+pub mod direct;
+pub mod flops;
+pub mod group;
+pub mod hot;
+pub mod ic;
+pub mod integrate;
+pub mod mac;
+pub mod moments;
+pub mod morton;
+pub mod neighbors;
+pub mod parallel;
+pub mod render;
+pub mod sph;
+pub mod traverse;
+pub mod vortex;
+
+pub use body::Bodies;
+pub use build::build_tree;
+pub use direct::direct_forces;
+pub use hot::{HashedOctTree, Node, NodeKind};
+pub use ic::{cold_disk, plummer, two_body_circular, uniform_cube};
+pub use integrate::{leapfrog_step, total_energy, Energies};
+pub use mac::Mac;
+pub use morton::{BoundingBox, Key};
+pub use parallel::{distributed_evolve, distributed_step, DistributedConfig, StepReport};
+pub use traverse::{tree_forces, tree_forces_parallel, WalkStats};

@@ -1,0 +1,148 @@
+//! Tree-accelerated neighbor search: range queries over the hashed
+//! oct-tree.
+//!
+//! SPH (and any short-range physics) needs "all bodies within `h` of a
+//! point". The oct-tree answers it in O(log N + k) by pruning every cell
+//! whose box lies farther than `h` — the same data structure serving
+//! gravity serves neighbor finding, which is exactly the treecode
+//! library's multi-physics pitch (§3.5.1).
+
+use crate::body::Bodies;
+use crate::hot::{HashedOctTree, NodeKind};
+use crate::morton::BoundingBox;
+
+/// Geometric box of a tree cell.
+fn cell_box(bb: &BoundingBox, key: crate::morton::Key) -> BoundingBox {
+    let center = bb.cell_center(key);
+    let size = bb.cell_size(key.level());
+    BoundingBox {
+        min: [
+            center[0] - size / 2.0,
+            center[1] - size / 2.0,
+            center[2] - size / 2.0,
+        ],
+        size,
+    }
+}
+
+/// Collect indices of all bodies within `radius` of `center`
+/// (inclusive). Results are in Morton order of the tree's body array.
+pub fn neighbors_within(
+    tree: &HashedOctTree,
+    bodies: &Bodies,
+    center: [f64; 3],
+    radius: f64,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    if tree.is_empty() {
+        return;
+    }
+    let r2 = radius * radius;
+    let mut stack = vec![*tree.root()];
+    while let Some(node) = stack.pop() {
+        let cb = cell_box(&tree.bb, node.key);
+        if cb.dist2_to_point(center) > r2 {
+            continue;
+        }
+        match node.kind {
+            NodeKind::Leaf { start, end } => {
+                for i in start as usize..end as usize {
+                    let p = bodies.pos[i];
+                    let d2 = (p[0] - center[0]).powi(2)
+                        + (p[1] - center[1]).powi(2)
+                        + (p[2] - center[2]).powi(2);
+                    if d2 <= r2 {
+                        out.push(i);
+                    }
+                }
+            }
+            NodeKind::Internal { .. } => stack.extend(tree.children(&node).copied()),
+        }
+    }
+}
+
+/// Count bodies within `radius` of every body (utility for choosing SPH
+/// smoothing lengths).
+pub fn neighbor_counts(tree: &HashedOctTree, bodies: &Bodies, radius: f64) -> Vec<usize> {
+    let mut counts = Vec::with_capacity(bodies.len());
+    let mut scratch = Vec::new();
+    for i in 0..bodies.len() {
+        neighbors_within(tree, bodies, bodies.pos[i], radius, &mut scratch);
+        counts.push(scratch.len());
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_tree;
+    use crate::ic::uniform_cube;
+
+    fn brute_force(bodies: &Bodies, center: [f64; 3], radius: f64) -> Vec<usize> {
+        let r2 = radius * radius;
+        (0..bodies.len())
+            .filter(|&i| {
+                let p = bodies.pos[i];
+                (p[0] - center[0]).powi(2)
+                    + (p[1] - center[1]).powi(2)
+                    + (p[2] - center[2]).powi(2)
+                    <= r2
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_for_many_queries() {
+        let mut b = uniform_cube(800, 1.0, 5);
+        let bb = BoundingBox::containing(&b.pos);
+        let tree = build_tree(&mut b, bb, 8);
+        let mut out = Vec::new();
+        for q in 0..40 {
+            let center = b.pos[q * 17 % b.len()];
+            let radius = 0.05 + 0.01 * (q as f64 % 7.0);
+            neighbors_within(&tree, &b, center, radius, &mut out);
+            let mut got = out.clone();
+            got.sort_unstable();
+            let mut want = brute_force(&b, center, radius);
+            want.sort_unstable();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn zero_radius_finds_exactly_coincident_points() {
+        let mut b = uniform_cube(100, 1.0, 6);
+        let bb = BoundingBox::containing(&b.pos);
+        let tree = build_tree(&mut b, bb, 4);
+        let mut out = Vec::new();
+        neighbors_within(&tree, &b, b.pos[10], 0.0, &mut out);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn huge_radius_finds_everyone() {
+        let mut b = uniform_cube(150, 1.0, 7);
+        let bb = BoundingBox::containing(&b.pos);
+        let tree = build_tree(&mut b, bb, 8);
+        let mut out = Vec::new();
+        neighbors_within(&tree, &b, [0.0; 3], 100.0, &mut out);
+        assert_eq!(out.len(), 150);
+    }
+
+    #[test]
+    fn counts_scale_with_radius_cubed() {
+        let mut b = uniform_cube(4000, 1.0, 8);
+        let bb = BoundingBox::containing(&b.pos);
+        let tree = build_tree(&mut b, bb, 8);
+        let c1 = neighbor_counts(&tree, &b, 0.05);
+        let c2 = neighbor_counts(&tree, &b, 0.10);
+        let m1: f64 = c1.iter().sum::<usize>() as f64 / c1.len() as f64;
+        let m2: f64 = c2.iter().sum::<usize>() as f64 / c2.len() as f64;
+        // Doubling the radius ⇒ ~8× the neighbors (boundary effects
+        // soften it).
+        let ratio = m2 / m1;
+        assert!((5.0..9.5).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,1162 @@
+//! The distributed treecode over the simulated Beowulf — the code path
+//! behind the paper's Table 2 (scalability) and §3.3 (sustained Gflops).
+//!
+//! One force evaluation proceeds as the Warren–Salmon parallel algorithm
+//! does:
+//!
+//! 1. **Decompose** — bodies are split into Morton-contiguous cost zones,
+//!    one per rank (host-side, as the persistent decomposition the real
+//!    code carries between steps).
+//! 2. **Global box** — ranks allgather their local bounding boxes and
+//!    union them, so every rank keys its tree in the *same* global cube
+//!    (the hashed oct-tree's shared key space).
+//! 3. **Local build** — each rank builds the hashed oct-tree of its zone.
+//! 4. **Domain exchange** — each rank publishes its *occupied coarse
+//!    cells* (the level-`DOMAIN_LEVEL` cells holding its bodies). Unlike
+//!    a raw bounding box, this stays tight when a zone owns a few distant
+//!    outliers — otherwise one straggler body would force peers to ship
+//!    their entire trees.
+//! 5. **LET exchange** — for every peer, each rank prunes its tree
+//!    against the peer's occupied cells: cells passing the domain-level
+//!    MAC ship as **terminal** multipoles; leaves too close ship their
+//!    **bodies**; everything in between ships as **internal skeleton**
+//!    nodes carrying full subtree moments. The pruned trees travel
+//!    through the simulated Fast-Ethernet alltoallv.
+//! 6. **Walk** — each rank walks every local body over its own tree plus
+//!    each imported skeleton ("locally essential tree"): internal foreign
+//!    nodes are MAC-tested per body (full moments make that exact) and
+//!    opened only when needed, so imported work stays O(log) per body.
+//!    Compute time is charged to the virtual clock at the node's
+//!    sustained Mflops rate; communication was charged by the exchange.
+//!
+//! The domain-level MAC is conservative — a cell accepted against every
+//! occupied requester cell is accepted for every body in it — so
+//! distributed results match the shared-memory walk's accuracy at the
+//! same θ (tests verify against direct summation).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mb_cluster::comm::Comm;
+use mb_cluster::machine::Cluster;
+
+use crate::body::Bodies;
+use crate::build::build_tree;
+use crate::decompose::cost_zones;
+use crate::flops::InteractionCounts;
+use crate::hot::{HashedOctTree, NodeKind};
+use crate::mac::Mac;
+use crate::morton::{BoundingBox, Key};
+use crate::traverse::walk_one;
+
+/// Budget of cells used to describe a rank's domain to its peers. The
+/// description is the frontier of the rank's own tree, expanded
+/// **highest-body-count-first** until the budget is met — density
+/// adaptive, so the fine cells land exactly where bodies crowd (the
+/// regions whose granularity decides how much peers must ship).
+pub const DOMAIN_CELL_BUDGET: usize = 2048;
+
+/// Configuration of a distributed force evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedConfig {
+    /// Opening criterion.
+    pub mac: Mac,
+    /// Plummer softening².
+    pub eps2: f64,
+    /// Bodies per leaf.
+    pub leaf_capacity: usize,
+    /// Flop-equivalents charged per body per log₂ level for tree build
+    /// (build is a few percent of walk time in production treecodes).
+    pub build_flops_per_body_level: f64,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        Self {
+            mac: Mac::standard(),
+            eps2: 1e-6,
+            leaf_capacity: 8,
+            build_flops_per_body_level: 20.0,
+        }
+    }
+}
+
+/// Per-rank outcome of a distributed force evaluation.
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    /// Rank id.
+    pub rank: usize,
+    /// Bodies owned.
+    pub n_local: usize,
+    /// Interaction counts of the walk (imports included).
+    pub interactions: InteractionCounts,
+    /// Foreign skeleton nodes imported.
+    pub imported_cells: u64,
+    /// Foreign bodies imported.
+    pub imported_bodies: u64,
+    /// Virtual clock at completion, seconds.
+    pub clock_s: f64,
+    /// Accelerations of owned bodies (zone order).
+    pub acc: Vec<[f64; 3]>,
+    /// Potentials of owned bodies (zone order).
+    pub pot: Vec<f64>,
+    /// Per-body interaction counts (zone order) — the cost-zone feedback
+    /// the next step's decomposition balances on.
+    pub body_cost: Vec<f64>,
+}
+
+/// Whole-step outcome.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Per-rank reports.
+    pub per_rank: Vec<RankReport>,
+    /// Virtual wall-clock of the step (slowest rank), seconds.
+    pub makespan_s: f64,
+    /// Total flops charged across ranks.
+    pub total_flops: f64,
+    /// Sustained Gflops: total flops over makespan.
+    pub gflops: f64,
+    /// Accelerations in the *original* body order.
+    pub acc: Vec<[f64; 3]>,
+    /// Potentials in the original body order.
+    pub pot: Vec<f64>,
+    /// Per-body interaction counts in original order (cost-zone feedback).
+    pub body_cost: Vec<f64>,
+}
+
+// ---------------------------------------------------------------------
+// Foreign (imported) trees
+// ---------------------------------------------------------------------
+
+const TAG_TERMINAL: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+const TAG_BODIES: u8 = 2;
+
+/// One node of an imported pruned tree.
+#[derive(Debug, Clone, Copy)]
+struct ForeignNode {
+    mass: f64,
+    com: [f64; 3],
+    quad: [f64; 6],
+    delta: f64,
+    /// `TAG_*`.
+    tag: u8,
+    /// Shipped-children mask for internal nodes.
+    child_mask: u8,
+    /// Body range (into the payload's body list) for `TAG_BODIES`.
+    bodies: (u32, u32),
+}
+
+/// An imported pruned tree: hash map in the shared global key space plus
+/// a flat body list.
+#[derive(Debug, Clone, Default)]
+struct ForeignTree {
+    nodes: HashMap<u64, ForeignNode>,
+    bodies: Vec<(f64, [f64; 3])>,
+}
+
+/// Serialize a pruned tree. Layout: `u32 node_count`, then per node
+/// `u64 key, u8 tag, u8 mask, u32 bstart, u32 bend, 11×f64`, then
+/// `u32 body_count` and `body_count × 4×f64`.
+fn serialize_foreign(nodes: &[(u64, ForeignNode)], bodies: &[(f64, [f64; 3])]) -> Bytes {
+    let mut v = Vec::with_capacity(4 + nodes.len() * 106 + bodies.len() * 32 + 4);
+    v.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    for (key, n) in nodes {
+        v.extend_from_slice(&key.to_le_bytes());
+        v.push(n.tag);
+        v.push(n.child_mask);
+        v.extend_from_slice(&n.bodies.0.to_le_bytes());
+        v.extend_from_slice(&n.bodies.1.to_le_bytes());
+        v.extend_from_slice(&n.mass.to_le_bytes());
+        for c in n.com {
+            v.extend_from_slice(&c.to_le_bytes());
+        }
+        for q in n.quad {
+            v.extend_from_slice(&q.to_le_bytes());
+        }
+        v.extend_from_slice(&n.delta.to_le_bytes());
+    }
+    v.extend_from_slice(&(bodies.len() as u32).to_le_bytes());
+    for (m, p) in bodies {
+        v.extend_from_slice(&m.to_le_bytes());
+        for c in p {
+            v.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    Bytes::from(v)
+}
+
+fn read_u32(b: &[u8], at: &mut usize) -> u32 {
+    let v = u32::from_le_bytes(b[*at..*at + 4].try_into().expect("u32"));
+    *at += 4;
+    v
+}
+
+fn read_u64(b: &[u8], at: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(b[*at..*at + 8].try_into().expect("u64"));
+    *at += 8;
+    v
+}
+
+fn read_f64(b: &[u8], at: &mut usize) -> f64 {
+    let v = f64::from_le_bytes(b[*at..*at + 8].try_into().expect("f64"));
+    *at += 8;
+    v
+}
+
+fn deserialize_foreign(b: &Bytes) -> ForeignTree {
+    let mut t = ForeignTree::default();
+    if b.is_empty() {
+        return t;
+    }
+    let mut at = 0usize;
+    let n_nodes = read_u32(b, &mut at) as usize;
+    t.nodes.reserve(n_nodes);
+    for _ in 0..n_nodes {
+        let key = read_u64(b, &mut at);
+        let tag = b[at];
+        let child_mask = b[at + 1];
+        at += 2;
+        let bstart = read_u32(b, &mut at);
+        let bend = read_u32(b, &mut at);
+        let mass = read_f64(b, &mut at);
+        let com = [read_f64(b, &mut at), read_f64(b, &mut at), read_f64(b, &mut at)];
+        let mut quad = [0.0; 6];
+        for q in &mut quad {
+            *q = read_f64(b, &mut at);
+        }
+        let delta = read_f64(b, &mut at);
+        t.nodes.insert(
+            key,
+            ForeignNode {
+                mass,
+                com,
+                quad,
+                delta,
+                tag,
+                child_mask,
+                bodies: (bstart, bend),
+            },
+        );
+    }
+    let n_bodies = read_u32(b, &mut at) as usize;
+    t.bodies.reserve(n_bodies);
+    for _ in 0..n_bodies {
+        let m = read_f64(b, &mut at);
+        let p = [read_f64(b, &mut at), read_f64(b, &mut at), read_f64(b, &mut at)];
+        t.bodies.push((m, p));
+    }
+    t
+}
+
+/// The adaptive domain frontier of a tree: starting from the root,
+/// repeatedly expand the internal frontier cell holding the most bodies
+/// until the budget is reached or only leaves remain. The returned cells
+/// exactly cover every local body, with resolution concentrated where
+/// bodies are dense.
+fn domain_frontier(tree: &HashedOctTree, budget: usize) -> Vec<u64> {
+    use std::collections::BinaryHeap;
+    // Max-heap by body count.
+    let mut heap: BinaryHeap<(u32, u64)> = BinaryHeap::new();
+    let mut leaves: Vec<u64> = Vec::new();
+    let root = *tree.root();
+    match root.kind {
+        NodeKind::Internal { .. } => heap.push((root.count, root.key.0)),
+        NodeKind::Leaf { .. } => leaves.push(root.key.0),
+    }
+    while let Some(&(_, key)) = heap.peek() {
+        let node = tree.get(Key(key)).expect("frontier node exists");
+        let n_children = tree.children(node).count();
+        if heap.len() + leaves.len() + n_children - 1 > budget {
+            break;
+        }
+        heap.pop();
+        for child in tree.children(node) {
+            match child.kind {
+                NodeKind::Internal { .. } => heap.push((child.count, child.key.0)),
+                NodeKind::Leaf { .. } => leaves.push(child.key.0),
+            }
+        }
+    }
+    leaves.extend(heap.into_iter().map(|(_, k)| k));
+    leaves
+}
+
+/// Cell box of a key inside the global cube.
+fn cell_box(bb: &BoundingBox, key: Key) -> BoundingBox {
+    let center = bb.cell_center(key);
+    let size = bb.cell_size(key.level());
+    BoundingBox {
+        min: [
+            center[0] - size / 2.0,
+            center[1] - size / 2.0,
+            center[2] - size / 2.0,
+        ],
+        size,
+    }
+}
+
+/// Prune the local tree for a requester described by its domain cells,
+/// dual-tree style: descend the sender tree while filtering the
+/// requester-cell list per subtree. A requester cell drops out of a
+/// subtree's list once even the worst-case descendant (size `s`, center
+/// of mass anywhere in the subtree box, offset up to `s·√3/2`) would be
+/// MAC-accepted against it — from then on that requester cell imposes no
+/// constraint below. A sender node with an empty list (and every node
+/// whose remaining cells all accept its actual moments) ships as a
+/// terminal multipole. Emits skeleton nodes and a body list.
+fn prune_for_domain(
+    tree: &HashedOctTree,
+    bodies: &Bodies,
+    domain: &[BoundingBox],
+    mac: &Mac,
+) -> Bytes {
+    let mut out_nodes: Vec<(u64, ForeignNode)> = Vec::new();
+    let mut out_bodies: Vec<(f64, [f64; 3])> = Vec::new();
+    let all: Vec<usize> = (0..domain.len()).collect();
+    let mut stack: Vec<(crate::hot::Node, Vec<usize>)> = vec![(*tree.root(), all)];
+    while let Some((node, req)) = stack.pop() {
+        let size = tree.bb.cell_size(node.key.level());
+        let mut fnode = ForeignNode {
+            mass: node.mass,
+            com: node.com,
+            quad: node.quad,
+            delta: node.delta,
+            tag: TAG_TERMINAL,
+            child_mask: 0,
+            bodies: (0, 0),
+        };
+        let all_accept = node.count > 1
+            && req.iter().all(|&c| {
+                mac.accepts(size, node.delta, domain[c].dist2_to_point(node.com))
+            });
+        if req.is_empty() || all_accept {
+            out_nodes.push((node.key.0, fnode));
+            continue;
+        }
+        match node.kind {
+            NodeKind::Leaf { start, end } => {
+                let b0 = out_bodies.len() as u32;
+                for i in start as usize..end as usize {
+                    out_bodies.push((bodies.mass[i], bodies.pos[i]));
+                }
+                fnode.tag = TAG_BODIES;
+                fnode.bodies = (b0, out_bodies.len() as u32);
+                out_nodes.push((node.key.0, fnode));
+            }
+            NodeKind::Internal { child_mask } => {
+                fnode.tag = TAG_INTERNAL;
+                fnode.child_mask = child_mask;
+                out_nodes.push((node.key.0, fnode));
+                for child in tree.children(&node) {
+                    let cb = cell_box(&tree.bb, child.key);
+                    let s = tree.bb.cell_size(child.key.level());
+                    // Worst-case descendant criterion: size s, offset
+                    // ≤ s·√3/2, com anywhere in the child box.
+                    let crit = s / mac.theta + s * 0.8660254;
+                    let crit2 = crit * crit;
+                    let child_req: Vec<usize> = req
+                        .iter()
+                        .copied()
+                        .filter(|&c| domain[c].dist2_to_box(&cb) <= crit2)
+                        .collect();
+                    stack.push((*child, child_req));
+                }
+            }
+        }
+    }
+    serialize_foreign(&out_nodes, &out_bodies)
+}
+
+/// A piece of matter resident at an opened merged node: either a
+/// domain-accepted terminal multipole or a shipped body group.
+#[derive(Debug, Clone, Copy)]
+enum Resident {
+    /// Domain-accepted multipole — always applied directly.
+    Multipole {
+        mass: f64,
+        com: [f64; 3],
+        quad: [f64; 6],
+    },
+    /// A body group (range into the forest body list) with its own
+    /// moments for group-level MAC acceptance.
+    Group {
+        start: u32,
+        end: u32,
+        mass: f64,
+        com: [f64; 3],
+        quad: [f64; 6],
+        delta: f64,
+    },
+}
+
+/// One cell of the merged import forest: combined moments over every
+/// peer's piece at this key, the union of shipped children, and the
+/// resident terminal/body pieces to apply when the cell is opened.
+#[derive(Debug, Clone)]
+struct MergedNode {
+    mass: f64,
+    com: [f64; 3],
+    quad: [f64; 6],
+    delta: f64,
+    child_mask: u8,
+    resident: Vec<Resident>,
+}
+
+/// All imports merged into one walkable tree — the receiver half of the
+/// hashed oct-tree's "trivially mergeable" property. Distant matter from
+/// many peers combines into single coarse cells, so the per-body import
+/// cost matches the serial walk instead of growing with P.
+#[derive(Debug, Clone, Default)]
+struct ImportedForest {
+    nodes: HashMap<u64, MergedNode>,
+    bodies: Vec<(f64, [f64; 3])>,
+}
+
+/// Merge per-peer pruned trees into one forest.
+///
+/// Correctness rests on two skeleton invariants: every peer with matter
+/// below key `k` shipped a piece *at* `k` (pruned trees are connected from
+/// the root), and each internal piece's full subtree moments equal the
+/// combined moments of its shipped children. Hence the combined moments
+/// at `k` account for all shipped matter below `k` exactly once.
+fn merge_foreign(trees: Vec<ForeignTree>, global_bb: &BoundingBox) -> ImportedForest {
+    let mut forest = ImportedForest::default();
+    // key → (internal moment pieces, residents, child mask union)
+    type Pieces = (Vec<(f64, [f64; 3], [f64; 6])>, Vec<Resident>, u8);
+    let mut pieces: HashMap<u64, Pieces> = HashMap::new();
+    for tree in trees {
+        let offset = forest.bodies.len() as u32;
+        forest.bodies.extend_from_slice(&tree.bodies);
+        for (key, n) in tree.nodes {
+            let entry = pieces.entry(key).or_insert_with(|| (Vec::new(), Vec::new(), 0));
+            entry.0.push((n.mass, n.com, n.quad));
+            match n.tag {
+                TAG_TERMINAL => entry.1.push(Resident::Multipole {
+                    mass: n.mass,
+                    com: n.com,
+                    quad: n.quad,
+                }),
+                TAG_BODIES => entry.1.push(Resident::Group {
+                    start: n.bodies.0 + offset,
+                    end: n.bodies.1 + offset,
+                    mass: n.mass,
+                    com: n.com,
+                    quad: n.quad,
+                    delta: n.delta,
+                }),
+                TAG_INTERNAL => entry.2 |= n.child_mask,
+                _ => unreachable!("unknown tag"),
+            }
+        }
+    }
+    for (key, (moment_pieces, resident, child_mask)) in pieces {
+        let (mass, com, quad) = crate::moments::combine_moments(&moment_pieces);
+        let center = global_bb.cell_center(Key(key));
+        let delta = ((com[0] - center[0]).powi(2)
+            + (com[1] - center[1]).powi(2)
+            + (com[2] - center[2]).powi(2))
+        .sqrt();
+        forest.nodes.insert(
+            key,
+            MergedNode {
+                mass,
+                com,
+                quad,
+                delta,
+                child_mask,
+                resident,
+            },
+        );
+    }
+    forest
+}
+
+fn apply_multipole(
+    mass: f64,
+    com: [f64; 3],
+    quad: [f64; 6],
+    delta: f64,
+    pos: [f64; 3],
+    mac: &Mac,
+    eps2: f64,
+    acc: &mut [f64; 3],
+    pot: &mut f64,
+) {
+    let node = crate::hot::Node {
+        key: Key::ROOT,
+        kind: NodeKind::Leaf { start: 0, end: 0 },
+        count: 2,
+        mass,
+        com,
+        quad,
+        delta,
+    };
+    let (a, p) = crate::moments::multipole_field(&node, pos, eps2, mac.quadrupole);
+    for ax in 0..3 {
+        acc[ax] += a[ax];
+    }
+    *pot += p;
+}
+
+/// Walk one body over the merged import forest with the body-level MAC.
+#[allow(clippy::too_many_arguments)]
+fn walk_forest(
+    forest: &ImportedForest,
+    global_bb: &BoundingBox,
+    pos: [f64; 3],
+    mac: &Mac,
+    eps2: f64,
+    acc: &mut [f64; 3],
+    pot: &mut f64,
+    counts: &mut InteractionCounts,
+) {
+    if forest.nodes.is_empty() {
+        return;
+    }
+    let mut stack = vec![Key::ROOT.0];
+    while let Some(key) = stack.pop() {
+        let Some(node) = forest.nodes.get(&key) else {
+            continue;
+        };
+        let k = Key(key);
+        let size = global_bb.cell_size(k.level());
+        let d = [
+            node.com[0] - pos[0],
+            node.com[1] - pos[1],
+            node.com[2] - pos[2],
+        ];
+        let dist2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        if mac.accepts(size, node.delta, dist2) {
+            apply_multipole(
+                node.mass, node.com, node.quad, node.delta, pos, mac, eps2, acc, pot,
+            );
+            counts.pc += 1;
+            continue;
+        }
+        for r in &node.resident {
+            match *r {
+                Resident::Multipole { mass, com, quad } => {
+                    // Domain-accepted ⇒ body-accepted: apply directly.
+                    apply_multipole(mass, com, quad, 0.0, pos, mac, eps2, acc, pot);
+                    counts.pc += 1;
+                }
+                Resident::Group {
+                    start,
+                    end,
+                    mass,
+                    com,
+                    quad,
+                    delta,
+                } => {
+                    let gd = [com[0] - pos[0], com[1] - pos[1], com[2] - pos[2]];
+                    let gdist2 = gd[0] * gd[0] + gd[1] * gd[1] + gd[2] * gd[2];
+                    if end - start > 1 && mac.accepts(size, delta, gdist2) {
+                        apply_multipole(mass, com, quad, delta, pos, mac, eps2, acc, pot);
+                        counts.pc += 1;
+                    } else {
+                        for &(m, q) in &forest.bodies[start as usize..end as usize] {
+                            let dj = [q[0] - pos[0], q[1] - pos[1], q[2] - pos[2]];
+                            let r2 = dj[0] * dj[0] + dj[1] * dj[1] + dj[2] * dj[2] + eps2;
+                            let rinv = 1.0 / r2.sqrt();
+                            let rinv3 = rinv * rinv * rinv;
+                            let sfac = m * rinv3;
+                            acc[0] += sfac * dj[0];
+                            acc[1] += sfac * dj[1];
+                            acc[2] += sfac * dj[2];
+                            *pot -= m * rinv;
+                            counts.pp += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for dgt in 0..8u8 {
+            if node.child_mask & (1 << dgt) != 0 {
+                stack.push(k.child(dgt).0);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The SPMD step
+// ---------------------------------------------------------------------
+
+/// Run one distributed force evaluation of `bodies` on `cluster` with
+/// uniform cost weights. See [`distributed_step_weighted`] for the
+/// cost-feedback variant the production treecode uses.
+pub fn distributed_step(
+    cluster: &Cluster,
+    bodies: &Bodies,
+    cfg: &DistributedConfig,
+) -> StepReport {
+    distributed_step_weighted(cluster, bodies, cfg, None)
+}
+
+/// Run one distributed force evaluation, decomposing by per-body work
+/// weights (typically [`StepReport::body_cost`] from the previous step —
+/// Warren–Salmon cost zones).
+pub fn distributed_step_weighted(
+    cluster: &Cluster,
+    bodies: &Bodies,
+    cfg: &DistributedConfig,
+    weights: Option<&[f64]>,
+) -> StepReport {
+    let nranks = cluster.spec().nodes;
+    let bb = BoundingBox::containing(&bodies.pos);
+    let zones = cost_zones(bodies, &bb, nranks, weights);
+    let zone_bodies: Arc<Vec<Bodies>> =
+        Arc::new(zones.iter().map(|z| bodies.select(z)).collect());
+    let cfg = *cfg;
+
+    let outcome =
+        cluster.run(move |comm: &mut Comm| run_rank(comm, &zone_bodies[comm.rank()], &cfg));
+
+    let total_flops: f64 = outcome
+        .results
+        .iter()
+        .map(|r: &RankReport| r.interactions.flops(cfg.mac.quadrupole) as f64)
+        .sum();
+    let makespan = outcome.makespan_s();
+    let mut acc = vec![[0.0; 3]; bodies.len()];
+    let mut pot = vec![0.0; bodies.len()];
+    let mut body_cost = vec![0.0; bodies.len()];
+    for (zone, report) in zones.iter().zip(&outcome.results) {
+        for (slot, &orig) in zone.iter().enumerate() {
+            acc[orig] = report.acc[slot];
+            pot[orig] = report.pot[slot];
+            body_cost[orig] = report.body_cost[slot];
+        }
+    }
+    StepReport {
+        makespan_s: makespan,
+        total_flops,
+        gflops: if makespan > 0.0 {
+            total_flops / makespan / 1e9
+        } else {
+            0.0
+        },
+        acc,
+        pot,
+        per_rank: outcome.results,
+        body_cost,
+    }
+}
+
+/// The SPMD body of one rank.
+fn run_rank(comm: &mut Comm, mine: &Bodies, cfg: &DistributedConfig) -> RankReport {
+    let rank = comm.rank();
+    let nranks = comm.nranks();
+    let n_local = mine.len();
+
+    // 1. Agree on the global bounding box (allgather + union).
+    let my_box = if n_local > 0 {
+        let b = BoundingBox::containing(&mine.pos);
+        vec![b.min[0], b.min[1], b.min[2], b.size]
+    } else {
+        vec![f64::NAN; 4]
+    };
+    let boxes = comm.allgather(mb_cluster::comm::pack_f64s(&my_box));
+    let mut global_bb: Option<BoundingBox> = None;
+    for payload in &boxes {
+        let v = mb_cluster::comm::unpack_f64s(payload);
+        if v[0].is_nan() {
+            continue;
+        }
+        let b = BoundingBox {
+            min: [v[0], v[1], v[2]],
+            size: v[3],
+        };
+        global_bb = Some(match global_bb {
+            Some(g) => g.union(&b),
+            None => b,
+        });
+    }
+    let global_bb = global_bb.expect("at least one rank owns bodies");
+
+    // 2. Local tree in the global key space. `build_tree` Morton-sorts;
+    // replicate the permutation to scatter results back to zone order.
+    let mut local = mine.clone();
+    let mut order: Vec<usize> = (0..n_local).collect();
+    let tree = if n_local > 0 {
+        let keys = local.keys(&global_bb);
+        order.sort_by_key(|&i| keys[i]);
+        let t = build_tree(&mut local, global_bb, cfg.leaf_capacity);
+        let levels = (n_local.max(2) as f64).log2();
+        comm.compute(cfg.build_flops_per_body_level * n_local as f64 * levels);
+        Some(t)
+    } else {
+        None
+    };
+
+    // 3. Publish the domain description: the adaptive cell frontier of
+    // the local tree (see DOMAIN_CELL_BUDGET).
+    let occupied: Vec<u64> = match &tree {
+        Some(t) => domain_frontier(t, DOMAIN_CELL_BUDGET),
+        None => Vec::new(),
+    };
+    let mut occ_bytes = Vec::with_capacity(occupied.len() * 8);
+    for k in &occupied {
+        occ_bytes.extend_from_slice(&k.to_le_bytes());
+    }
+    let domains = comm.allgather(Bytes::from(occ_bytes));
+    let peer_domains: Vec<Vec<BoundingBox>> = domains
+        .iter()
+        .map(|b| {
+            b.chunks_exact(8)
+                .map(|c| {
+                    let key = Key(u64::from_le_bytes(c.try_into().expect("key")));
+                    let center = global_bb.cell_center(key);
+                    let size = global_bb.cell_size(key.level());
+                    BoundingBox {
+                        min: [
+                            center[0] - size / 2.0,
+                            center[1] - size / 2.0,
+                            center[2] - size / 2.0,
+                        ],
+                        size,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // 4. LET exchange: pruned skeleton per peer.
+    let mut outgoing = vec![Bytes::new(); nranks];
+    if let Some(tree) = &tree {
+        for (peer, domain) in peer_domains.iter().enumerate() {
+            if peer == rank || domain.is_empty() {
+                continue;
+            }
+            outgoing[peer] = prune_for_domain(tree, &local, domain, &cfg.mac);
+        }
+    }
+    let incoming = comm.alltoallv(outgoing);
+    let foreign: Vec<ForeignTree> = incoming
+        .iter()
+        .enumerate()
+        .map(|(peer, payload)| {
+            if peer == rank {
+                ForeignTree::default()
+            } else {
+                deserialize_foreign(payload)
+            }
+        })
+        .collect();
+    let imported_cells: u64 = foreign.iter().map(|f| f.nodes.len() as u64).sum();
+    let imported_bodies: u64 = foreign.iter().map(|f| f.bodies.len() as u64).sum();
+    let forest = merge_foreign(foreign, &global_bb);
+
+    // 5. Walk: local tree plus every imported skeleton.
+    let mut counts = InteractionCounts::default();
+    let mut acc = vec![[0.0; 3]; n_local];
+    let mut pot = vec![0.0; n_local];
+    let mut body_cost = vec![0.0; n_local];
+    for i in 0..n_local {
+        let p = local.pos[i];
+        let before = counts;
+        let (mut a, mut phi, c, _) = match &tree {
+            Some(t) => walk_one(t, &local, p, i, &cfg.mac, cfg.eps2),
+            None => ([0.0; 3], 0.0, InteractionCounts::default(), 0),
+        };
+        counts.add(c);
+        walk_forest(
+            &forest,
+            &global_bb,
+            p,
+            &cfg.mac,
+            cfg.eps2,
+            &mut a,
+            &mut phi,
+            &mut counts,
+        );
+        // Scatter: `i` is Morton order, `order[i]` the caller's zone slot.
+        acc[order[i]] = a;
+        pot[order[i]] = phi;
+        body_cost[order[i]] =
+            ((counts.pp - before.pp) + (counts.pc - before.pc)) as f64;
+    }
+    comm.compute(counts.flops(cfg.mac.quadrupole) as f64);
+    comm.barrier();
+
+    RankReport {
+        rank,
+        n_local,
+        interactions: counts,
+        imported_cells,
+        imported_bodies,
+        clock_s: comm.now(),
+        acc,
+        pot,
+        body_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_cluster::spec::metablade;
+
+    use crate::direct::direct_forces;
+    use crate::ic::plummer;
+
+    fn median_err(a: &[[f64; 3]], b: &[[f64; 3]]) -> f64 {
+        let mut errs: Vec<f64> = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let e = ((x[0] - y[0]).powi(2) + (x[1] - y[1]).powi(2) + (x[2] - y[2]).powi(2))
+                    .sqrt();
+                let n = (y[0] * y[0] + y[1] * y[1] + y[2] * y[2]).sqrt();
+                e / n.max(1e-30)
+            })
+            .collect();
+        errs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        errs[errs.len() / 2]
+    }
+
+    #[test]
+    fn distributed_forces_match_direct_summation() {
+        let mut bodies = plummer(1500, 77);
+        let cluster = Cluster::new(metablade().with_nodes(6));
+        let cfg = DistributedConfig::default();
+        let report = distributed_step(&cluster, &bodies, &cfg);
+        direct_forces(&mut bodies, cfg.eps2);
+        let err = median_err(&report.acc, &bodies.acc);
+        assert!(err < 4e-3, "median error vs direct: {err}");
+    }
+
+    #[test]
+    fn distributed_result_is_independent_of_rank_count() {
+        let bodies = plummer(800, 3);
+        let cfg = DistributedConfig::default();
+        let r2 = distributed_step(&Cluster::new(metablade().with_nodes(2)), &bodies, &cfg);
+        let r8 = distributed_step(&Cluster::new(metablade().with_nodes(8)), &bodies, &cfg);
+        let err = median_err(&r2.acc, &r8.acc);
+        assert!(err < 4e-3, "P=2 vs P=8 median divergence {err}");
+    }
+
+    #[test]
+    fn more_ranks_are_faster_with_reasonable_efficiency() {
+        let bodies = plummer(20_000, 5);
+        let cfg = DistributedConfig::default();
+        let t1 = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg)
+            .makespan_s;
+        let t8 = distributed_step(&Cluster::new(metablade().with_nodes(8)), &bodies, &cfg)
+            .makespan_s;
+        let speedup = t1 / t8;
+        assert!(speedup > 4.0, "speedup {speedup} too low");
+        assert!(speedup < 8.0, "speedup {speedup} super-linear?");
+    }
+
+    #[test]
+    fn tiny_problems_are_communication_bound() {
+        // Starve the ranks and efficiency collapses — the drop-off
+        // mechanism behind Table 2's "drop in efficiency".
+        let bodies = plummer(1000, 6);
+        let cfg = DistributedConfig::default();
+        let t1 = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg)
+            .makespan_s;
+        let t16 = distributed_step(&Cluster::new(metablade().with_nodes(16)), &bodies, &cfg)
+            .makespan_s;
+        let eff = t1 / t16 / 16.0;
+        assert!(
+            eff < 0.6,
+            "1000 bodies on 16 ranks should be inefficient, eff {eff}"
+        );
+    }
+
+    #[test]
+    fn single_rank_equals_shared_memory_tree() {
+        let bodies = plummer(600, 9);
+        let cfg = DistributedConfig::default();
+        let report = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg);
+        let bb = BoundingBox::containing(&bodies.pos);
+        let mut sorted = bodies.clone();
+        let tree = build_tree(&mut sorted, bb, cfg.leaf_capacity);
+        crate::traverse::tree_forces(&mut sorted, &tree, &cfg.mac, cfg.eps2);
+        use std::collections::HashMap;
+        let mut by_pos: HashMap<[u64; 3], usize> = HashMap::new();
+        for (i, p) in sorted.pos.iter().enumerate() {
+            by_pos.insert([p[0].to_bits(), p[1].to_bits(), p[2].to_bits()], i);
+        }
+        for (i, p) in bodies.pos.iter().enumerate() {
+            let j = by_pos[&[p[0].to_bits(), p[1].to_bits(), p[2].to_bits()]];
+            for d in 0..3 {
+                let diff = (report.acc[i][d] - sorted.acc[j][d]).abs();
+                let scale = sorted.acc[j][d].abs().max(1e-12);
+                assert!(
+                    diff / scale < 1e-9,
+                    "P=1 must equal shared-memory walk: body {i} dim {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn import_volume_is_a_small_fraction_of_n() {
+        // The LET exchange must ship surface-like volumes, not whole
+        // zones (the regression that motivated occupied-cell domains).
+        let n = 20_000;
+        let bodies = plummer(n, 13);
+        let cluster = Cluster::new(metablade().with_nodes(8));
+        let r = distributed_step(&cluster, &bodies, &DistributedConfig::default());
+        for rr in &r.per_rank {
+            assert!(
+                (rr.imported_bodies as usize) < n / 2,
+                "rank {} imported {} bodies of {}",
+                rr.rank,
+                rr.imported_bodies,
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn looser_mac_ships_less() {
+        let bodies = plummer(2000, 13);
+        let tight = DistributedConfig {
+            mac: Mac {
+                theta: 0.3,
+                quadrupole: true,
+            },
+            ..Default::default()
+        };
+        let loose = DistributedConfig {
+            mac: Mac {
+                theta: 1.0,
+                quadrupole: true,
+            },
+            ..Default::default()
+        };
+        let cluster = Cluster::new(metablade().with_nodes(8));
+        let rt = distributed_step(&cluster, &bodies, &tight);
+        let rl = distributed_step(&cluster, &bodies, &loose);
+        let t: u64 = rt.per_rank.iter().map(|r| r.imported_bodies).sum();
+        let l: u64 = rl.per_rank.iter().map(|r| r.imported_bodies).sum();
+        assert!(l < t, "loose {l} !< tight {t}");
+    }
+
+    #[test]
+    fn gflops_are_positive_and_below_peak() {
+        let bodies = plummer(3000, 21);
+        let cluster = Cluster::new(metablade());
+        let report = distributed_step(&cluster, &bodies, &DistributedConfig::default());
+        assert!(report.gflops > 0.0);
+        assert!(
+            report.gflops <= cluster.spec().peak_gflops(),
+            "{} Gflops exceeds peak {}",
+            report.gflops,
+            cluster.spec().peak_gflops()
+        );
+    }
+
+    #[test]
+    fn foreign_tree_roundtrips_through_serialization() {
+        let nodes = vec![
+            (
+                Key::ROOT.0,
+                ForeignNode {
+                    mass: 1.5,
+                    com: [0.1, 0.2, 0.3],
+                    quad: [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+                    delta: 0.05,
+                    tag: TAG_INTERNAL,
+                    child_mask: 0b1010_0001,
+                    bodies: (0, 0),
+                },
+            ),
+            (
+                Key::ROOT.child(5).0,
+                ForeignNode {
+                    mass: 0.5,
+                    com: [-0.1, 0.0, 0.9],
+                    quad: [0.0; 6],
+                    delta: 0.0,
+                    tag: TAG_BODIES,
+                    child_mask: 0,
+                    bodies: (0, 2),
+                },
+            ),
+        ];
+        let bodies = vec![(0.25, [1.0, 2.0, 3.0]), (0.25, [-1.0, -2.0, -3.0])];
+        let bytes = serialize_foreign(&nodes, &bodies);
+        let t = deserialize_foreign(&bytes);
+        assert_eq!(t.nodes.len(), 2);
+        assert_eq!(t.bodies, bodies);
+        let root = &t.nodes[&Key::ROOT.0];
+        assert_eq!(root.tag, TAG_INTERNAL);
+        assert_eq!(root.child_mask, 0b1010_0001);
+        assert_eq!(root.com, [0.1, 0.2, 0.3]);
+        let leaf = &t.nodes[&Key::ROOT.child(5).0];
+        assert_eq!(leaf.tag, TAG_BODIES);
+        assert_eq!(leaf.bodies, (0, 2));
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use crate::ic::plummer;
+    use mb_cluster::spec::metablade;
+
+    #[test]
+    #[ignore]
+    fn scaling_probe() {
+        for &n in &[50_000usize, 100_000] {
+            let bodies = plummer(n, 5);
+            let cfg = DistributedConfig::default();
+            let t1 = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg).makespan_s;
+            for &p in &[4usize, 8, 16, 24] {
+                let warm = distributed_step(&Cluster::new(metablade().with_nodes(p)), &bodies, &cfg);
+                let r = distributed_step_weighted(&Cluster::new(metablade().with_nodes(p)), &bodies, &cfg, Some(&warm.body_cost));
+                let imp: u64 = r.per_rank.iter().map(|x| x.imported_bodies).sum();
+                let ints: Vec<u64> = r.per_rank.iter().map(|x| x.interactions.pp + x.interactions.pc).collect();
+                println!("N={n} P={p}: t={:.2}s speedup={:.2} eff={:.2} imp={} ints(min/max)={}/{}",
+                    r.makespan_s, t1 / r.makespan_s, t1 / r.makespan_s / p as f64, imp,
+                    ints.iter().min().unwrap(), ints.iter().max().unwrap());
+            }
+        }
+    }
+}
+
+/// Report from a distributed multi-step evolution.
+#[derive(Debug, Clone)]
+pub struct EvolveReport {
+    /// Total virtual wall-clock across all steps, seconds.
+    pub total_time_s: f64,
+    /// Sustained Gflops over the whole run.
+    pub gflops: f64,
+    /// Relative total-energy drift |E_end − E_0| / |E_0|.
+    pub energy_drift: f64,
+    /// Final positions (original body order).
+    pub pos: Vec<[f64; 3]>,
+    /// Final velocities.
+    pub vel: Vec<[f64; 3]>,
+}
+
+/// Evolve `bodies` for `steps` leapfrog (KDK) steps with forces computed
+/// by the distributed treecode on `cluster` — the full §3.3 "about 1000
+/// timesteps" workflow at configurable scale. The decomposition reuses
+/// each step's per-body interaction counts as the next step's cost-zone
+/// weights, exactly as the production code carries its decomposition
+/// between steps. `bodies` is taken by value; results come back in the
+/// report.
+pub fn distributed_evolve(
+    cluster: &Cluster,
+    mut bodies: Bodies,
+    cfg: &DistributedConfig,
+    dt: f64,
+    steps: usize,
+) -> EvolveReport {
+    let n = bodies.len();
+    let p = cluster.spec().nodes as f64;
+    let rate = cluster.spec().node.cpu.sustained_mflops * 1e6;
+    let mut total_time = 0.0;
+    let mut total_flops = 0.0;
+
+    // Initial forces + energy.
+    let r0 = distributed_step_weighted(cluster, &bodies, cfg, None);
+    total_time += r0.makespan_s;
+    total_flops += r0.total_flops;
+    let e0 = energy_of(&bodies, &r0.pot);
+    let mut acc = r0.acc;
+    let mut weights: Option<Vec<f64>> = Some(r0.body_cost);
+    let mut last_pot = r0.pot;
+
+    for _ in 0..steps {
+        // Kick + drift (embarrassingly parallel: charge its virtual time).
+        for i in 0..n {
+            for d in 0..3 {
+                bodies.vel[i][d] += 0.5 * dt * acc[i][d];
+                bodies.pos[i][d] += dt * bodies.vel[i][d];
+            }
+        }
+        total_time += 9.0 * n as f64 / p / rate;
+        // New forces (re-decomposed with cost feedback).
+        let r = distributed_step_weighted(cluster, &bodies, cfg, weights.as_deref());
+        total_time += r.makespan_s;
+        total_flops += r.total_flops;
+        weights = Some(r.body_cost);
+        // Kick.
+        for i in 0..n {
+            for d in 0..3 {
+                bodies.vel[i][d] += 0.5 * dt * r.acc[i][d];
+            }
+        }
+        total_time += 3.0 * n as f64 / p / rate;
+        acc = r.acc;
+        last_pot = r.pot;
+    }
+    let e1 = energy_of(&bodies, &last_pot);
+    EvolveReport {
+        total_time_s: total_time,
+        gflops: total_flops / total_time / 1e9,
+        energy_drift: ((e1 - e0) / e0).abs(),
+        pos: bodies.pos,
+        vel: bodies.vel,
+    }
+}
+
+fn energy_of(bodies: &Bodies, pot: &[f64]) -> f64 {
+    let ke: f64 = bodies
+        .vel
+        .iter()
+        .zip(&bodies.mass)
+        .map(|(v, &m)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+        .sum();
+    let pe: f64 = 0.5
+        * pot
+            .iter()
+            .zip(&bodies.mass)
+            .map(|(&p, &m)| m * p)
+            .sum::<f64>();
+    ke + pe
+}
+
+#[cfg(test)]
+mod evolve_tests {
+    use super::*;
+    use crate::ic::{plummer, two_body_circular};
+    use mb_cluster::spec::metablade;
+
+    #[test]
+    fn distributed_orbit_closes() {
+        let bodies = two_body_circular(1.0, 1.0, 1.0);
+        let start = bodies.pos.clone();
+        let cluster = Cluster::new(metablade().with_nodes(2));
+        let cfg = DistributedConfig {
+            eps2: 0.0,
+            ..Default::default()
+        };
+        let period = std::f64::consts::TAU / 2f64.sqrt();
+        let steps = 600;
+        let r = distributed_evolve(&cluster, bodies, &cfg, period / steps as f64, steps);
+        for i in 0..2 {
+            for d in 0..3 {
+                assert!(
+                    (r.pos[i][d] - start[i][d]).abs() < 5e-3,
+                    "body {i} dim {d}: {} vs {}",
+                    r.pos[i][d],
+                    start[i][d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_evolution_conserves_energy() {
+        let bodies = plummer(1500, 19);
+        let cluster = Cluster::new(metablade().with_nodes(6));
+        let cfg = DistributedConfig {
+            eps2: 1e-4,
+            ..Default::default()
+        };
+        let r = distributed_evolve(&cluster, bodies, &cfg, 1e-3, 25);
+        assert!(r.energy_drift < 5e-3, "energy drift {}", r.energy_drift);
+        assert!(r.gflops > 0.0);
+        assert!(r.total_time_s > 0.0);
+    }
+}

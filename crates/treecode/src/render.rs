@@ -1,0 +1,165 @@
+//! Figure-3-style rendering: project the particle distribution onto a
+//! 2-D density grid and emit it as a PGM image or ASCII art.
+//!
+//! The paper's Figure 3 shows "an intermediate stage of a gravitational
+//! N-body simulation with 9.7 million particles"; our regenerator runs a
+//! scaled-down simulation and writes the same kind of column-density
+//! plot.
+
+use crate::body::Bodies;
+
+/// A 2-D mass-density grid (x horizontal, y vertical, z projected out).
+#[derive(Debug, Clone)]
+pub struct DensityImage {
+    /// Grid width in pixels.
+    pub width: usize,
+    /// Grid height in pixels.
+    pub height: usize,
+    /// Deposited mass per pixel, row-major with row 0 at the top.
+    pub mass: Vec<f64>,
+}
+
+impl DensityImage {
+    /// Project bodies with cloud-in-cell deposition over the smallest
+    /// centered square window containing `frac` of the mass (use
+    /// `frac = 1.0` for everything).
+    pub fn project(bodies: &Bodies, width: usize, height: usize, frac: f64) -> Self {
+        assert!(width > 0 && height > 0);
+        assert!((0.0..=1.0).contains(&frac));
+        // Window: percentile of |x|,|y| radii about the median center.
+        let mut radii: Vec<f64> = bodies
+            .pos
+            .iter()
+            .map(|p| p[0].abs().max(p[1].abs()))
+            .collect();
+        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((radii.len() as f64 * frac) as usize).clamp(1, radii.len()) - 1;
+        let half = radii[idx].max(1e-12);
+        let mut mass = vec![0.0; width * height];
+        let fw = width as f64;
+        let fh = height as f64;
+        for (p, &m) in bodies.pos.iter().zip(&bodies.mass) {
+            // Map [-half, half] → [0, width).
+            let x = (p[0] + half) / (2.0 * half) * fw - 0.5;
+            let y = (p[1] + half) / (2.0 * half) * fh - 0.5;
+            if !(0.0..fw - 1.0).contains(&x) || !(0.0..fh - 1.0).contains(&y) {
+                continue;
+            }
+            let (x0, y0) = (x.floor() as usize, y.floor() as usize);
+            let (fx, fy) = (x - x0 as f64, y - y0 as f64);
+            // Cloud-in-cell: bilinear mass split over four pixels.
+            let row = height - 1 - y0; // y up → row down
+            let row1 = row.saturating_sub(1);
+            mass[row * width + x0] += m * (1.0 - fx) * (1.0 - fy);
+            mass[row * width + x0 + 1] += m * fx * (1.0 - fy);
+            mass[row1 * width + x0] += m * (1.0 - fx) * fy;
+            mass[row1 * width + x0 + 1] += m * fx * fy;
+        }
+        Self {
+            width,
+            height,
+            mass,
+        }
+    }
+
+    /// Total deposited mass.
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Log-scaled 8-bit pixels (0 = empty, 255 = densest).
+    pub fn to_gray(&self) -> Vec<u8> {
+        let max = self.mass.iter().copied().fold(0.0, f64::max);
+        if max <= 0.0 {
+            return vec![0; self.mass.len()];
+        }
+        let lmax = (1.0f64 + 1e4).ln();
+        self.mass
+            .iter()
+            .map(|&m| {
+                let v = (1.0 + 1e4 * m / max).ln() / lmax;
+                (v * 255.0).round() as u8
+            })
+            .collect()
+    }
+
+    /// Binary PGM (P5) image bytes.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend(self.to_gray());
+        out
+    }
+
+    /// ASCII rendering with a 10-step density ramp.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let gray = self.to_gray();
+        let mut s = String::with_capacity((self.width + 1) * self.height);
+        for row in 0..self.height {
+            for col in 0..self.width {
+                let g = gray[row * self.width + col] as usize;
+                s.push(RAMP[g * (RAMP.len() - 1) / 255] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic::{cold_disk, plummer};
+
+    #[test]
+    fn projection_conserves_interior_mass() {
+        let b = plummer(2000, 17);
+        let img = DensityImage::project(&b, 64, 64, 0.9);
+        // ≈ 90% of the mass is inside the window (CiC may clip edges).
+        let dep = img.total_mass();
+        assert!(dep > 0.6 && dep <= 1.0, "deposited {dep}");
+    }
+
+    #[test]
+    fn center_is_denser_than_edge_for_plummer() {
+        let b = plummer(5000, 23);
+        let img = DensityImage::project(&b, 32, 32, 0.98);
+        let center = img.mass[16 * 32 + 16];
+        let corner = img.mass[1 * 32 + 1];
+        assert!(center > 10.0 * (corner + 1e-12), "{center} vs {corner}");
+    }
+
+    #[test]
+    fn pgm_has_valid_header_and_size() {
+        let b = cold_disk(500, 1);
+        let img = DensityImage::project(&b, 40, 30, 1.0);
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with(b"P5\n40 30\n255\n"));
+        assert_eq!(pgm.len(), 13 + 40 * 30);
+    }
+
+    #[test]
+    fn ascii_dimensions() {
+        let b = plummer(300, 2);
+        let img = DensityImage::project(&b, 20, 10, 1.0);
+        let a = img.to_ascii();
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 20));
+        // Something visible somewhere.
+        assert!(a.bytes().any(|c| c != b' ' && c != b'\n'));
+    }
+
+    #[test]
+    fn empty_grid_renders_black() {
+        let mut b = Bodies::with_capacity(1);
+        b.push([100.0, 100.0, 0.0], [0.0; 3], 1.0); // far outside window math
+        let img = DensityImage {
+            width: 4,
+            height: 4,
+            mass: vec![0.0; 16],
+        };
+        assert!(img.to_gray().iter().all(|&g| g == 0));
+        let _ = b;
+    }
+}

@@ -1,0 +1,252 @@
+//! The force walk: per-body traversal of the hashed oct-tree.
+//!
+//! For each body, walk from the root with an explicit stack: accepted
+//! cells contribute their multipole field; rejected internal cells are
+//! opened; leaves are summed directly (skipping self-interaction).
+//! Serial and rayon-parallel drivers share the same per-body walk, so
+//! their results are identical.
+
+use rayon::prelude::*;
+
+use crate::body::Bodies;
+use crate::flops::InteractionCounts;
+use crate::hot::{HashedOctTree, NodeKind};
+use crate::mac::Mac;
+use crate::moments::multipole_field;
+
+/// Statistics of one full force evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WalkStats {
+    /// Interaction counts (convert to flops via
+    /// [`InteractionCounts::flops`]).
+    pub interactions: InteractionCounts,
+    /// Deepest stack reached (diagnostic).
+    pub max_stack: usize,
+}
+
+/// Walk the tree for the body at `pos` with index `self_idx` (used to
+/// skip self-interaction in leaves; pass `usize::MAX` for field-only
+/// probes). Returns acceleration, potential and counts.
+pub fn walk_one(
+    tree: &HashedOctTree,
+    bodies: &Bodies,
+    pos: [f64; 3],
+    self_idx: usize,
+    mac: &Mac,
+    eps2: f64,
+) -> ([f64; 3], f64, InteractionCounts, usize) {
+    let mut acc = [0.0; 3];
+    let mut pot = 0.0;
+    let mut counts = InteractionCounts::default();
+    let mut stack = Vec::with_capacity(64);
+    let mut max_stack = 0;
+    if !tree.is_empty() {
+        stack.push(*tree.root());
+    }
+    while let Some(node) = stack.pop() {
+        max_stack = max_stack.max(stack.len() + 1);
+        let d = [
+            node.com[0] - pos[0],
+            node.com[1] - pos[1],
+            node.com[2] - pos[2],
+        ];
+        let dist2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        let size = tree.bb.cell_size(node.key.level());
+        // A single-body "cell" is exactly its body: treat as direct.
+        let accept = node.count > 1 && mac.accepts(size, node.delta, dist2);
+        if accept {
+            let (a, p) = multipole_field(&node, pos, eps2, mac.quadrupole);
+            for k in 0..3 {
+                acc[k] += a[k];
+            }
+            pot += p;
+            counts.pc += 1;
+            continue;
+        }
+        match node.kind {
+            NodeKind::Leaf { start, end } => {
+                for j in start as usize..end as usize {
+                    if j == self_idx {
+                        continue;
+                    }
+                    let dj = [
+                        bodies.pos[j][0] - pos[0],
+                        bodies.pos[j][1] - pos[1],
+                        bodies.pos[j][2] - pos[2],
+                    ];
+                    let r2 = dj[0] * dj[0] + dj[1] * dj[1] + dj[2] * dj[2] + eps2;
+                    let rinv = 1.0 / r2.sqrt();
+                    let rinv3 = rinv * rinv * rinv;
+                    let s = bodies.mass[j] * rinv3;
+                    acc[0] += s * dj[0];
+                    acc[1] += s * dj[1];
+                    acc[2] += s * dj[2];
+                    pot -= bodies.mass[j] * rinv;
+                    counts.pp += 1;
+                }
+            }
+            NodeKind::Internal { .. } => {
+                for child in tree.children(&node) {
+                    stack.push(*child);
+                }
+            }
+        }
+    }
+    (acc, pot, counts, max_stack)
+}
+
+/// Serial force evaluation for every body; fills `bodies.acc`/`pot`.
+pub fn tree_forces(bodies: &mut Bodies, tree: &HashedOctTree, mac: &Mac, eps2: f64) -> WalkStats {
+    let n = bodies.len();
+    let mut stats = WalkStats::default();
+    let mut results = Vec::with_capacity(n);
+    for i in 0..n {
+        results.push(walk_one(tree, bodies, bodies.pos[i], i, mac, eps2));
+    }
+    for (i, (a, p, c, depth)) in results.into_iter().enumerate() {
+        bodies.acc[i] = a;
+        bodies.pot[i] = p;
+        stats.interactions.add(c);
+        stats.max_stack = stats.max_stack.max(depth);
+    }
+    stats
+}
+
+/// Rayon-parallel force evaluation (the shared-memory analogue of the
+/// per-node threading in the original treecode). Identical results to
+/// [`tree_forces`].
+pub fn tree_forces_parallel(
+    bodies: &mut Bodies,
+    tree: &HashedOctTree,
+    mac: &Mac,
+    eps2: f64,
+) -> WalkStats {
+    let n = bodies.len();
+    let shared = &*bodies;
+    let results: Vec<_> = (0..n)
+        .into_par_iter()
+        .map(|i| walk_one(tree, shared, shared.pos[i], i, mac, eps2))
+        .collect();
+    let mut stats = WalkStats::default();
+    for (i, (a, p, c, depth)) in results.into_iter().enumerate() {
+        bodies.acc[i] = a;
+        bodies.pot[i] = p;
+        stats.interactions.add(c);
+        stats.max_stack = stats.max_stack.max(depth);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_tree;
+    use crate::direct::direct_forces;
+    use crate::ic::{plummer, uniform_cube};
+    use crate::morton::BoundingBox;
+
+    /// Median relative acceleration error of tree forces vs direct.
+    fn median_error(n: usize, mac: &Mac) -> f64 {
+        let eps2 = 1e-6;
+        let mut tree_b = plummer(n, 123);
+        let mut direct_b = tree_b.clone();
+        let bb = BoundingBox::containing(&tree_b.pos);
+        let tree = build_tree(&mut tree_b, bb, 8);
+        tree_forces(&mut tree_b, &tree, mac, eps2);
+        direct_forces(&mut direct_b, eps2);
+        // Match bodies by position (build_tree sorted tree_b).
+        use std::collections::HashMap;
+        let mut by_pos: HashMap<[u64; 3], usize> = HashMap::new();
+        for (i, p) in direct_b.pos.iter().enumerate() {
+            by_pos.insert([p[0].to_bits(), p[1].to_bits(), p[2].to_bits()], i);
+        }
+        let mut errs: Vec<f64> = tree_b
+            .pos
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let j = by_pos[&[p[0].to_bits(), p[1].to_bits(), p[2].to_bits()]];
+                let ta = tree_b.acc[i];
+                let da = direct_b.acc[j];
+                let dn = (da[0] * da[0] + da[1] * da[1] + da[2] * da[2]).sqrt();
+                let en = ((ta[0] - da[0]).powi(2)
+                    + (ta[1] - da[1]).powi(2)
+                    + (ta[2] - da[2]).powi(2))
+                .sqrt();
+                en / dn.max(1e-30)
+            })
+            .collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs[errs.len() / 2]
+    }
+
+    #[test]
+    fn standard_mac_hits_published_accuracy_band() {
+        // θ = 0.8 with quadrupoles: median relative force error in the
+        // few-times-10⁻³ band (Barnes–Hut-era published regime).
+        let err = median_error(800, &Mac::standard());
+        assert!(err < 4e-3, "median rel error {err}");
+        let tight = median_error(800, &Mac::accurate());
+        assert!(tight < 5e-4, "θ=0.3 median rel error {tight}");
+    }
+
+    #[test]
+    fn tighter_mac_is_more_accurate() {
+        let loose = median_error(400, &Mac { theta: 1.0, quadrupole: true });
+        let tight = median_error(400, &Mac { theta: 0.4, quadrupole: true });
+        assert!(tight < loose, "tight {tight} !< loose {loose}");
+    }
+
+    #[test]
+    fn quadrupole_terms_help() {
+        let mono = median_error(400, &Mac { theta: 0.8, quadrupole: false });
+        let quad = median_error(400, &Mac { theta: 0.8, quadrupole: true });
+        assert!(quad < mono, "quad {quad} !< mono {mono}");
+    }
+
+    #[test]
+    fn parallel_walk_matches_serial_exactly() {
+        let mut b = uniform_cube(600, 1.0, 9);
+        let bb = BoundingBox::containing(&b.pos);
+        let tree = build_tree(&mut b, bb, 8);
+        let mut serial = b.clone();
+        let mut parallel = b.clone();
+        let mac = Mac::standard();
+        let s1 = tree_forces(&mut serial, &tree, &mac, 1e-6);
+        let s2 = tree_forces_parallel(&mut parallel, &tree, &mac, 1e-6);
+        assert_eq!(serial.acc, parallel.acc);
+        assert_eq!(serial.pot, parallel.pot);
+        assert_eq!(s1.interactions, s2.interactions);
+    }
+
+    #[test]
+    fn tree_does_far_fewer_interactions_than_direct() {
+        let n = 2000;
+        let mut b = plummer(n, 5);
+        let bb = BoundingBox::containing(&b.pos);
+        let tree = build_tree(&mut b, bb, 8);
+        let stats = tree_forces(&mut b, &tree, &Mac::standard(), 1e-6);
+        let tree_ints = stats.interactions.pp + stats.interactions.pc;
+        let direct_ints = (n * (n - 1)) as u64;
+        assert!(
+            tree_ints * 3 < direct_ints,
+            "tree {tree_ints} vs direct {direct_ints}"
+        );
+    }
+
+    #[test]
+    fn interaction_counts_grow_like_n_log_n() {
+        let per_body = |n: usize| {
+            let mut b = plummer(n, 11);
+            let bb = BoundingBox::containing(&b.pos);
+            let tree = build_tree(&mut b, bb, 8);
+            let s = tree_forces(&mut b, &tree, &Mac::standard(), 1e-6);
+            (s.interactions.pp + s.interactions.pc) as f64 / n as f64
+        };
+        let small = per_body(500);
+        let large = per_body(4000);
+        // 8× more bodies: per-body work grows, but far slower than 8×.
+        assert!(large > small, "per-body work should grow with N");
+        assert!(large < 3.0 * small, "growth too fast: {small} → {large}");
+    }
+}

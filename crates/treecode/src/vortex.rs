@@ -1,0 +1,293 @@
+//! The vortex particle method on the treecode library.
+//!
+//! §3.5.1 cites Salmon, Warren & Winckelmans, "Fast Parallel Treecodes
+//! for Gravitational and Fluid Dynamical N-Body Problems": the same tree
+//! machinery that sums `1/r²` gravity sums the **Biot–Savart** kernel of
+//! vortex dynamics,
+//!
+//! ```text
+//! u(x) = −(1/4π) Σⱼ (x − xⱼ) × αⱼ / |x − xⱼ|³,
+//! ```
+//!
+//! where `αⱼ` is particle `j`'s vector circulation. Far-field clusters of
+//! vortex particles are replaced by their aggregate circulation at the
+//! circulation centroid — the monopole of the vector-valued "mass" —
+//! accepted by the same Barnes–Hut MAC.
+
+use crate::body::Bodies;
+use crate::build::build_tree;
+use crate::hot::NodeKind;
+use crate::mac::Mac;
+use crate::morton::BoundingBox;
+
+/// A vortex particle system: positions plus vector circulations.
+#[derive(Debug, Clone)]
+pub struct VortexSystem {
+    /// Particle positions.
+    pub pos: Vec<[f64; 3]>,
+    /// Vector circulations α (strength × direction).
+    pub alpha: Vec<[f64; 3]>,
+    /// Smoothing core radius² (regularizes the singular kernel).
+    pub core2: f64,
+}
+
+impl VortexSystem {
+    /// Total circulation (an invariant of inviscid vortex dynamics).
+    pub fn total_circulation(&self) -> [f64; 3] {
+        let mut t = [0.0; 3];
+        for a in &self.alpha {
+            for d in 0..3 {
+                t[d] += a[d];
+            }
+        }
+        t
+    }
+
+    /// Induced velocity at `x` by direct Biot–Savart summation
+    /// (excluding particle `skip`, or `usize::MAX` for none).
+    pub fn velocity_direct(&self, x: [f64; 3], skip: usize) -> [f64; 3] {
+        let mut u = [0.0; 3];
+        for j in 0..self.pos.len() {
+            if j == skip {
+                continue;
+            }
+            add_biot_savart(&mut u, x, self.pos[j], self.alpha[j], self.core2);
+        }
+        u
+    }
+
+    /// Induced velocities at every particle, direct O(N²).
+    pub fn velocities_direct(&self) -> Vec<[f64; 3]> {
+        (0..self.pos.len())
+            .map(|i| self.velocity_direct(self.pos[i], i))
+            .collect()
+    }
+
+    /// Induced velocities via the treecode: far clusters collapse to
+    /// their aggregate circulation at the circulation centroid.
+    pub fn velocities_tree(&self, mac: &Mac) -> Vec<[f64; 3]> {
+        let n = self.pos.len();
+        // Pack circulation components through the Bodies mass channel:
+        // build one tree whose "mass" is |α| for centroid weighting, and
+        // carry α sums per cell separately keyed by cell id.
+        let bb = BoundingBox::containing(&self.pos);
+        let keys: Vec<_> = self.pos.iter().map(|&p| bb.key_of(p)).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let mut bodies = Bodies::with_capacity(n);
+        for &i in &order {
+            // Weight centroids by |α| (fall back to uniform for null
+            // vortices so the builder never sees zero mass).
+            let w = norm(self.alpha[i]).max(1e-300);
+            bodies.push(self.pos[i], [0.0; 3], w);
+        }
+        let tree = build_tree(&mut bodies, bb, 8);
+        // α sums per cell (post-order accumulation over the hash map).
+        use std::collections::HashMap;
+        let mut cell_alpha: HashMap<u64, [f64; 3]> = HashMap::new();
+        // Accumulate body alphas up every ancestor path; lookups during
+        // the walk only touch keys that exist in the tree (ancestors of
+        // body keys by construction).
+        for &orig in &order {
+            let mut k = bb.key_of(self.pos[orig]);
+            loop {
+                let e = cell_alpha.entry(k.0).or_insert([0.0; 3]);
+                for d in 0..3 {
+                    e[d] += self.alpha[orig][d];
+                }
+                if k == crate::morton::Key::ROOT {
+                    break;
+                }
+                k = k.parent();
+            }
+        }
+        // Per-particle walk.
+        let mut out = vec![[0.0; 3]; n];
+        for &orig in &order {
+            let x = self.pos[orig];
+            let mut u = [0.0; 3];
+            let mut stack = vec![*tree.root()];
+            while let Some(node) = stack.pop() {
+                let d2 = dist2(node.com, x);
+                let size = tree.bb.cell_size(node.key.level());
+                if node.count > 1 && mac.accepts(size, node.delta, d2) {
+                    let a = cell_alpha.get(&node.key.0).copied().unwrap_or([0.0; 3]);
+                    add_biot_savart(&mut u, x, node.com, a, self.core2);
+                    continue;
+                }
+                match node.kind {
+                    NodeKind::Leaf { start, end } => {
+                        for bi in start as usize..end as usize {
+                            let oj = order[bi];
+                            if oj == orig {
+                                continue;
+                            }
+                            add_biot_savart(
+                                &mut u,
+                                x,
+                                self.pos[oj],
+                                self.alpha[oj],
+                                self.core2,
+                            );
+                        }
+                    }
+                    NodeKind::Internal { .. } => stack.extend(tree.children(&node).copied()),
+                }
+            }
+            out[orig] = u;
+        }
+        out
+    }
+
+    /// A discretized circular vortex ring of radius `r0` in the x–y
+    /// plane with total circulation `gamma`.
+    pub fn ring(n: usize, r0: f64, gamma: f64, core: f64) -> Self {
+        let mut pos = Vec::with_capacity(n);
+        let mut alpha = Vec::with_capacity(n);
+        let seg = gamma * std::f64::consts::TAU * r0 / n as f64;
+        for i in 0..n {
+            let phi = std::f64::consts::TAU * i as f64 / n as f64;
+            pos.push([r0 * phi.cos(), r0 * phi.sin(), 0.0]);
+            // Circulation along the tangent.
+            alpha.push([-seg * phi.sin(), seg * phi.cos(), 0.0]);
+        }
+        Self {
+            pos,
+            alpha,
+            core2: core * core,
+        }
+    }
+}
+
+fn norm(a: [f64; 3]) -> f64 {
+    (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt()
+}
+
+fn dist2(a: [f64; 3], b: [f64; 3]) -> f64 {
+    (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)
+}
+
+/// Accumulate one regularized Biot–Savart contribution:
+/// `u += −(1/4π) (x − p) × α / (|x − p|² + core²)^{3/2}`.
+fn add_biot_savart(u: &mut [f64; 3], x: [f64; 3], p: [f64; 3], alpha: [f64; 3], core2: f64) {
+    let r = [x[0] - p[0], x[1] - p[1], x[2] - p[2]];
+    let r2 = r[0] * r[0] + r[1] * r[1] + r[2] * r[2] + core2;
+    let inv = 1.0 / (r2 * r2.sqrt());
+    let k = -inv / (4.0 * std::f64::consts::PI);
+    u[0] += k * (r[1] * alpha[2] - r[2] * alpha[1]);
+    u[1] += k * (r[2] * alpha[0] - r[0] * alpha[2]);
+    u[2] += k * (r[0] * alpha[1] - r[1] * alpha[0]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_segment_field_points_the_right_way() {
+        // A single z-directed vortex at the origin induces azimuthal
+        // flow: at +x the velocity is along −y? Check orientation:
+        // u = −(1/4π) r×α/r³ with r = x−p = (1,0,0), α = (0,0,1):
+        // r×α = (0·1−0·0, 0·0−1·1, 0) = (0,−1,0) ⇒ u ∝ +y/4π.
+        let sys = VortexSystem {
+            pos: vec![[0.0; 3]],
+            alpha: vec![[0.0, 0.0, 1.0]],
+            core2: 0.0,
+        };
+        let u = sys.velocity_direct([1.0, 0.0, 0.0], usize::MAX);
+        assert!(u[1] > 0.0, "{u:?}");
+        assert!(u[0].abs() < 1e-15 && u[2].abs() < 1e-15);
+        assert!((u[1] - 1.0 / (4.0 * std::f64::consts::PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_self_advects_along_its_axis() {
+        // A vortex ring translates along its axis: the induced velocity
+        // at each ring particle has a coherent z component.
+        let sys = VortexSystem::ring(128, 1.0, 1.0, 0.1);
+        let v = sys.velocities_direct();
+        let mean_z: f64 = v.iter().map(|u| u[2]).sum::<f64>() / v.len() as f64;
+        let mean_xy: f64 = v
+            .iter()
+            .map(|u| (u[0] * u[0] + u[1] * u[1]).sqrt())
+            .sum::<f64>()
+            / v.len() as f64;
+        assert!(
+            mean_z.abs() > 5.0 * mean_xy,
+            "ring should self-advect axially: z {mean_z} vs xy {mean_xy}"
+        );
+    }
+
+    #[test]
+    fn tree_matches_direct_summation() {
+        // Scatter vortex particles, compare tree vs direct velocities.
+        let cube = crate::ic::uniform_cube(600, 1.0, 21);
+        let alpha: Vec<[f64; 3]> = (0..600)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                [t.sin() * 0.01, t.cos() * 0.01, (t * 0.5).sin() * 0.01]
+            })
+            .collect();
+        let sys = VortexSystem {
+            pos: cube.pos.clone(),
+            alpha,
+            core2: 1e-4,
+        };
+        let direct = sys.velocities_direct();
+        let tree = sys.velocities_tree(&Mac {
+            theta: 0.5,
+            quadrupole: false,
+        });
+        let mut errs: Vec<f64> = direct
+            .iter()
+            .zip(&tree)
+            .map(|(d, t)| {
+                let e = ((d[0] - t[0]).powi(2) + (d[1] - t[1]).powi(2) + (d[2] - t[2]).powi(2))
+                    .sqrt();
+                let m = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                e / m.max(1e-30)
+            })
+            .collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = errs[errs.len() / 2];
+        // Monopole-only vector kernels carry first-order centroid error;
+        // a few percent at θ = 0.5 is the method's published regime.
+        assert!(median < 6e-2, "median rel error {median}");
+    }
+
+    #[test]
+    fn total_circulation_is_reported() {
+        let sys = VortexSystem::ring(64, 1.0, 2.0, 0.1);
+        // A closed ring's total circulation vector sums to ≈ 0 (tangents
+        // cancel) — the conserved diagnostic is per-segment magnitude.
+        let t = sys.total_circulation();
+        assert!(norm(t) < 1e-10, "{t:?}");
+        let seg_total: f64 = sys.alpha.iter().map(|a| norm(*a)).sum();
+        assert!((seg_total - 2.0 * std::f64::consts::TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_theta_tightens_the_tree_answer() {
+        let cube = crate::ic::uniform_cube(300, 1.0, 22);
+        let alpha: Vec<[f64; 3]> = (0..300).map(|i| [0.01, 0.005 * (i as f64).sin(), 0.0]).collect();
+        let sys = VortexSystem {
+            pos: cube.pos.clone(),
+            alpha,
+            core2: 1e-4,
+        };
+        let direct = sys.velocities_direct();
+        let err_at = |theta: f64| {
+            let tree = sys.velocities_tree(&Mac {
+                theta,
+                quadrupole: false,
+            });
+            let mut total = 0.0;
+            for (d, t) in direct.iter().zip(&tree) {
+                total += ((d[0] - t[0]).powi(2) + (d[1] - t[1]).powi(2) + (d[2] - t[2]).powi(2))
+                    .sqrt();
+            }
+            total
+        };
+        assert!(err_at(0.3) < err_at(1.0));
+    }
+}

@@ -1,0 +1,56 @@
+//! Watch the Code Morphing Software work: run the gravitational
+//! microkernel on the simulated Crusoe and report interpretation,
+//! translation, cache behaviour, molecule packing and power — the whole
+//! §2 story in one run.
+//!
+//! Run with: `cargo run --release --example cms_explorer`
+
+use metablade::crusoe::cms::{Cms, CmsConfig};
+use metablade::crusoe::kernels::{build_microkernel, MicrokernelVariant};
+use metablade::crusoe::power::EnergyModel;
+use metablade::microkernel::MicrokernelInput;
+
+fn main() {
+    let mk = build_microkernel(MicrokernelVariant::KarpSqrt, 64, 100);
+    let input = MicrokernelInput::generate(64);
+    let config = CmsConfig::metablade();
+    let mut cms = Cms::new(config);
+
+    println!("== cold run (interpret -> profile -> translate) ==");
+    let mut st = mk.setup_state(&input);
+    let cold = cms.run(&mk.program, &mut st).expect("cold run");
+    println!(
+        "  {} guest insns interpreted ({} cycles), {} translations ({} cycles), {} insns from cache",
+        cold.interp_insns, cold.interp_cycles, cold.translations, cold.translate_cycles,
+        cold.translated_insns
+    );
+    println!(
+        "  translation cache: {} entries, {} of {} bits used",
+        cms.tcache().len(),
+        cms.tcache().used_bits(),
+        cms.tcache().capacity_bits()
+    );
+
+    println!("== warm run (straight out of the translation cache) ==");
+    let mut st2 = mk.setup_state(&input);
+    let warm = cms.run(&mk.program, &mut st2).expect("warm run");
+    println!(
+        "  cycles: cold {} -> warm {} ({:.1}x faster)",
+        cold.total_cycles,
+        warm.total_cycles,
+        cold.total_cycles as f64 / warm.total_cycles as f64
+    );
+    println!(
+        "  translated fraction: {:.1}%  |  Mflops: {:.1}",
+        100.0 * warm.translated_fraction(),
+        mk.useful_flops() as f64 / warm.seconds(config.core.clock_mhz) / 1e6
+    );
+
+    let energy = EnergyModel::tm5600();
+    let watts = energy.average_watts(&warm.atom_counts, warm.total_cycles, config.core.clock_mhz);
+    println!("  estimated CPU power at load: {watts:.1} W (the paper's ~6 W part)");
+
+    // Same accelerations as the native code?
+    let accel = mk.read_accel(&st2);
+    println!("  accel checksum: [{:.6}, {:.6}, {:.6}]", accel[0], accel[1], accel[2]);
+}

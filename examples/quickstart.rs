@@ -1,0 +1,64 @@
+//! Quickstart: build the MetaBlade Bladed Beowulf, run a small
+//! gravitational N-body simulation on it, and print the paper's headline
+//! numbers — sustained Gflops, power, space and TCO.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use metablade::cluster::machine::Cluster;
+use metablade::cluster::power;
+use metablade::cluster::spec::metablade;
+use metablade::metrics::tco::CostConstants;
+use metablade::treecode::parallel::{distributed_step, DistributedConfig};
+use metablade::treecode::plummer;
+
+fn main() {
+    // 1. The machine: 24 Transmeta TM5600 blades on Fast Ethernet.
+    let spec = metablade();
+    let cluster = Cluster::new(spec.clone());
+    println!(
+        "{}: {} x {} | peak {:.1} Gflops | {:.2} kW at load | {} ft^2",
+        spec.name,
+        spec.nodes,
+        spec.node.cpu.name,
+        spec.peak_gflops(),
+        spec.load_kw(),
+        spec.footprint_ft2
+    );
+
+    // 2. The workload: a Plummer-sphere N-body force evaluation via the
+    //    Warren-Salmon hashed oct-tree with LET exchange.
+    let n = 20_000;
+    let bodies = plummer(n, 1);
+    let report = distributed_step(&cluster, &bodies, &DistributedConfig::default());
+    println!(
+        "treecode force evaluation: N = {n}, {:.2} virtual s, {:.2} Gflops sustained ({:.0}% of peak)",
+        report.makespan_s,
+        report.gflops,
+        100.0 * report.gflops / spec.peak_gflops()
+    );
+
+    // 3. Power during the run.
+    let clocks: Vec<f64> = report.per_rank.iter().map(|r| r.clock_s).collect();
+    let stats: Vec<_> = (0..spec.nodes)
+        .map(|i| metablade::cluster::comm::CommStats {
+            compute_s: report.per_rank[i].clock_s, // upper bound: busy throughout
+            ..Default::default()
+        })
+        .collect();
+    let p = power::account(&spec, &stats, &clocks);
+    println!(
+        "power: {:.0} W average, {:.0} W peak, no active cooling",
+        p.avg_watts, p.peak_watts
+    );
+
+    // 4. The economics (Table 5's TM5600 column).
+    let catalog = metablade::metrics::costs::cluster_cost_catalog();
+    let blade = catalog.iter().find(|c| c.family.is_bladed()).unwrap();
+    let tco = blade.inputs.evaluate(&CostConstants::default());
+    println!(
+        "4-year TCO: ${:.0}K (acquisition ${:.0}K + operations ${:.0}K)",
+        tco.total() / 1e3,
+        tco.acquisition / 1e3,
+        tco.operating() / 1e3
+    );
+}

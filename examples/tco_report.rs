@@ -1,0 +1,41 @@
+//! Generate the full TCO / ToPPeR report for the five Table 5 clusters,
+//! with optional what-if overrides:
+//!
+//! `cargo run --release --example tco_report [utility_rate $/kWh] [space_rate $/ft2/yr]`
+
+use metablade::metrics::report::render_table5;
+use metablade::metrics::tco::CostConstants;
+use metablade::metrics::topper::topper;
+
+fn main() {
+    let mut constants = CostConstants::default();
+    if let Some(rate) = std::env::args().nth(1).and_then(|a| a.parse().ok()) {
+        constants.utility_rate_per_kwh = rate;
+    }
+    if let Some(rate) = std::env::args().nth(2).and_then(|a| a.parse().ok()) {
+        constants.space_rate_per_ft2_year = rate;
+    }
+    println!(
+        "assumptions: ${}/kWh, ${}/ft^2/yr, {}-year lifetime, ${}/CPU-hr downtime\n",
+        constants.utility_rate_per_kwh,
+        constants.space_rate_per_ft2_year,
+        constants.lifetime_years,
+        constants.downtime_rate_per_cpu_hour
+    );
+    print!("{}", render_table5(&constants));
+    println!("\nToPPeR ($ per Mflops over the machine's life; lower is better):");
+    let perf = [2.8, 2.9, 2.8, 3.1, 2.1]; // sustained Gflops per column
+    for (profile, &gflops) in metablade::metrics::costs::cluster_cost_catalog()
+        .iter()
+        .zip(&perf)
+    {
+        let tco = profile.inputs.evaluate(&constants).total();
+        println!(
+            "  {:>7}: {:.1} $/Mflops (TCO ${:.0}K / {:.1} Gflops)",
+            profile.family.label(),
+            topper(tco, gflops),
+            tco / 1e3,
+            gflops
+        );
+    }
+}

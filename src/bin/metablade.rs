@@ -1,0 +1,119 @@
+//! `metablade` — the reproduction's command-line front end.
+//!
+//! ```text
+//! metablade table <1..7>        regenerate a paper table
+//! metablade figure3 [n]         regenerate Figure 3 (writes figure3.pgm)
+//! metablade sustained [n]       the 2.1-Gflops / 14%-of-peak experiment
+//! metablade evolve [n] [steps]  distributed N-body evolution on MetaBlade
+//! metablade disasm              disassemble + schedule the Karp microkernel
+//! ```
+
+use metablade::core::{experiments, report};
+use metablade::npb::Class;
+
+fn arg_usize(i: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(i)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    match cmd.as_str() {
+        "table" => {
+            let which = std::env::args().nth(2).unwrap_or_default();
+            match which.as_str() {
+                "1" => print!("{}", report::render_table1(&experiments::table1())),
+                "2" => print!(
+                    "{}",
+                    report::render_table2(&experiments::table2(arg_usize(3, 30_000)))
+                ),
+                "3" => print!(
+                    "{}",
+                    report::render_table3(&experiments::table3(Class::S), Class::S)
+                ),
+                "4" => print!("{}", report::render_table4(&experiments::table4())),
+                "5" => print!(
+                    "{}",
+                    metablade::metrics::report::render_table5(
+                        &metablade::metrics::tco::CostConstants::default()
+                    )
+                ),
+                "6" => print!(
+                    "{}",
+                    metablade::metrics::report::render_table6(&experiments::table67_machines())
+                ),
+                "7" => print!(
+                    "{}",
+                    metablade::metrics::report::render_table7(&experiments::table67_machines())
+                ),
+                _ => eprintln!("usage: metablade table <1..7>"),
+            }
+        }
+        "figure3" => {
+            let n = arg_usize(2, 20_000);
+            let img = experiments::figure3(n, 40, 80);
+            std::fs::write("figure3.pgm", img.to_pgm()).expect("write figure3.pgm");
+            println!("{}", img.to_ascii());
+            println!("wrote figure3.pgm");
+        }
+        "sustained" => {
+            let n = arg_usize(2, 30_000);
+            let r = experiments::sustained_gflops(metablade::cluster::spec::metablade(), n);
+            println!(
+                "{:.2} Gflops sustained of {:.1} peak ({:.1}%) at N = {n}",
+                r.gflops,
+                r.peak_gflops,
+                100.0 * r.gflops / r.peak_gflops
+            );
+        }
+        "evolve" => {
+            let n = arg_usize(2, 10_000);
+            let steps = arg_usize(3, 20);
+            let cluster = metablade::cluster::machine::Cluster::new(
+                metablade::cluster::spec::metablade(),
+            );
+            let bodies = metablade::treecode::plummer(n, 1);
+            let r = metablade::treecode::distributed_evolve(
+                &cluster,
+                bodies,
+                &metablade::treecode::parallel::DistributedConfig::default(),
+                1e-3,
+                steps,
+            );
+            println!(
+                "{steps} steps of N = {n}: {:.2} virtual s, {:.2} Gflops, energy drift {:.2e}",
+                r.total_time_s, r.gflops, r.energy_drift
+            );
+        }
+        "disasm" => {
+            let mk = metablade::crusoe::kernels::build_microkernel(
+                metablade::crusoe::kernels::MicrokernelVariant::KarpSqrt,
+                8,
+                1,
+            );
+            print!("{}", metablade::crusoe::disasm::disasm_program(&mk.program));
+            println!();
+            // The inner loop is the biggest block; find and dump it.
+            let leaders = mk.program.leaders();
+            let inner = leaders
+                .iter()
+                .copied()
+                .max_by_key(|&l| mk.program.block_at(l).len())
+                .unwrap();
+            print!(
+                "{}",
+                metablade::crusoe::disasm::dump_schedule(
+                    &mk.program,
+                    inner,
+                    &metablade::crusoe::schedule::CoreParams::tm5600_vliw()
+                )
+            );
+        }
+        _ => {
+            eprintln!("metablade — 'Honey, I Shrunk the Beowulf!' reproduction");
+            eprintln!("usage: metablade <table 1..7 | figure3 [n] | sustained [n] | evolve [n] [steps] | disasm>");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # metablade — *"Honey, I Shrunk the Beowulf!"* reproduced in Rust
+//!
+//! Umbrella crate for the reproduction of Feng, Warren & Weigle's ICPP 2002
+//! Bladed-Beowulf paper. It re-exports the workspace crates so examples and
+//! integration tests can exercise the whole system through one façade:
+//!
+//! * [`core`] (`mb-core`) — cluster catalog, experiment drivers, report rendering;
+//! * [`treecode`] (`mb-treecode`) — Warren–Salmon hashed oct-tree N-body library;
+//! * [`crusoe`] (`mb-crusoe`) — Transmeta Crusoe CMS/VLIW simulator and
+//!   hardware-CPU comparison models;
+//! * [`cluster`] (`mb-cluster`) — virtual-time Beowulf cluster + network simulator;
+//! * [`npb`] (`mb-npb`) — NAS Parallel Benchmark kernels;
+//! * [`microkernel`] (`mb-microkernel`) — gravitational rsqrt microkernel;
+//! * [`metrics`] (`mb-metrics`) — TCO / ToPPeR / perf-space / perf-power models.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and per-experiment index.
+
+pub use mb_cluster as cluster;
+pub use mb_core as core;
+pub use mb_crusoe as crusoe;
+pub use mb_metrics as metrics;
+pub use mb_microkernel as microkernel;
+pub use mb_npb as npb;
+pub use mb_treecode as treecode;

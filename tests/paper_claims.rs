@@ -1,0 +1,152 @@
+//! The paper's quantitative prose claims, each asserted through the
+//! public API — a regression suite over the *story*, not just the code.
+
+use metablade::cluster::reliability::FailureLaw;
+use metablade::cluster::spec::{green_destiny, metablade, metablade2};
+use metablade::cluster::thermal::ThermalModel;
+use metablade::metrics::costs::cluster_cost_catalog;
+use metablade::metrics::space::FootprintModel;
+use metablade::metrics::tco::CostConstants;
+use metablade::metrics::topper::{perf_power_gflop_per_kw, perf_space_mflop_per_ft2, topper};
+
+/// Abstract: "A Bladed Beowulf can reduce the total cost of ownership
+/// (TCO) of a traditional Beowulf by a factor of three while providing
+/// Beowulf-like performance."
+#[test]
+fn abstract_claim_tco_factor_of_three() {
+    let constants = CostConstants::default();
+    let catalog = cluster_cost_catalog();
+    let blade = catalog
+        .iter()
+        .find(|p| p.family.is_bladed())
+        .unwrap()
+        .inputs
+        .evaluate(&constants)
+        .total();
+    let mean_traditional: f64 = catalog
+        .iter()
+        .filter(|p| !p.family.is_bladed())
+        .map(|p| p.inputs.evaluate(&constants).total())
+        .sum::<f64>()
+        / 4.0;
+    let ratio = mean_traditional / blade;
+    assert!((2.7..3.3).contains(&ratio), "TCO ratio {ratio:.2}");
+}
+
+/// §2.1: "At load, the Transmeta TM5600 and Pentium 4 CPUs generate
+/// approximately 6 and 75 watts respectively" — and the blade needs no
+/// active cooling while the P4 must be aggressively cooled.
+#[test]
+fn section2_power_and_cooling_contrast() {
+    let blade = metablade();
+    assert!((blade.node.cpu.cpu_watts_load - 6.0).abs() < 0.5);
+    // Thermal consequence: the 6-W part stays far below the 75-W part
+    // even with passive cooling in a warmer room.
+    let tm = ThermalModel::blade_closet().component_temp_c(6.0);
+    let p4 = ThermalModel::traditional_office().component_temp_c(75.0);
+    assert!(tm + 10.0 < p4, "TM {tm:.0}C vs P4 {p4:.0}C");
+}
+
+/// §2.1: "the failure rate of a component doubles for every 10 °C
+/// increase in temperature."
+#[test]
+fn section2_failure_doubling_law() {
+    let law = FailureLaw::paper_default();
+    for t in [30.0, 45.0, 60.0, 75.0] {
+        let ratio = law.rate_per_year(t + 10.0) / law.rate_per_year(t);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+}
+
+/// §3.3: 24 × 633 MHz = 15.2 Gflops peak; 2.1 Gflops sustained ≈ 14% of
+/// peak; MetaBlade2 ≈ 3.3 Gflops ("about 50% better").
+#[test]
+fn section3_peak_and_sustained() {
+    let mb = metablade();
+    assert!((mb.peak_gflops() - 15.2).abs() < 0.05);
+    let sustained = mb.nodes as f64 * mb.node.cpu.sustained_mflops / 1000.0;
+    assert!((sustained - 2.1).abs() < 0.01);
+    assert!((sustained / mb.peak_gflops() - 0.138).abs() < 0.01);
+    let mb2 = metablade2();
+    let sustained2 = mb2.nodes as f64 * mb2.node.cpu.sustained_mflops / 1000.0;
+    assert!((sustained2 - 3.3).abs() < 0.05);
+    assert!((sustained2 / sustained - 1.57).abs() < 0.1, "≈50% better");
+}
+
+/// §4.1: "our MetaBlade Bladed Beowulf turns out to be approximately
+/// twice as expensive as a similarly performing traditional Beowulf"
+/// on acquisition (also stated as 50–75% more in §5), yet its ToPPeR is
+/// "over twice as good".
+#[test]
+fn section4_topper_beats_price_performance() {
+    let constants = CostConstants::default();
+    let catalog = cluster_cost_catalog();
+    let blade = catalog.iter().find(|p| p.family.is_bladed()).unwrap();
+    let piii = &catalog[2];
+    // Acquisition premium.
+    let premium = blade.inputs.hardware_cost / piii.inputs.hardware_cost;
+    assert!((1.5..1.8).contains(&premium), "premium {premium:.2}");
+    // ToPPeR with the paper's performance assumption (blade = 75% of a
+    // comparable traditional cluster).
+    let trad_perf = 2.8;
+    let blade_topper = topper(
+        blade.inputs.evaluate(&constants).total(),
+        0.75 * trad_perf,
+    );
+    let trad_topper = topper(piii.inputs.evaluate(&constants).total(), trad_perf);
+    assert!(
+        blade_topper / trad_topper < 0.5,
+        "ToPPeR ratio {:.2} should be under half",
+        blade_topper / trad_topper
+    );
+}
+
+/// §4.1 footnote 5: scaling to 240 nodes leaves the blade rack at $2,400
+/// while the traditional cluster's space cost grows ten-fold to $80,000 —
+/// "33 times more expensive".
+#[test]
+fn footnote5_space_scaleup() {
+    let trad = FootprintModel::traditional().space_cost(240, 100.0, 4.0);
+    let blade = FootprintModel::bladed().space_cost(240, 100.0, 4.0);
+    assert_eq!(trad, 80_000.0);
+    assert_eq!(blade, 2_400.0);
+    assert!((trad / blade - 100.0 / 3.0).abs() < 0.01);
+}
+
+/// §4.2–4.3: perf/space factor ~2 (MetaBlade) and >20 (Green Destiny);
+/// perf/power factor ~4 for both blades.
+#[test]
+fn section4_derived_metrics() {
+    let gd = green_destiny();
+    let mb = metablade();
+    let avalon_perf = 18.0;
+    let avalon_ps = perf_space_mflop_per_ft2(avalon_perf, 120.0);
+    let avalon_pp = perf_power_gflop_per_kw(avalon_perf, 18.0);
+    let mb_perf = 2.1;
+    let gd_perf = gd.nodes as f64 * gd.node.cpu.sustained_mflops / 1000.0;
+    assert!(
+        (1.8..3.0).contains(&(perf_space_mflop_per_ft2(mb_perf, mb.footprint_ft2) / avalon_ps))
+    );
+    assert!(perf_space_mflop_per_ft2(gd_perf, gd.footprint_ft2) / avalon_ps > 20.0);
+    assert!(
+        (3.5..4.5).contains(&(perf_power_gflop_per_kw(mb_perf, mb.load_kw()) / avalon_pp))
+    );
+    assert!(
+        (3.5..4.5).contains(&(perf_power_gflop_per_kw(gd_perf, gd.load_kw()) / avalon_pp))
+    );
+}
+
+/// §5: "The TM6000 ... is expected to improve flop performance over the
+/// TM5800 by another factor of two to three while reducing power
+/// requirements in half again" — the projection keeps perf/watt rising.
+#[test]
+fn section5_tm6000_trajectory() {
+    let mb2 = metablade2();
+    let tm5800_per_watt = mb2.node.cpu.sustained_mflops / mb2.node.cpu.cpu_watts_load;
+    let tm6000_per_watt =
+        (mb2.node.cpu.sustained_mflops * 2.5) / (mb2.node.cpu.cpu_watts_load / 2.0);
+    assert!(
+        tm6000_per_watt > 4.0 * tm5800_per_watt,
+        "{tm6000_per_watt:.0} vs {tm5800_per_watt:.0} Mflops/W"
+    );
+}

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) on the core data structures and
+//! numerical invariants, across crates.
+
+use proptest::prelude::*;
+
+use metablade::cluster::machine::Cluster;
+use metablade::cluster::spec::metablade;
+use metablade::crusoe::isa::{Insn, MachineState, Reg};
+use metablade::crusoe::program::ProgramBuilder;
+use metablade::microkernel::{rsqrt_karp, rsqrt_math};
+use metablade::npb::common::NpbRng;
+use metablade::npb::is::Is;
+use metablade::treecode::{build_tree, Bodies, BoundingBox, Key};
+
+proptest! {
+    /// Karp's algorithm matches the math-library reciprocal square root
+    /// over the full positive-normal range.
+    #[test]
+    fn karp_rsqrt_matches_math(mantissa in 1.0f64..2.0, exp in -300i32..300) {
+        let x = mantissa * 2f64.powi(exp);
+        let karp = rsqrt_karp(x);
+        let math = rsqrt_math(x);
+        let rel = ((karp - math) / math).abs();
+        prop_assert!(rel < 1e-14, "x = {x}: {karp} vs {math}");
+    }
+
+    /// Morton keys respect spatial containment: a point's full-depth key
+    /// descends from the key of any enclosing cell.
+    #[test]
+    fn morton_ancestors_contain_points(
+        x in 0.0f64..1.0, y in 0.0f64..1.0, z in 0.0f64..1.0, level in 0u32..20
+    ) {
+        let bb = BoundingBox { min: [0.0; 3], size: 1.0 };
+        let key = bb.key_of([x, y, z]);
+        let cell = key.ancestor_at(level);
+        prop_assert!(cell.contains(key));
+        // And the cell's geometric box really contains the point.
+        let c = bb.cell_center(cell);
+        let half = bb.cell_size(level) / 2.0 * (1.0 + 1e-9);
+        prop_assert!((x - c[0]).abs() <= half);
+        prop_assert!((y - c[1]).abs() <= half);
+        prop_assert!((z - c[2]).abs() <= half);
+    }
+
+    /// Key arithmetic: child/parent/daughter are mutually consistent.
+    #[test]
+    fn key_child_parent_roundtrip(bits in 1u64..(1u64 << 60), d in 0u8..8) {
+        let key = Key(bits);
+        let child = key.child(d);
+        prop_assert_eq!(child.parent(), key);
+        prop_assert_eq!(child.daughter_index(), d);
+        prop_assert_eq!(child.level(), key.level() + 1);
+    }
+
+    /// Tree construction conserves mass and center of mass for arbitrary
+    /// body sets.
+    #[test]
+    fn tree_conserves_moments(
+        seed in 0u64..1000, n in 2usize..120, leaf_cap in 1usize..16
+    ) {
+        let bodies_src = metablade::treecode::uniform_cube(n, 2.0, seed);
+        let mut bodies = bodies_src.clone();
+        let bb = BoundingBox::containing(&bodies.pos);
+        let tree = build_tree(&mut bodies, bb, leaf_cap);
+        let root = tree.root();
+        prop_assert_eq!(root.count as usize, n);
+        prop_assert!((root.mass - bodies_src.total_mass()).abs() < 1e-12);
+        let com = bodies_src.center_of_mass();
+        for dim in 0..3 {
+            prop_assert!((root.com[dim] - com[dim]).abs() < 1e-10);
+        }
+    }
+
+    /// The NPB LCG jump function equals stepping, for any distance.
+    #[test]
+    fn npb_rng_jump_equals_stepping(n in 0u64..5000, seed in 1u64..(1u64 << 40)) {
+        let seed = seed | 1; // odd for full period
+        let mut stepped = NpbRng::with_seed(seed);
+        for _ in 0..n {
+            stepped.next_f64();
+        }
+        let mut jumped = NpbRng::with_seed(seed);
+        jumped.jump(n);
+        prop_assert_eq!(stepped.state, jumped.state);
+    }
+
+    /// IS ranking is always a correct stable sort, for arbitrary keys.
+    #[test]
+    fn is_ranking_always_sorts(keys in proptest::collection::vec(0u32..512, 1..200)) {
+        let ranks = Is::rank(&keys, 512);
+        prop_assert!(Is::verify(&keys, &ranks));
+    }
+
+    /// Guest integer arithmetic matches host semantics for arbitrary
+    /// operands (wrapping).
+    #[test]
+    fn guest_alu_matches_host(a in any::<i64>(), b in any::<i64>()) {
+        let mut st = MachineState::new(1);
+        st.regs[0] = a;
+        st.regs[1] = b;
+        st.execute(&Insn::Add(Reg(0), Reg(1))).unwrap();
+        prop_assert_eq!(st.regs[0], a.wrapping_add(b));
+        st.regs[0] = a;
+        st.execute(&Insn::IMul(Reg(0), Reg(1))).unwrap();
+        prop_assert_eq!(st.regs[0], a.wrapping_mul(b));
+        st.regs[0] = a;
+        st.execute(&Insn::Xor(Reg(0), Reg(1))).unwrap();
+        prop_assert_eq!(st.regs[0], a ^ b);
+    }
+
+    /// Guest loops compute the same sums as host loops for arbitrary
+    /// trip counts (program semantics don't depend on the engine).
+    #[test]
+    fn guest_loop_sums_match_host(n in 1i64..500) {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.push(Insn::MovImm(Reg(0), n));
+        b.push(Insn::MovImm(Reg(1), 0));
+        b.bind(top);
+        b.push(Insn::Add(Reg(1), Reg(0)));
+        b.push(Insn::AddImm(Reg(0), -1));
+        b.push(Insn::CmpImm(Reg(0), 0));
+        b.jcc(metablade::crusoe::isa::Cond::Gt, top);
+        b.push(Insn::Halt);
+        let program = b.finish();
+        let mut cms = metablade::crusoe::cms::Cms::new(
+            metablade::crusoe::cms::CmsConfig::metablade(),
+        );
+        let mut st = MachineState::new(1);
+        cms.run(&program, &mut st).unwrap();
+        prop_assert_eq!(st.regs[1], n * (n + 1) / 2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Virtual time is deterministic and collective results are exact,
+    /// for arbitrary small cluster sizes and payload lengths.
+    #[test]
+    fn collectives_are_exact_and_deterministic(p in 1usize..9, len in 1usize..64) {
+        let cluster = Cluster::new(metablade().with_nodes(p));
+        let job = move |comm: &mut metablade::cluster::comm::Comm| {
+            let vals = vec![(comm.rank() + 1) as f64; len];
+            let sum = comm.allreduce_sum(&vals);
+            (sum[0], comm.now())
+        };
+        let a = cluster.run(job);
+        let b = cluster.run(job);
+        let expect = (p * (p + 1) / 2) as f64;
+        for r in 0..p {
+            prop_assert_eq!(a.results[r].0, expect);
+            prop_assert_eq!(a.results[r].1, b.results[r].1);
+        }
+    }
+}
