@@ -9,14 +9,25 @@ fn main() {
     let mut reference = plummer(n, 9);
     direct_forces(&mut reference, eps2);
     println!("Ablation A2 — MAC sweep, N = {n} Plummer");
-    println!("{:>6}{:>8}{:>16}{:>18}", "theta", "quad", "interactions", "median rel err");
+    println!(
+        "{:>6}{:>8}{:>16}{:>18}",
+        "theta", "quad", "interactions", "median rel err"
+    );
     for &quad in &[true, false] {
         for &theta in &[0.3, 0.5, 0.8, 1.0, 1.2] {
             let mut b = reference.clone();
             b.zero_forces();
             let bb = BoundingBox::containing(&b.pos);
             let tree = build_tree(&mut b, bb, 8);
-            let stats = tree_forces(&mut b, &tree, &Mac { theta, quadrupole: quad }, eps2);
+            let stats = tree_forces(
+                &mut b,
+                &tree,
+                &Mac {
+                    theta,
+                    quadrupole: quad,
+                },
+                eps2,
+            );
             // Match bodies by position bits.
             use std::collections::HashMap;
             let mut by_pos: HashMap<[u64; 3], usize> = HashMap::new();
@@ -30,7 +41,10 @@ fn main() {
                 .map(|(i, p)| {
                     let j = by_pos[&[p[0].to_bits(), p[1].to_bits(), p[2].to_bits()]];
                     let (ta, da) = (b.acc[i], reference.acc[j]);
-                    let e = ((ta[0] - da[0]).powi(2) + (ta[1] - da[1]).powi(2) + (ta[2] - da[2]).powi(2)).sqrt();
+                    let e = ((ta[0] - da[0]).powi(2)
+                        + (ta[1] - da[1]).powi(2)
+                        + (ta[2] - da[2]).powi(2))
+                    .sqrt();
                     let d = (da[0] * da[0] + da[1] * da[1] + da[2] * da[2]).sqrt();
                     e / d.max(1e-30)
                 })

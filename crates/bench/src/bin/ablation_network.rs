@@ -8,19 +8,25 @@ use mb_treecode::parallel::{distributed_step, DistributedConfig};
 use mb_treecode::plummer;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
     let bodies = plummer(n, 42);
     let cfg = DistributedConfig::default();
     let t1 = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg).makespan_s;
     println!("Ablation A3 — network sweep, N = {n}, P = 24 (t1 = {t1:.2}s)");
-    println!("{:>14}{:>12}{:>12}{:>12}", "bandwidth", "latency", "time (s)", "efficiency");
+    println!(
+        "{:>14}{:>12}{:>12}{:>12}",
+        "bandwidth", "latency", "time (s)", "efficiency"
+    );
     for &(mbps, lat_us) in &[
         (10.0, 70.0),
-        (100.0, 70.0),   // the paper's Fast Ethernet
+        (100.0, 70.0), // the paper's Fast Ethernet
         (100.0, 500.0),
         (100.0, 10.0),
-        (1000.0, 70.0),  // GigE
-        (1000.0, 10.0),  // Myrinet-class
+        (1000.0, 70.0), // GigE
+        (1000.0, 10.0), // Myrinet-class
     ] {
         let mut spec = metablade();
         spec.network.bandwidth_mbps = mbps;
@@ -28,7 +34,10 @@ fn main() {
         let r = distributed_step(&Cluster::new(spec), &bodies, &cfg);
         println!(
             "{:>10} Mb/s{:>9} us{:>12.2}{:>12.2}",
-            mbps, lat_us, r.makespan_s, t1 / r.makespan_s / 24.0
+            mbps,
+            lat_us,
+            r.makespan_s,
+            t1 / r.makespan_s / 24.0
         );
     }
 }

@@ -18,12 +18,19 @@ fn run_with(capacity_bits: u64, hot: u64) -> (u64, u64, u64) {
     let mut cms = Cms::new(cfg);
     let mut st = mk.setup_state(&input);
     let stats = cms.run(&mk.program, &mut st).expect("run");
-    (stats.total_cycles, stats.translations, stats.tcache.evictions)
+    (
+        stats.total_cycles,
+        stats.translations,
+        stats.tcache.evictions,
+    )
 }
 
 fn main() {
     println!("Ablation A1 — translation cache capacity (hot threshold = 24)");
-    println!("{:>14}{:>14}{:>14}{:>12}", "capacity", "cycles", "translations", "evictions");
+    println!(
+        "{:>14}{:>14}{:>14}{:>12}",
+        "capacity", "cycles", "translations", "evictions"
+    );
     for &bits in &[256u64, 1024, 4096, 16_384, 2 * 8 * 1024 * 1024] {
         let (cycles, tr, ev) = run_with(bits, 24);
         println!("{:>12} b{:>14}{:>14}{:>12}", bits, cycles, tr, ev);

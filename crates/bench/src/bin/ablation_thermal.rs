@@ -9,7 +9,10 @@ fn main() {
     let law = FailureLaw::paper_default();
     let constants = CostConstants::default();
     println!("Ablation A4 — ambient temperature sweep (traditional P4 tower, 85 W node)");
-    println!("{:>12}{:>14}{:>16}{:>14}", "ambient F", "comp temp C", "failures/yr/24", "4-yr TCO $K");
+    println!(
+        "{:>12}{:>14}{:>16}{:>14}",
+        "ambient F", "comp temp C", "failures/yr/24", "4-yr TCO $K"
+    );
     for &ambient_f in &[60.0, 70.0, 75.0, 80.0, 90.0, 100.0] {
         let thermal = ThermalModel {
             ambient_c: f_to_c(ambient_f),
@@ -35,9 +38,17 @@ fn main() {
             downtime,
         };
         let tco = inputs.evaluate(&constants).total();
-        println!("{:>12.0}{:>14.1}{:>16.2}{:>14.1}", ambient_f, temp, fail_rate, tco / 1e3);
+        println!(
+            "{:>12.0}{:>14.1}{:>16.2}{:>14.1}",
+            ambient_f,
+            temp,
+            fail_rate,
+            tco / 1e3
+        );
     }
-    println!("\nBlade reference: TM5600 at 80F closet → {:.1}C, {:.2} failures/yr/24",
+    println!(
+        "\nBlade reference: TM5600 at 80F closet → {:.1}C, {:.2} failures/yr/24",
         ThermalModel::blade_closet().component_temp_c(6.0),
-        law.expected_failures(24, ThermalModel::blade_closet().component_temp_c(6.0), 1.0));
+        law.expected_failures(24, ThermalModel::blade_closet().component_temp_c(6.0), 1.0)
+    );
 }

@@ -19,21 +19,35 @@ fn main() {
         .map(|p| p.inputs.evaluate(&constants).total())
         .sum::<f64>()
         / 4.0;
-    println!("TCO: traditional mean ${:.0}K vs blade ${:.0}K → {:.1}x  [paper: ~3x]",
-        trad_tco / 1e3, blade_tco / 1e3, trad_tco / blade_tco);
+    println!(
+        "TCO: traditional mean ${:.0}K vs blade ${:.0}K → {:.1}x  [paper: ~3x]",
+        trad_tco / 1e3,
+        blade_tco / 1e3,
+        trad_tco / blade_tco
+    );
 
     let trad_space = FootprintModel::traditional().space_cost(240, 100.0, 4.0);
     let blade_space = FootprintModel::bladed().space_cost(240, 100.0, 4.0);
-    println!("240-node space cost: ${:.0} vs ${:.0} → {:.0}x  [paper footnote 5: 33x]",
-        trad_space, blade_space, trad_space / blade_space);
+    println!(
+        "240-node space cost: ${:.0} vs ${:.0} → {:.0}x  [paper footnote 5: 33x]",
+        trad_space,
+        blade_space,
+        trad_space / blade_space
+    );
 
     let m = mb_core::experiments::table67_machines();
     let ps = |x: &mb_metrics::report::MachineRow| perf_space_mflop_per_ft2(x.gflops, x.area_ft2);
     let pp = |x: &mb_metrics::report::MachineRow| perf_power_gflop_per_kw(x.gflops, x.power_kw);
-    println!("perf/space: MB/Avalon {:.1}x (paper: ~2x); GD/Avalon {:.1}x (paper: >20x)",
-        ps(&m[1]) / ps(&m[0]), ps(&m[2]) / ps(&m[0]));
-    println!("perf/power: MB/Avalon {:.1}x; GD/Avalon {:.1}x  [paper: ~4x]",
-        pp(&m[1]) / pp(&m[0]), pp(&m[2]) / pp(&m[0]));
+    println!(
+        "perf/space: MB/Avalon {:.1}x (paper: ~2x); GD/Avalon {:.1}x (paper: >20x)",
+        ps(&m[1]) / ps(&m[0]),
+        ps(&m[2]) / ps(&m[0])
+    );
+    println!(
+        "perf/power: MB/Avalon {:.1}x; GD/Avalon {:.1}x  [paper: ~4x]",
+        pp(&m[1]) / pp(&m[0]),
+        pp(&m[2]) / pp(&m[0])
+    );
 
     let law = FailureLaw::paper_default();
     let hot = ThermalModel::traditional_office().component_temp_c(75.0);

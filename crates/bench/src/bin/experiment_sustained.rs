@@ -13,7 +13,16 @@ fn main() {
         ("MetaBlade", metablade(), 2.1),
         ("MetaBlade2", metablade2(), 3.3),
     ] {
-        let r = mb_core::experiments::sustained_gflops(spec, n);
+        let r = mb_core::experiments::sustained_gflops(spec.clone(), n);
+        let manifest = mb_bench::treecode_manifest(&format!("sustained-{name}"), &spec, &r.step);
+        match mb_bench::write_artifact(
+            &mb_bench::artifact_dir(),
+            &format!("sustained_{name}.manifest.json"),
+            &manifest.to_json_string(),
+        ) {
+            Ok(p) => println!("manifest: {}", p.display()),
+            Err(e) => eprintln!("manifest write failed: {e}"),
+        }
         println!(
             "{name}: {:.2} Gflops sustained of {:.1} peak ({:.1}% of peak; parallel eff {:.0}%)  [paper: {paper} Gflops]",
             r.gflops,
@@ -21,8 +30,7 @@ fn main() {
             100.0 * r.gflops / r.peak_gflops,
             100.0 * r.efficiency,
         );
-        println!(
-            "  note: at N = {n} (scaled down from the paper's 9.75M bodies) communication");
+        println!("  note: at N = {n} (scaled down from the paper's 9.75M bodies) communication");
         println!("  costs are relatively larger; the compute-bound rate matches the paper's.");
     }
 }

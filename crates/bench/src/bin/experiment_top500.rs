@@ -9,11 +9,12 @@ use mb_crusoe::hardware::{athlon_mp_1200, pentium4_1300, pentium_iii_500, power3
 use mb_npb::linpack::{linpack_flops, run_linpack};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
     let (verified, residual, mix) = run_linpack(n);
-    println!(
-        "native Linpack check at n = {n}: verified = {verified} (residual {residual:.2e})\n"
-    );
+    println!("native Linpack check at n = {n}: verified = {verified} (residual {residual:.2e})\n");
     // Per-CPU Linpack Gflops from the era models (n = 2000, HPL-style).
     let mut big = mix;
     let scale = linpack_flops(2000) / linpack_flops(n);
@@ -29,7 +30,10 @@ fn main() {
         ("Power3 375", power3_375(), 45.0),
         ("Athlon MP 1200", athlon_mp_1200(), 60.0),
     ];
-    println!("{:<22}{:>14}{:>16}", "CPU", "Linpack Mflops", "Mflops/CPU-watt");
+    println!(
+        "{:<22}{:>14}{:>16}",
+        "CPU", "Linpack Mflops", "Mflops/CPU-watt"
+    );
     let mut rows: Vec<(String, f64, f64)> = cpus
         .iter()
         .map(|(name, cpu, watts)| {

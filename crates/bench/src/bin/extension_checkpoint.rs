@@ -17,9 +17,18 @@ fn main() {
         "machine", "temp C", "MTBF (h)", "tau* (h)", "efficiency"
     );
     let cases = [
-        ("P4 tower, 75F office", ThermalModel::traditional_office().component_temp_c(75.0)),
-        ("PIII tower, 75F office", ThermalModel::traditional_office().component_temp_c(28.0)),
-        ("TM5600 blade, 80F closet", ThermalModel::blade_closet().component_temp_c(6.0)),
+        (
+            "P4 tower, 75F office",
+            ThermalModel::traditional_office().component_temp_c(75.0),
+        ),
+        (
+            "PIII tower, 75F office",
+            ThermalModel::traditional_office().component_temp_c(28.0),
+        ),
+        (
+            "TM5600 blade, 80F closet",
+            ThermalModel::blade_closet().component_temp_c(6.0),
+        ),
     ];
     for (name, temp) in cases {
         let r = availability(&law, 24, temp, &cp);

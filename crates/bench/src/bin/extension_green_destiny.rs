@@ -10,7 +10,10 @@ use mb_treecode::parallel::{distributed_step, distributed_step_weighted, Distrib
 use mb_treecode::plummer;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
     let spec = green_destiny();
     eprintln!(
         "spawning {} ranks ({}) for N = {n} ...",

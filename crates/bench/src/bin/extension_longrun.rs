@@ -9,7 +9,10 @@ use mb_treecode::parallel::{distributed_step, DistributedConfig};
 use mb_treecode::plummer;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(15_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(15_000);
     let bodies = plummer(n, 3);
     let cfg = DistributedConfig::default();
     let states = tm5600_longrun_states();

@@ -65,7 +65,10 @@ fn main() {
     println!(
         "\nprojected 24-node TM6000 TCO: ${:.0}K — ToPPeR {:.1} $/Mflops vs MetaBlade {:.1}",
         tco.total() / 1e3,
-        mb_metrics::topper::topper(tco.total(), 24.0 * tm6000.node.cpu.sustained_mflops / 1000.0),
+        mb_metrics::topper::topper(
+            tco.total(),
+            24.0 * tm6000.node.cpu.sustained_mflops / 1000.0
+        ),
         mb_metrics::topper::topper(35_000.0, 2.1),
     );
 }

@@ -4,7 +4,10 @@
 
 fn main() {
     let arg = |i: usize, d: usize| {
-        std::env::args().nth(i).and_then(|a| a.parse().ok()).unwrap_or(d)
+        std::env::args()
+            .nth(i)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(d)
     };
     let (n, steps, px) = (arg(1, 20_000), arg(2, 60), arg(3, 96));
     eprintln!("evolving a {n}-body self-gravitating disk for {steps} steps ...");

@@ -8,7 +8,10 @@ fn main() {
     println!("=== Honey, I Shrunk the Beowulf! — full reproduction run ===\n");
     let t1 = mb_core::experiments::table1();
     print!("{}\n", mb_core::report::render_table1(&t1));
-    let n2: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30_000);
+    let n2: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30_000);
     let t2 = mb_core::experiments::table2(n2);
     print!("{}\n", mb_core::report::render_table2(&t2));
     let class = match std::env::args().nth(2).as_deref() {
@@ -19,10 +22,40 @@ fn main() {
     print!("{}\n", mb_core::report::render_table3(&t3, class));
     let t4 = mb_core::experiments::table4();
     print!("{}\n", mb_core::report::render_table4(&t4));
-    print!("{}\n", mb_metrics::report::render_table5(&CostConstants::default()));
+    print!(
+        "{}\n",
+        mb_metrics::report::render_table5(&CostConstants::default())
+    );
     let machines = mb_core::experiments::table67_machines();
     print!("{}\n", mb_metrics::report::render_table6(&machines));
     print!("{}\n", mb_metrics::report::render_table7(&machines));
     let img = mb_core::experiments::figure3(8_000, 30, 64);
     println!("Figure 3 (ASCII density projection):\n{}", img.to_ascii());
+
+    // Leave machine-readable provenance behind: trace one 24-rank force
+    // evaluation and write the Chrome trace + run manifest next to the
+    // terminal output (EXPERIMENTS.md numbers point back to these).
+    let spec = mb_cluster::spec::metablade();
+    let cluster = mb_cluster::machine::Cluster::new(spec.clone());
+    let bodies = mb_treecode::plummer(n2.min(20_000), 2002);
+    let (report, trace) = mb_treecode::parallel::distributed_step_traced(
+        &cluster,
+        &bodies,
+        &mb_treecode::parallel::DistributedConfig::default(),
+        None,
+    );
+    let manifest = mb_bench::treecode_manifest("run-all", &spec, &report);
+    println!(
+        "Traced 24-rank force evaluation:\n{}",
+        manifest.summary.render()
+    );
+    let dir = mb_bench::artifact_dir();
+    let chrome = mb_telemetry::chrome::export(&trace);
+    match (
+        mb_bench::write_artifact(&dir, "run_all.trace.json", &chrome),
+        mb_bench::write_artifact(&dir, "run_all.manifest.json", &manifest.to_json_string()),
+    ) {
+        (Ok(t), Ok(m)) => println!("telemetry: wrote {} and {}", t.display(), m.display()),
+        (t, m) => eprintln!("telemetry: write failed: {:?}", t.err().or_else(|| m.err())),
+    }
 }

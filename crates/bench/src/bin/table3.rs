@@ -13,12 +13,14 @@ fn main() {
     let rows = mb_core::experiments::table3(class);
     print!("{}", mb_core::report::render_table3(&rows, class));
     // Geometric-mean ratios, as the paper's prose summarizes.
-    let gm = |ix: usize| {
-        (rows.iter().map(|r| r.mops[ix].ln()).sum::<f64>() / rows.len() as f64).exp()
-    };
+    let gm =
+        |ix: usize| (rows.iter().map(|r| r.mops[ix].ln()).sum::<f64>() / rows.len() as f64).exp();
     println!(
         "\nGeometric means — Athlon {:.0}, PIII {:.0}, TM5600 {:.0}, Power3 {:.0}",
-        gm(0), gm(1), gm(2), gm(3)
+        gm(0),
+        gm(1),
+        gm(2),
+        gm(3)
     );
     println!(
         "TM5600 / PIII = {:.2} (paper: \"performs as well as\"); TM5600 / Athlon = {:.2}, TM5600 / Power3 = {:.2} (paper: \"about one-third\")",

@@ -4,7 +4,10 @@
 use mb_metrics::tco::CostConstants;
 
 fn main() {
-    print!("{}", mb_metrics::report::render_table5(&CostConstants::default()));
+    print!(
+        "{}",
+        mb_metrics::report::render_table5(&CostConstants::default())
+    );
     println!("\nClaim check (§4.1): blade TCO ≈ 3x better; ToPPeR more than 2x better");
     let catalog = mb_metrics::costs::cluster_cost_catalog();
     let constants = CostConstants::default();
@@ -12,7 +15,11 @@ fn main() {
     let blade_tco = blade.inputs.evaluate(&constants).total();
     for p in catalog.iter().filter(|p| !p.family.is_bladed()) {
         let tco = p.inputs.evaluate(&constants).total();
-        println!("  {:>7}: TCO ratio {:.2}x", p.family.label(), tco / blade_tco);
+        println!(
+            "  {:>7}: TCO ratio {:.2}x",
+            p.family.label(),
+            tco / blade_tco
+        );
     }
     // ToPPeR with the paper's performance assumption (blade at 75% of a
     // comparable traditional cluster).
@@ -20,5 +27,8 @@ fn main() {
     let blade_perf = 0.75 * trad_perf;
     let t_trad = mb_metrics::topper::topper(102_000.0, trad_perf);
     let t_blade = mb_metrics::topper::topper(blade_tco, blade_perf);
-    println!("  ToPPeR blade/traditional = {:.2} (paper: \"less than half\")", t_blade / t_trad);
+    println!(
+        "  ToPPeR blade/traditional = {:.2} (paper: \"less than half\")",
+        t_blade / t_trad
+    );
 }

@@ -1,0 +1,76 @@
+//! Trace one distributed treecode force evaluation on the simulated
+//! MetaBlade and leave the full observability artifact set behind:
+//!
+//! * a Chrome `trace_event` JSON (one track per rank — open it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>),
+//! * a per-rank compute/comm/blocked summary on stdout,
+//! * a machine-readable run manifest with power samples and the CMS
+//!   translation-cache view of the gravity microkernel.
+//!
+//! argv: `[n_bodies] [nranks]` (defaults 20 000 bodies, 24 ranks).
+//! Artifacts land in `$MB_TELEMETRY_DIR` or `./traces`.
+
+use mb_bench::{artifact_dir, treecode_manifest, write_artifact};
+use mb_cluster::machine::Cluster;
+use mb_cluster::spec::metablade;
+use mb_crusoe::cms::{Cms, CmsConfig};
+use mb_crusoe::kernels::{build_microkernel, MicrokernelVariant};
+use mb_microkernel::MicrokernelInput;
+use mb_telemetry::chrome;
+use mb_treecode::parallel::{distributed_step_traced, DistributedConfig};
+use mb_treecode::plummer;
+
+fn arg(i: usize) -> Option<usize> {
+    std::env::args().nth(i).and_then(|a| a.parse().ok())
+}
+
+fn main() {
+    let n = arg(1).unwrap_or(20_000);
+    let p = arg(2).unwrap_or(24);
+    let spec = metablade().with_nodes(p);
+    let cluster = Cluster::new(spec.clone());
+    let bodies = plummer(n, 1999);
+    let cfg = DistributedConfig::default();
+    println!(
+        "tracing one force evaluation: N = {n}, P = {p} ({})\n",
+        spec.name
+    );
+    let (report, trace) = distributed_step_traced(&cluster, &bodies, &cfg, None);
+
+    let mut manifest = treecode_manifest(&format!("treecode-{p}"), &spec, &report);
+    // One node's CMS view of the gravity microkernel: translation-cache
+    // hit rate and atom counts, recorded next to the cluster metrics.
+    let mk = build_microkernel(MicrokernelVariant::KarpSqrt, 64, 24);
+    let input = MicrokernelInput::generate(64);
+    let mut cms = Cms::new(CmsConfig::metablade());
+    let mut st = mk.setup_state(&input);
+    let stats = cms
+        .run(&mk.program, &mut st)
+        .expect("microkernel runs under CMS");
+    stats.record_into(&mut manifest.metrics, "kernel=gravity");
+
+    let dir = artifact_dir();
+    let trace_path = write_artifact(
+        &dir,
+        &format!("treecode{p}.trace.json"),
+        &chrome::export(&trace),
+    )
+    .expect("write chrome trace");
+    let manifest_path = write_artifact(
+        &dir,
+        &format!("treecode{p}.manifest.json"),
+        &manifest.to_json_string(),
+    )
+    .expect("write run manifest");
+
+    println!("{}", manifest.summary.render());
+    println!(
+        "sustained: {:.2} Gflops over {:.3} s makespan; {} spans on {} tracks",
+        report.gflops,
+        report.makespan_s,
+        trace.len(),
+        trace.ranks.len(),
+    );
+    println!("chrome trace: {}", trace_path.display());
+    println!("run manifest: {}", manifest_path.display());
+}

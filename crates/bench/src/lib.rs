@@ -1,0 +1,50 @@
+//! Shared plumbing for the experiment binaries: where telemetry
+//! artifacts (Chrome traces, run manifests) land on disk, and the
+//! standard manifest a traced treecode run produces.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use mb_cluster::power;
+use mb_cluster::spec::ClusterSpec;
+use mb_telemetry::manifest::RunManifest;
+use mb_treecode::parallel::StepReport;
+
+/// Power samples recorded into a run manifest's `power.watts` series.
+pub const POWER_SAMPLES: usize = 64;
+
+/// Artifact directory: `$MB_TELEMETRY_DIR`, or `./traces`.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os("MB_TELEMETRY_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("traces"))
+}
+
+/// Write one artifact under `dir` (created if needed); returns its path.
+pub fn write_artifact(dir: &Path, name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(contents.as_bytes())?;
+    Ok(path)
+}
+
+/// The standard manifest of one distributed treecode step: per-rank
+/// time summary, per-rank traffic counters, sampled power draw, and the
+/// headline scalars.
+pub fn treecode_manifest(run: &str, spec: &ClusterSpec, report: &StepReport) -> RunManifest {
+    let mut m = RunManifest::new(run, spec.name.clone(), spec.nodes);
+    m.summary = report.summary();
+    let clocks: Vec<f64> = report.per_rank.iter().map(|r| r.clock_s).collect();
+    power::record_into(&mut m.metrics, spec, &report.comm, &clocks, POWER_SAMPLES);
+    for (rank, s) in report.comm.iter().enumerate() {
+        let label = mb_telemetry::metrics::rank_label(rank);
+        m.metrics.count("comm.sends", &label, s.sends);
+        m.metrics.count("comm.bytes_sent", &label, s.bytes_sent);
+    }
+    m.note("gflops", report.gflops);
+    m.note("makespan_s", report.makespan_s);
+    m.note("total_flops", report.total_flops);
+    m.note("load_imbalance", m.summary.load_imbalance());
+    m
+}

@@ -47,13 +47,7 @@ impl CheckpointModel {
     /// Monte-Carlo wall-clock simulation (deterministic for a seed):
     /// simulates exponential failures while executing `work_h` hours of
     /// work with interval `tau`. Returns simulated wall-clock hours.
-    pub fn simulate_walltime_h(
-        &self,
-        work_h: f64,
-        tau: f64,
-        mtbf_h: f64,
-        seed: u64,
-    ) -> f64 {
+    pub fn simulate_walltime_h(&self, work_h: f64, tau: f64, mtbf_h: f64, seed: u64) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut next_failure = sample_exp(&mut rng, mtbf_h);
         let mut clock = 0.0; // wall-clock
@@ -152,7 +146,10 @@ mod tests {
         let too_often = c.expected_walltime_h(720.0, 0.5, mtbf);
         let too_rare = c.expected_walltime_h(720.0, 500.0, mtbf);
         assert!(opt < too_often, "checkpointing every 30 min thrashes");
-        assert!(opt < too_rare, "checkpointing twice a month loses too much work");
+        assert!(
+            opt < too_rare,
+            "checkpointing twice a month loses too much work"
+        );
     }
 
     #[test]

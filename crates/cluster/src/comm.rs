@@ -13,9 +13,20 @@
 //! in the paper's era: `bcast` and `reduce` are binomial trees (⌈log₂ P⌉
 //! rounds), `allreduce` is reduce+bcast, `barrier` is an empty allreduce,
 //! `allgather` is a ring, and `alltoallv` is a pairwise exchange.
+//!
+//! **Observability.** Every operation optionally records a virtual-time
+//! span into an attached [`TraceSink`] (see [`Comm::attach_sink`]):
+//! `compute`, point-to-point sends/receives (with peer and byte counts),
+//! and every collective as an enclosing span. Applications open named
+//! algorithm phases with [`Comm::begin_phase`]/[`Comm::end_phase`]. With
+//! no sink attached all of this reduces to one pointer check per
+//! operation, so untraced runs pay nothing measurable. Independent of
+//! tracing, [`CommStats`] keeps per-peer message/byte counts so load
+//! imbalance is visible from statistics alone.
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
+use mb_telemetry::trace::{SpanEvent, SpanKind, TraceSink};
 
 use crate::network::NetworkModel;
 
@@ -32,8 +43,22 @@ pub struct Msg {
     pub payload: Bytes,
 }
 
+/// Traffic between this rank and one peer (message and byte counts in
+/// each direction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// Messages sent to the peer.
+    pub msgs_to: u64,
+    /// Payload bytes sent to the peer.
+    pub bytes_to: u64,
+    /// Messages received from the peer.
+    pub msgs_from: u64,
+    /// Payload bytes received from the peer.
+    pub bytes_from: u64,
+}
+
 /// Per-rank communication statistics (virtual seconds).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommStats {
     /// Messages sent.
     pub sends: u64,
@@ -51,12 +76,20 @@ pub struct CommStats {
     pub send_busy_s: f64,
     /// Virtual seconds the NIC/stack kept the CPU busy receiving.
     pub recv_busy_s: f64,
+    /// Per-peer traffic, indexed by peer rank (empty until the stats
+    /// belong to a live [`Comm`], which sizes it to the rank count).
+    pub peers: Vec<PeerTraffic>,
 }
 
 impl CommStats {
     /// Seconds the node was doing useful or overhead work (not waiting).
     pub fn busy_s(&self) -> f64 {
         self.compute_s + self.send_busy_s + self.recv_busy_s
+    }
+
+    /// Traffic to/from `peer`, zero if out of range.
+    pub fn peer(&self, peer: usize) -> PeerTraffic {
+        self.peers.get(peer).copied().unwrap_or_default()
     }
 }
 
@@ -73,6 +106,8 @@ pub struct Comm {
     rx: Receiver<Msg>,
     pending: Vec<Msg>,
     coll_seq: u32,
+    sink: Option<Box<dyn TraceSink + Send>>,
+    phases: Vec<(&'static str, f64)>,
     /// Running statistics.
     pub stats: CommStats,
 }
@@ -97,7 +132,12 @@ impl Comm {
             rx,
             pending: Vec::new(),
             coll_seq: 0,
-            stats: CommStats::default(),
+            sink: None,
+            phases: Vec::new(),
+            stats: CommStats {
+                peers: vec![PeerTraffic::default(); nranks],
+                ..CommStats::default()
+            },
         }
     }
 
@@ -121,19 +161,67 @@ impl Comm {
         &self.net
     }
 
+    /// Attach a trace sink: from now on every operation records a
+    /// virtual-time span into it. Replaces any previous sink.
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink + Send>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the current sink, closing any phases still open
+    /// at the current clock so every recorded span is well-formed.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn TraceSink + Send>> {
+        while !self.phases.is_empty() {
+            self.end_phase();
+        }
+        self.sink.take()
+    }
+
+    /// Is a trace sink currently attached?
+    pub fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Open a named algorithm phase (tree build, force walk, …). Phases
+    /// nest; each is closed by the matching [`Comm::end_phase`]. A no-op
+    /// unless a sink is attached.
+    pub fn begin_phase(&mut self, name: &'static str) {
+        if self.sink.is_some() {
+            self.phases.push((name, self.clock));
+        }
+    }
+
+    /// Close the innermost open phase, recording its span. Tolerates an
+    /// unmatched call (nothing open) so callers need no tracing checks.
+    pub fn end_phase(&mut self) {
+        if let Some((name, t0)) = self.phases.pop() {
+            if let Some(sink) = self.sink.as_mut() {
+                sink.record(SpanEvent::plain(name, SpanKind::Phase, t0, self.clock));
+            }
+        }
+    }
+
     /// Charge `flops` floating-point operations of computation at this
     /// node's sustained rate.
     pub fn compute(&mut self, flops: f64) {
         let s = flops / (self.mflops * 1e6);
-        self.clock += s;
-        self.stats.compute_s += s;
+        self.charge_compute(s);
     }
 
     /// Charge raw virtual seconds (e.g. non-FP work).
     pub fn advance(&mut self, seconds: f64) {
         assert!(seconds >= 0.0, "time cannot run backward");
-        self.clock += seconds;
-        self.stats.compute_s += seconds;
+        self.charge_compute(seconds);
+    }
+
+    fn charge_compute(&mut self, s: f64) {
+        let t0 = self.clock;
+        self.clock += s;
+        self.stats.compute_s += s;
+        if s > 0.0 {
+            if let Some(sink) = self.sink.as_mut() {
+                sink.record(SpanEvent::plain("compute", SpanKind::Compute, t0, t0 + s));
+            }
+        }
     }
 
     /// Rebate virtual seconds previously charged — for timing models that
@@ -156,11 +244,25 @@ impl Comm {
 
     fn send_internal(&mut self, dst: usize, tag: u32, payload: Bytes) {
         let bytes = payload.len() as u64;
+        let t0 = self.clock;
         let busy = self.net.send_busy(bytes);
         self.clock += busy;
         self.stats.send_busy_s += busy;
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes;
+        self.stats.peers[dst].msgs_to += 1;
+        self.stats.peers[dst].bytes_to += bytes;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(SpanEvent {
+                name: "send",
+                kind: SpanKind::Send,
+                t0,
+                t1: t0 + busy,
+                peer: dst,
+                bytes,
+                wait_s: 0.0,
+            });
+        }
         let deliver = self.clock + self.net.flight(bytes);
         self.tx[dst]
             .send(Msg {
@@ -182,6 +284,7 @@ impl Comm {
     }
 
     fn recv_internal(&mut self, src: usize, tag: u32) -> Bytes {
+        let t0 = self.clock;
         let msg = loop {
             if let Some(i) = self
                 .pending
@@ -196,15 +299,31 @@ impl Comm {
             }
             self.pending.push(m);
         };
+        let mut waited = 0.0;
         if msg.deliver > self.clock {
-            self.stats.wait_s += msg.deliver - self.clock;
+            waited = msg.deliver - self.clock;
+            self.stats.wait_s += waited;
             self.clock = msg.deliver;
         }
-        let busy = self.net.recv_busy(msg.payload.len() as u64);
+        let bytes = msg.payload.len() as u64;
+        let busy = self.net.recv_busy(bytes);
         self.clock += busy;
         self.stats.recv_busy_s += busy;
         self.stats.recvs += 1;
-        self.stats.bytes_recv += msg.payload.len() as u64;
+        self.stats.bytes_recv += bytes;
+        self.stats.peers[src].msgs_from += 1;
+        self.stats.peers[src].bytes_from += bytes;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(SpanEvent {
+                name: "recv",
+                kind: SpanKind::Recv,
+                t0,
+                t1: self.clock,
+                peer: src,
+                bytes,
+                wait_s: waited,
+            });
+        }
         msg.payload
     }
 
@@ -224,9 +343,23 @@ impl Comm {
         tag
     }
 
+    /// Record an enclosing span for a collective that started at `t0`.
+    fn emit_collective(&mut self, name: &'static str, t0: f64) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(SpanEvent::plain(name, SpanKind::Collective, t0, self.clock));
+        }
+    }
+
     /// Broadcast from `root`: binomial tree. Returns the payload on every
     /// rank (on the root, the argument must be `Some`).
     pub fn bcast(&mut self, root: usize, payload: Option<Bytes>) -> Bytes {
+        let t0 = self.clock;
+        let out = self.bcast_inner(root, payload);
+        self.emit_collective("bcast", t0);
+        out
+    }
+
+    fn bcast_inner(&mut self, root: usize, payload: Option<Bytes>) -> Bytes {
         let n = self.nranks;
         let tag = self.next_coll_tag(1);
         let rel = (self.rank + n - root) % n;
@@ -252,6 +385,13 @@ impl Comm {
     /// Element-wise sum-reduce of a double vector to `root` (binomial
     /// tree). Returns `Some(sum)` on the root, `None` elsewhere.
     pub fn reduce_sum(&mut self, root: usize, vals: &[f64]) -> Option<Vec<f64>> {
+        let t0 = self.clock;
+        let out = self.reduce_sum_inner(root, vals);
+        self.emit_collective("reduce_sum", t0);
+        out
+    }
+
+    fn reduce_sum_inner(&mut self, root: usize, vals: &[f64]) -> Option<Vec<f64>> {
         let n = self.nranks;
         let tag = self.next_coll_tag(2);
         let rel = (self.rank + n - root) % n;
@@ -281,19 +421,35 @@ impl Comm {
     /// Allreduce (sum) of a double vector: reduce to rank 0 then
     /// broadcast.
     pub fn allreduce_sum(&mut self, vals: &[f64]) -> Vec<f64> {
-        let reduced = self.reduce_sum(0, vals);
+        let t0 = self.clock;
+        let out = self.allreduce_sum_inner(vals);
+        self.emit_collective("allreduce_sum", t0);
+        out
+    }
+
+    fn allreduce_sum_inner(&mut self, vals: &[f64]) -> Vec<f64> {
+        let reduced = self.reduce_sum_inner(0, vals);
         let payload = reduced.map(|v| pack_f64s(&v));
-        unpack_f64s(&self.bcast(0, payload))
+        unpack_f64s(&self.bcast_inner(0, payload))
     }
 
     /// Barrier: empty allreduce.
     pub fn barrier(&mut self) {
-        let _ = self.allreduce_sum(&[]);
+        let t0 = self.clock;
+        let _ = self.allreduce_sum_inner(&[]);
+        self.emit_collective("barrier", t0);
     }
 
     /// Ring allgather: each rank contributes one payload; everyone gets
     /// all payloads, indexed by rank.
     pub fn allgather(&mut self, mine: Bytes) -> Vec<Bytes> {
+        let t0 = self.clock;
+        let out = self.allgather_inner(mine);
+        self.emit_collective("allgather", t0);
+        out
+    }
+
+    fn allgather_inner(&mut self, mine: Bytes) -> Vec<Bytes> {
         let n = self.nranks;
         let tag = self.next_coll_tag(3);
         let mut chunks: Vec<Option<Bytes>> = vec![None; n];
@@ -308,12 +464,22 @@ impl Comm {
             let inp = self.recv_internal(left, tag);
             chunks[recv_idx] = Some(inp);
         }
-        chunks.into_iter().map(|c| c.expect("complete ring")).collect()
+        chunks
+            .into_iter()
+            .map(|c| c.expect("complete ring"))
+            .collect()
     }
 
     /// Pairwise-exchange personalized all-to-all: `outgoing[d]` goes to
     /// rank `d`; returns `incoming[s]` from each rank `s`.
     pub fn alltoallv(&mut self, outgoing: Vec<Bytes>) -> Vec<Bytes> {
+        let t0 = self.clock;
+        let out = self.alltoallv_inner(outgoing);
+        self.emit_collective("alltoallv", t0);
+        out
+    }
+
+    fn alltoallv_inner(&mut self, outgoing: Vec<Bytes>) -> Vec<Bytes> {
         let n = self.nranks;
         assert_eq!(outgoing.len(), n, "alltoallv needs one payload per rank");
         let tag = self.next_coll_tag(4);
@@ -331,6 +497,13 @@ impl Comm {
     /// Scatter: `root` holds one payload per rank; every rank receives
     /// its slice. Non-roots pass `None`.
     pub fn scatter(&mut self, root: usize, payloads: Option<Vec<Bytes>>) -> Bytes {
+        let t0 = self.clock;
+        let out = self.scatter_inner(root, payloads);
+        self.emit_collective("scatter", t0);
+        out
+    }
+
+    fn scatter_inner(&mut self, root: usize, payloads: Option<Vec<Bytes>>) -> Bytes {
         let n = self.nranks;
         let tag = self.next_coll_tag(6);
         if self.rank == root {
@@ -355,20 +528,30 @@ impl Comm {
     /// everyone's `r`-th chunk. (Reduce-to-root then scatter — the
     /// pattern MPICH used at this era for small payloads.)
     pub fn reduce_scatter_sum(&mut self, vals: &[f64], chunk: usize) -> Vec<f64> {
+        let t0 = self.clock;
         let n = self.nranks;
         assert_eq!(vals.len(), n * chunk, "need n×chunk elements");
-        let reduced = self.reduce_sum(0, vals);
+        let reduced = self.reduce_sum_inner(0, vals);
         let payloads = reduced.map(|full| {
             (0..n)
                 .map(|r| pack_f64s(&full[r * chunk..(r + 1) * chunk]))
                 .collect::<Vec<_>>()
         });
-        unpack_f64s(&self.scatter(0, payloads))
+        let out = unpack_f64s(&self.scatter_inner(0, payloads));
+        self.emit_collective("reduce_scatter_sum", t0);
+        out
     }
 
     /// Inclusive prefix scan (sum): rank `r` receives the element-wise
     /// sum of ranks `0..=r`'s vectors. Linear pipeline (rank order).
     pub fn scan_sum(&mut self, vals: &[f64]) -> Vec<f64> {
+        let t0 = self.clock;
+        let out = self.scan_sum_inner(vals);
+        self.emit_collective("scan_sum", t0);
+        out
+    }
+
+    fn scan_sum_inner(&mut self, vals: &[f64]) -> Vec<f64> {
         let n = self.nranks;
         let tag = self.next_coll_tag(7);
         let mut acc = vals.to_vec();
@@ -389,6 +572,13 @@ impl Comm {
     /// Gather every rank's payload at `root` (rank order). Returns
     /// `Some(vec)` on the root, `None` elsewhere.
     pub fn gather(&mut self, root: usize, mine: Bytes) -> Option<Vec<Bytes>> {
+        let t0 = self.clock;
+        let out = self.gather_inner(root, mine);
+        self.emit_collective("gather", t0);
+        out
+    }
+
+    fn gather_inner(&mut self, root: usize, mine: Bytes) -> Option<Vec<Bytes>> {
         let n = self.nranks;
         let tag = self.next_coll_tag(5);
         if self.rank == root {

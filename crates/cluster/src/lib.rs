@@ -22,7 +22,11 @@
 //!   and on the send timestamps of messages it receives;
 //! * [`machine`] — the cluster runtime: run an SPMD closure over all
 //!   ranks, gather results, per-rank statistics and the makespan;
-//! * [`power`] — node and cluster power accounting (load/idle, cooling);
+//!   [`machine::Cluster::run_traced`] additionally captures a span trace
+//!   of every rank (see the `mb-telemetry` crate) ready for Chrome
+//!   `trace_event` export;
+//! * [`power`] — node and cluster power accounting (load/idle, cooling),
+//!   plus sampled power series recorded into a telemetry registry;
 //! * [`thermal`] — ambient → component temperature model;
 //! * [`reliability`] — the paper's empirical failure law ("the failure
 //!   rate of a component doubles for every 10 °C increase in
@@ -42,7 +46,7 @@ pub mod spec;
 pub mod thermal;
 pub mod trace;
 
-pub use comm::{Comm, CommStats};
+pub use comm::{Comm, CommStats, PeerTraffic};
 pub use machine::{Cluster, SpmdOutcome};
 pub use network::NetworkModel;
 pub use spec::{cluster_catalog, ClusterSpec, CpuSpec, NetworkSpec, NodeSpec, PackagingKind};

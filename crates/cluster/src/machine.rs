@@ -1,7 +1,14 @@
 //! The cluster runtime: run an SPMD closure over all ranks of a
 //! [`ClusterSpec`] and gather results, virtual clocks and statistics.
+//!
+//! [`Cluster::run_traced`] is the observability entry point: it attaches
+//! a buffering trace sink to every rank's communicator, so the same job
+//! closure additionally yields a [`RunTrace`] ready for Chrome export
+//! (`mb_telemetry::chrome::export`) — one track per rank.
 
 use crossbeam::channel::unbounded;
+use mb_telemetry::summary::{RankTime, RunSummary};
+use mb_telemetry::trace::{MemorySink, RunTrace};
 
 use crate::comm::{Comm, CommStats, Msg};
 use crate::network::NetworkModel;
@@ -38,6 +45,38 @@ impl<R> SpmdOutcome<R> {
     /// Aggregate bytes sent across ranks.
     pub fn total_bytes(&self) -> u64 {
         self.stats.iter().map(|s| s.bytes_sent).sum()
+    }
+
+    /// Per-rank compute / comm / blocked time split, derived from the
+    /// running statistics (available whether or not tracing was on).
+    pub fn summary(&self) -> RunSummary {
+        RunSummary::new(
+            self.stats
+                .iter()
+                .zip(&self.clocks)
+                .map(|(s, &clock)| RankTime {
+                    compute_s: s.compute_s,
+                    comm_s: s.send_busy_s + s.recv_busy_s,
+                    blocked_s: s.wait_s,
+                    total_s: clock,
+                })
+                .collect(),
+        )
+    }
+
+    /// Load imbalance in `[0, 1)`: `1 − mean(busy) / max(busy)` over
+    /// ranks.
+    pub fn load_imbalance(&self) -> f64 {
+        self.summary().load_imbalance()
+    }
+
+    /// The `nranks × nranks` traffic matrix: entry `[src][dst]` is the
+    /// payload bytes rank `src` sent to rank `dst`.
+    pub fn traffic_matrix(&self) -> Vec<Vec<u64>> {
+        self.stats
+            .iter()
+            .map(|s| s.peers.iter().map(|p| p.bytes_to).collect())
+            .collect()
     }
 }
 
@@ -81,6 +120,27 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
+        self.run_inner(f, false).0
+    }
+
+    /// Like [`Cluster::run`], but with span tracing on: every rank gets a
+    /// buffering [`MemorySink`], and the harvested spans come back as a
+    /// [`RunTrace`] (index = rank) alongside the normal outcome. Virtual
+    /// clocks are identical to an untraced run — tracing observes the
+    /// simulation without perturbing it.
+    pub fn run_traced<R, F>(&self, f: F) -> (SpmdOutcome<R>, RunTrace)
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        self.run_inner(f, true)
+    }
+
+    fn run_inner<R, F>(&self, f: F, traced: bool) -> (SpmdOutcome<R>, RunTrace)
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
         let n = self.spec.nodes;
         assert!(n > 0, "cluster has no nodes");
         let net = NetworkModel::new(self.spec.network);
@@ -102,16 +162,23 @@ impl Cluster {
         drop(txs);
 
         let f = &f;
-        let mut results: Vec<Option<(R, f64, CommStats)>> =
-            (0..n).map(|_| None).collect();
+        type RankOut<R> = (R, f64, CommStats, Vec<mb_telemetry::trace::SpanEvent>);
+        let mut results: Vec<Option<RankOut<R>>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, mut comm) in comms.drain(..).enumerate() {
                 handles.push((
                     rank,
                     scope.spawn(move || {
+                        if traced {
+                            comm.attach_sink(Box::new(MemorySink::new()));
+                        }
                         let r = f(&mut comm);
-                        (r, comm.now(), comm.stats)
+                        let spans = comm
+                            .detach_sink()
+                            .map(|mut s| s.drain())
+                            .unwrap_or_default();
+                        (r, comm.now(), comm.stats, spans)
                     }),
                 ));
             }
@@ -123,17 +190,22 @@ impl Cluster {
         let mut vals = Vec::with_capacity(n);
         let mut clocks = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
+        let mut ranks = Vec::with_capacity(n);
         for r in results {
-            let (v, c, s) = r.expect("every rank completes");
+            let (v, c, s, spans) = r.expect("every rank completes");
             vals.push(v);
             clocks.push(c);
             stats.push(s);
+            ranks.push(spans);
         }
-        SpmdOutcome {
-            results: vals,
-            clocks,
-            stats,
-        }
+        (
+            SpmdOutcome {
+                results: vals,
+                clocks,
+                stats,
+            },
+            RunTrace { ranks },
+        )
     }
 }
 
@@ -258,10 +330,16 @@ mod tests {
     fn gather_collects_in_rank_order() {
         let c = small_cluster(5);
         let out = c.run(|comm| {
-            comm.gather(0, pack_f64s(&[comm.rank() as f64]))
-                .map(|v| v.iter().map(|b| crate::comm::unpack_f64s(b)[0]).collect::<Vec<_>>())
+            comm.gather(0, pack_f64s(&[comm.rank() as f64])).map(|v| {
+                v.iter()
+                    .map(|b| crate::comm::unpack_f64s(b)[0])
+                    .collect::<Vec<_>>()
+            })
         });
-        assert_eq!(out.results[0].as_ref().unwrap(), &vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            out.results[0].as_ref().unwrap(),
+            &vec![0.0, 1.0, 2.0, 3.0, 4.0]
+        );
         assert!(out.results[1].is_none());
     }
 
@@ -336,7 +414,9 @@ mod collective_tests {
         let c = Cluster::new(metablade().with_nodes(5));
         let out = c.run(|comm| {
             let payloads = (comm.rank() == 2).then(|| {
-                (0..5).map(|r| pack_f64s(&[r as f64 * 3.0])).collect::<Vec<Bytes>>()
+                (0..5)
+                    .map(|r| pack_f64s(&[r as f64 * 3.0]))
+                    .collect::<Vec<Bytes>>()
             });
             crate::comm::unpack_f64s(&comm.scatter(2, payloads))[0]
         });
@@ -368,5 +448,179 @@ mod collective_tests {
             let tri = ((r + 1) * (r + 2) / 2) as f64;
             assert_eq!(v[1], tri, "rank {r} triangular");
         }
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::spec::metablade;
+    use bytes::Bytes;
+    use mb_telemetry::chrome;
+    use mb_telemetry::json::{parse, Json};
+    use mb_telemetry::trace::SpanKind;
+
+    fn ping_pong(comm: &mut Comm) -> f64 {
+        comm.begin_phase("ping-pong");
+        if comm.rank() == 0 {
+            comm.compute(87.5e4); // 10 ms of "work" before the exchange
+            comm.send(1, 7, Bytes::from_static(b"ping"));
+            let r = comm.recv(1, 8);
+            assert_eq!(&r[..], b"pong");
+        } else {
+            let r = comm.recv(0, 7);
+            assert_eq!(&r[..], b"ping");
+            comm.send(0, 8, Bytes::from_static(b"pong"));
+        }
+        comm.end_phase();
+        comm.now()
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_clocks_exactly() {
+        let c = Cluster::new(metablade().with_nodes(4));
+        let job = |comm: &mut Comm| {
+            let s = comm.allreduce_sum(&[comm.rank() as f64]);
+            comm.compute(1e6);
+            comm.barrier();
+            s[0]
+        };
+        let plain = c.run(job);
+        let (traced, trace) = c.run_traced(job);
+        assert_eq!(plain.clocks, traced.clocks);
+        assert_eq!(plain.results, traced.results);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.ranks.len(), 4);
+    }
+
+    #[test]
+    fn trace_spans_account_for_the_stats() {
+        let c = Cluster::new(metablade().with_nodes(2));
+        let (out, trace) = c.run_traced(ping_pong);
+        for rank in 0..2 {
+            let s = &out.stats[rank];
+            let eps = 1e-12;
+            assert!(
+                (trace.kind_time(rank, SpanKind::Compute) - s.compute_s).abs() < eps,
+                "rank {rank} compute spans vs stats"
+            );
+            assert!(
+                (trace.kind_time(rank, SpanKind::Send) - s.send_busy_s).abs() < eps,
+                "rank {rank} send spans vs stats"
+            );
+            // Recv spans cover wait + busy.
+            assert!(
+                (trace.kind_time(rank, SpanKind::Recv) - (s.wait_s + s.recv_busy_s)).abs() < eps,
+                "rank {rank} recv spans vs stats"
+            );
+            // The phase span covers the whole rank timeline.
+            assert!(
+                (trace.kind_time(rank, SpanKind::Phase) - out.clocks[rank]).abs() < eps,
+                "rank {rank} phase span vs clock"
+            );
+        }
+    }
+
+    /// The golden Chrome-exporter test: a 2-rank ping-pong must produce a
+    /// trace_event document that parses back, validates (monotonic
+    /// timestamps, proper nesting), has one track per rank, and pairs
+    /// every send with a recv of the same byte count on the peer track.
+    #[test]
+    fn ping_pong_chrome_trace_is_valid_and_paired() {
+        let c = Cluster::new(metablade().with_nodes(2));
+        let (out, trace) = c.run_traced(ping_pong);
+        let text = chrome::export(&trace);
+
+        let summary = chrome::validate(&text).expect("exporter output validates");
+        assert_eq!(summary.tracks, vec![0, 1], "one track per rank");
+        assert!((summary.end_us - out.makespan_s() * 1e6).abs() < 1e-6);
+
+        let doc = parse(&text).unwrap();
+        let events = doc.as_arr().unwrap();
+        let named = |track: f64, name: &str| -> Vec<&Json> {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+                .filter(|e| e.get("tid").and_then(Json::as_f64) == Some(track))
+                .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .collect()
+        };
+        // Each rank sent one 4-byte message and received one.
+        for (track, peer) in [(0.0, 1.0), (1.0, 0.0)] {
+            let sends = named(track, "send");
+            let recvs = named(track, "recv");
+            assert_eq!(sends.len(), 1, "track {track} sends");
+            assert_eq!(recvs.len(), 1, "track {track} recvs");
+            for ev in sends.iter().chain(&recvs) {
+                let args = ev.get("args").unwrap();
+                assert_eq!(args.get("peer").unwrap().as_f64(), Some(peer));
+                assert_eq!(args.get("bytes").unwrap().as_f64(), Some(4.0));
+            }
+        }
+        // Metadata names both tracks.
+        let meta: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+    }
+
+    #[test]
+    fn per_peer_traffic_is_counted_and_symmetric() {
+        let n = 4;
+        let c = Cluster::new(metablade().with_nodes(n));
+        let out = c.run(|comm| {
+            // Each rank sends (rank+1) 8-byte messages to its successor.
+            let next = (comm.rank() + 1) % comm.nranks();
+            let prev = (comm.rank() + comm.nranks() - 1) % comm.nranks();
+            for i in 0..comm.rank() + 1 {
+                comm.send_f64s(next, 3, &[i as f64]);
+            }
+            for _ in 0..prev + 1 {
+                let _ = comm.recv_f64s(prev, 3);
+            }
+        });
+        for src in 0..n {
+            let dst = (src + 1) % n;
+            let sent = out.stats[src].peer(dst);
+            let got = out.stats[dst].peer(src);
+            assert_eq!(sent.msgs_to, (src + 1) as u64, "rank {src} msgs to {dst}");
+            assert_eq!(sent.bytes_to, 8 * (src + 1) as u64);
+            assert_eq!(got.msgs_from, sent.msgs_to, "symmetry {src}→{dst}");
+            assert_eq!(got.bytes_from, sent.bytes_to);
+            // No traffic to anyone else.
+            let other = (src + 2) % n;
+            if other != dst {
+                assert_eq!(out.stats[src].peer(other).msgs_to, 0);
+            }
+        }
+        // The traffic matrix agrees with the per-rank totals.
+        let m = out.traffic_matrix();
+        for src in 0..n {
+            assert_eq!(
+                m[src].iter().sum::<u64>(),
+                out.stats[src].bytes_sent,
+                "row {src} sums to bytes_sent"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_reports_imbalance_of_skewed_work() {
+        let c = Cluster::new(metablade().with_nodes(4));
+        let out = c.run(|comm| {
+            if comm.rank() == 0 {
+                comm.compute(87.5e6); // 1 s on rank 0, nothing elsewhere
+            }
+            comm.barrier();
+        });
+        let s = out.summary();
+        assert_eq!(s.ranks.len(), 4);
+        assert!(s.makespan_s >= 1.0);
+        // Rank 0 did ~all the busy work: imbalance approaches 0.75.
+        assert!(s.load_imbalance() > 0.5, "imbalance {}", s.load_imbalance());
+        assert!(s.critical_path_s() >= 1.0);
+        let text = s.render();
+        assert!(text.contains("load imbalance"));
     }
 }

@@ -95,7 +95,7 @@ mod tests {
     fn large_message_is_bandwidth_bound() {
         let m = fe();
         let t = m.ping_time(1_250_000); // 10 Mb
-        // ≥ 3 serializations of 0.1 s each (tx + switch + rx).
+                                        // ≥ 3 serializations of 0.1 s each (tx + switch + rx).
         assert!(t > 0.29 && t < 0.32, "{t}");
     }
 

@@ -7,6 +7,7 @@
 
 use crate::comm::CommStats;
 use crate::spec::{ClusterSpec, PackagingKind};
+use mb_telemetry::metrics::Registry;
 
 /// Cooling power drawn per watt of IT load for traditionally-packaged,
 /// actively-cooled clusters (the paper's 0.5 W/W).
@@ -68,6 +69,77 @@ pub fn account(spec: &ClusterSpec, stats: &[CommStats], clocks: &[f64]) -> Power
     }
 }
 
+/// One sampled point of cluster wall power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Sample time, virtual seconds.
+    pub t_s: f64,
+    /// Cluster wall power (IT plus cooling), watts.
+    pub watts: f64,
+}
+
+/// Sample cluster wall power at `samples` evenly spaced points over the
+/// run (bucket midpoints, so a single sample reads the run mean). Each
+/// rank's busy seconds are spread uniformly over its own active window
+/// `[0, clock)`; from its clock to the makespan it idles. Traditional
+/// packaging includes the cooling overhead in every sample.
+pub fn sample_series(
+    spec: &ClusterSpec,
+    stats: &[CommStats],
+    clocks: &[f64],
+    samples: usize,
+) -> Vec<PowerSample> {
+    assert_eq!(stats.len(), clocks.len(), "one clock per stats entry");
+    let makespan = clocks.iter().copied().fold(0.0, f64::max);
+    if makespan <= 0.0 || samples == 0 {
+        return Vec::new();
+    }
+    let cooling_mult = match spec.packaging {
+        PackagingKind::Traditional => 1.0 + COOLING_OVERHEAD_PER_WATT,
+        PackagingKind::Bladed => 1.0,
+    };
+    (0..samples)
+        .map(|i| {
+            let t = makespan * (i as f64 + 0.5) / samples as f64;
+            let mut watts = 0.0;
+            for (s, &clock) in stats.iter().zip(clocks) {
+                watts += if t < clock {
+                    let duty = (s.busy_s() / clock).min(1.0);
+                    duty * spec.node.node_watts_load + (1.0 - duty) * spec.node.node_watts_idle
+                } else {
+                    spec.node.node_watts_idle
+                };
+            }
+            PowerSample {
+                t_s: t,
+                watts: watts * cooling_mult,
+            }
+        })
+        .collect()
+}
+
+/// Account a run's power and record it into a metrics registry: summary
+/// gauges (`power.avg_watts`, `power.peak_watts`, energy split) plus a
+/// `power.watts` sampled series. Returns the summary.
+pub fn record_into(
+    reg: &mut Registry,
+    spec: &ClusterSpec,
+    stats: &[CommStats],
+    clocks: &[f64],
+    samples: usize,
+) -> PowerSummary {
+    let p = account(spec, stats, clocks);
+    reg.record_gauge("power.avg_watts", "", p.avg_watts);
+    reg.record_gauge("power.peak_watts", "", p.peak_watts);
+    reg.record_gauge("power.it_energy_j", "", p.it_energy_j);
+    reg.record_gauge("power.cooling_energy_j", "", p.cooling_energy_j);
+    let series = reg.series("power.watts", "");
+    for s in sample_series(spec, stats, clocks, samples) {
+        reg.sample(series, s.t_s, s.watts);
+    }
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +198,70 @@ mod tests {
         let p = account(&spec, &[CommStats::default()], &[0.0]);
         assert_eq!(p.avg_watts, 0.0);
         assert_eq!(p.total_energy_j(), 0.0);
+    }
+
+    #[test]
+    fn sampled_series_integrates_to_the_energy() {
+        let spec = metablade();
+        let (stats, clocks) = fully_busy_stats(spec.nodes, 100.0);
+        let p = account(&spec, &stats, &clocks);
+        let series = sample_series(&spec, &stats, &clocks, 50);
+        assert_eq!(series.len(), 50);
+        // Fully busy: every sample reads the full-load draw, so the
+        // trapezoid integral over the makespan equals the energy.
+        let dt = p.makespan_s / 50.0;
+        let integral: f64 = series.iter().map(|s| s.watts * dt).sum();
+        assert!(
+            (integral - p.total_energy_j()).abs() / p.total_energy_j() < 1e-9,
+            "integral {integral} vs energy {}",
+            p.total_energy_j()
+        );
+        // Samples are timestamped inside the run and strictly increasing.
+        for w in series.windows(2) {
+            assert!(w[0].t_s < w[1].t_s);
+        }
+        assert!(series.last().unwrap().t_s < p.makespan_s);
+    }
+
+    #[test]
+    fn straggler_tail_draws_less_power() {
+        let spec = metablade().with_nodes(2);
+        // Rank 0 busy for 10 s; rank 1 finishes at 2 s then idles.
+        let stats = vec![
+            CommStats {
+                compute_s: 10.0,
+                ..Default::default()
+            },
+            CommStats {
+                compute_s: 2.0,
+                ..Default::default()
+            },
+        ];
+        let clocks = vec![10.0, 2.0];
+        let series = sample_series(&spec, &stats, &clocks, 10);
+        // Early samples (both ranks at load) beat late ones (rank 1 idle).
+        assert!(series.first().unwrap().watts > series.last().unwrap().watts);
+    }
+
+    #[test]
+    fn record_into_registers_gauges_and_series() {
+        let spec = metablade();
+        let (stats, clocks) = fully_busy_stats(spec.nodes, 10.0);
+        let mut reg = Registry::new();
+        let p = record_into(&mut reg, &spec, &stats, &clocks, 8);
+        assert_eq!(reg.gauge_value("power.avg_watts", ""), Some(p.avg_watts));
+        assert_eq!(reg.gauge_value("power.peak_watts", ""), Some(p.peak_watts));
+        match reg.find("power.watts", "").unwrap() {
+            mb_telemetry::metrics::MetricValue::Series(s) => assert_eq!(s.len(), 8),
+            _ => panic!("power.watts must be a series"),
+        }
+    }
+
+    #[test]
+    fn zero_samples_or_zero_makespan_yield_empty_series() {
+        let spec = metablade().with_nodes(1);
+        assert!(sample_series(&spec, &[CommStats::default()], &[0.0], 10).is_empty());
+        let (stats, clocks) = fully_busy_stats(1, 5.0);
+        assert!(sample_series(&spec, &stats, &clocks, 0).is_empty());
     }
 }

@@ -41,8 +41,7 @@ impl FailureLaw {
 
     /// Failure rate (per node-year) at a component temperature.
     pub fn rate_per_year(&self, temp_c: f64) -> f64 {
-        self.base_rate_per_year
-            * 2f64.powf((temp_c - self.ref_temp_c) / self.doubling_delta_c)
+        self.base_rate_per_year * 2f64.powf((temp_c - self.ref_temp_c) / self.doubling_delta_c)
     }
 
     /// Mean time between failures for one node at a temperature, hours.
@@ -135,7 +134,10 @@ mod tests {
         let temp = ThermalModel::blade_closet().component_temp_c(6.0);
         let per_year = law.expected_failures(24, temp, 1.0);
         let trad = law.expected_failures(24, 55.0, 1.0);
-        assert!(per_year < trad / 2.5, "blades: {per_year}/yr vs traditional {trad}/yr");
+        assert!(
+            per_year < trad / 2.5,
+            "blades: {per_year}/yr vs traditional {trad}/yr"
+        );
     }
 
     #[test]

@@ -105,8 +105,7 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// Peak Gflops: nodes × clock × flops/cycle.
     pub fn peak_gflops(&self) -> f64 {
-        self.nodes as f64 * self.node.cpu.clock_mhz * 1e6 * self.node.cpu.peak_flops_per_cycle
-            / 1e9
+        self.nodes as f64 * self.node.cpu.clock_mhz * 1e6 * self.node.cpu.peak_flops_per_cycle / 1e9
     }
 
     /// Cluster wall power at load, kW (nodes only; cooling handled by the
@@ -278,7 +277,11 @@ mod tests {
     fn metablade_peak_matches_paper() {
         // §3.3: "With a peak rating of 15.2 Gflops".
         let s = metablade();
-        assert!((s.peak_gflops() - 15.192).abs() < 0.01, "{}", s.peak_gflops());
+        assert!(
+            (s.peak_gflops() - 15.192).abs() < 0.01,
+            "{}",
+            s.peak_gflops()
+        );
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! Lightweight per-rank event traces for tests and ablations.
 //!
-//! The simulator itself stays trace-free for speed; SPMD jobs that want a
-//! timeline record events into a [`Tracer`] and return it from the rank
-//! closure.
+//! [`Tracer`] predates the telemetry crate and is kept as a thin adapter
+//! over it: the legacy `record`/`events`/`span_s`/`phase_time` API is
+//! unchanged, and a `Tracer` now also implements
+//! [`mb_telemetry::trace::TraceSink`], so it can be attached straight to
+//! a communicator ([`crate::Comm::attach_sink`]) and capture the
+//! simulator's own spans alongside explicitly recorded events. New code
+//! should prefer [`mb_telemetry::trace::MemorySink`] and the structured
+//! span types; this module exists so existing call sites keep working.
+
+use mb_telemetry::trace::{phase_durations, SpanEvent, SpanKind, TraceSink};
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +50,8 @@ pub struct Event {
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
     events: Vec<Event>,
+    spans: Vec<SpanEvent>,
+    closed_at: Option<f64>,
 }
 
 impl Tracer {
@@ -56,38 +65,87 @@ impl Tracer {
         self.events.push(Event { at, kind });
     }
 
-    /// All events, in recording order.
+    /// Mark the end of the run at a virtual time. Without a close, a
+    /// phase left open at the end of the trace only extends to the last
+    /// recorded event — which is zero seconds when the phase marker *is*
+    /// the last event. Closing pins the run end explicitly.
+    pub fn close(&mut self, at: f64) {
+        let prev = self.closed_at.unwrap_or(0.0);
+        self.closed_at = Some(prev.max(at));
+    }
+
+    /// All explicitly recorded events, in recording order.
     pub fn events(&self) -> &[Event] {
         &self.events
     }
 
-    /// Duration between the first and last event.
-    pub fn span_s(&self) -> f64 {
-        match (self.events.first(), self.events.last()) {
-            (Some(a), Some(b)) => b.at - a.at,
-            _ => 0.0,
-        }
+    /// Spans captured while attached to a communicator as a
+    /// [`TraceSink`], in emission order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
     }
 
-    /// Virtual time spent between each `Phase(name)` event and the next
-    /// phase boundary (or the last event).
+    /// The effective end of the trace: the explicit [`Tracer::close`]
+    /// time if set, otherwise the last recorded event or span end.
+    fn end_at(&self) -> f64 {
+        let last_event = self.events.last().map(|e| e.at).unwrap_or(0.0);
+        let last_span = self.spans.iter().map(|s| s.t1).fold(0.0, f64::max);
+        self.closed_at.unwrap_or(0.0).max(last_event).max(last_span)
+    }
+
+    /// Duration between the first and last event (or span boundary, or
+    /// explicit close).
+    pub fn span_s(&self) -> f64 {
+        let first_event = self.events.first().map(|e| e.at);
+        let first_span = self.spans.first().map(|s| s.t0);
+        let start = match (first_event, first_span) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return 0.0,
+        };
+        self.end_at() - start
+    }
+
+    /// Virtual time spent in the named phase.
+    ///
+    /// For explicitly recorded [`EventKind::Phase`] markers, a phase runs
+    /// from its marker to the next phase marker, or to the end of the
+    /// trace (last event, last captured span, or [`Tracer::close`] time).
+    /// Re-entering a phase accumulates every visit, including a trailing
+    /// open one. Phase spans captured as a [`TraceSink`] contribute their
+    /// exact durations.
     pub fn phase_time(&self, name: &str) -> f64 {
-        let mut total = 0.0;
-        let mut start: Option<f64> = None;
-        for e in &self.events {
-            if let EventKind::Phase(p) = e.kind {
-                if let Some(s) = start.take() {
-                    total += e.at - s;
-                }
-                if p == name {
-                    start = Some(e.at);
-                }
-            }
-        }
-        if let (Some(s), Some(last)) = (start, self.events.last()) {
-            total += last.at - s;
-        }
-        total
+        let markers: Vec<(f64, &str)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Phase(p) => Some((e.at, p)),
+                _ => None,
+            })
+            .collect();
+        let from_markers = phase_durations(&markers, self.end_at())
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d)
+            .unwrap_or(0.0);
+        let from_spans: f64 = self
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Phase && s.name == name)
+            .map(SpanEvent::dur_s)
+            .sum();
+        from_markers + from_spans
+    }
+}
+
+impl TraceSink for Tracer {
+    fn record(&mut self, ev: SpanEvent) {
+        self.spans.push(ev);
+    }
+
+    fn drain(&mut self) -> Vec<SpanEvent> {
+        std::mem::take(&mut self.spans)
     }
 }
 
@@ -115,5 +173,68 @@ mod tests {
         assert_eq!(t.span_s(), 0.0);
         assert_eq!(t.phase_time("anything"), 0.0);
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn repeated_phases_accumulate_every_visit() {
+        let mut t = Tracer::new();
+        t.record(0.0, EventKind::Phase("build"));
+        t.record(1.0, EventKind::Phase("walk"));
+        t.record(3.0, EventKind::Phase("build"));
+        t.close(5.0);
+        assert!((t.phase_time("build") - 3.0).abs() < 1e-12, "1 + 2 seconds");
+        assert!((t.phase_time("walk") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trailing_phase_with_no_later_events_counts_after_close() {
+        let mut t = Tracer::new();
+        t.record(2.0, EventKind::Phase("walk"));
+        // The marker is the last event: without a close there is nothing
+        // to extend the phase to, so it reads as zero…
+        assert_eq!(t.phase_time("walk"), 0.0);
+        // …and closing the trace attributes the tail correctly.
+        t.close(7.0);
+        assert!((t.phase_time("walk") - 5.0).abs() < 1e-12);
+        assert!((t.span_s() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_never_rewinds_the_end() {
+        let mut t = Tracer::new();
+        t.record(0.0, EventKind::Phase("a"));
+        t.close(10.0);
+        t.close(4.0); // later, smaller close is ignored
+        assert!((t.phase_time("a") - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracer_acts_as_a_trace_sink() {
+        let mut t = Tracer::new();
+        TraceSink::record(&mut t, SpanEvent::plain("build", SpanKind::Phase, 0.0, 2.0));
+        TraceSink::record(&mut t, SpanEvent::plain("build", SpanKind::Phase, 3.0, 4.5));
+        TraceSink::record(
+            &mut t,
+            SpanEvent::plain("compute", SpanKind::Compute, 0.0, 1.0),
+        );
+        assert_eq!(t.spans().len(), 3);
+        assert!((t.phase_time("build") - 3.5).abs() < 1e-12);
+        assert!((t.span_s() - 4.5).abs() < 1e-12);
+        let drained = TraceSink::drain(&mut t);
+        assert_eq!(drained.len(), 3);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn marker_and_span_phase_time_combine() {
+        let mut t = Tracer::new();
+        t.record(0.0, EventKind::Phase("walk"));
+        t.record(2.0, EventKind::Phase("other"));
+        t.record(3.0, EventKind::Compute { flops: 1.0 });
+        TraceSink::record(&mut t, SpanEvent::plain("walk", SpanKind::Phase, 5.0, 6.0));
+        assert!(
+            (t.phase_time("walk") - 3.0).abs() < 1e-12,
+            "2 marked + 1 span"
+        );
     }
 }

@@ -60,7 +60,12 @@ pub fn historical_records() -> Vec<TreecodeRecord> {
         rec("Sandia ASCI Red", "200-MHz Intel Pentium Pro", 6800, 464.9),
         rec("Caltech Naegling", "200-MHz Intel Pentium Pro", 96, 5.67),
         rec("NRL TMC CM-5E", "40-MHz SuperSPARC + VU", 256, 11.57),
-        rec("Sandia ASCI Red (el)", "200-MHz Intel Pentium Pro", 4096, 164.3),
+        rec(
+            "Sandia ASCI Red (el)",
+            "200-MHz Intel Pentium Pro",
+            4096,
+            164.3,
+        ),
         rec("JPL Cray T3D", "150-MHz DEC Alpha EV4", 256, 7.94),
     ]
 }
@@ -102,8 +107,7 @@ mod tests {
         assert!((loki.mflops_per_proc() - 80.0).abs() < 1.0);
         let loki_spec = mb_cluster::spec::loki();
         let metablade = mb_cluster::spec::metablade();
-        let ratio =
-            metablade.node.cpu.sustained_mflops / loki_spec.node.cpu.sustained_mflops;
+        let ratio = metablade.node.cpu.sustained_mflops / loki_spec.node.cpu.sustained_mflops;
         assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
     }
 

@@ -188,13 +188,7 @@ fn run_rank(comm: &mut Comm, a: &Dense, n: usize, nb: usize) -> Vec<Vec<f64>> {
 }
 
 /// Eliminate local trailing rows against pivot row `k`.
-fn eliminate(
-    local: &mut [(usize, Vec<f64>)],
-    comm: &mut Comm,
-    k: usize,
-    n: usize,
-    row_k: &[f64],
-) {
+fn eliminate(local: &mut [(usize, Vec<f64>)], comm: &mut Comm, k: usize, n: usize, row_k: &[f64]) {
     let pivot = row_k[0];
     let mut updated = 0u64;
     for (gr, row) in local.iter_mut() {

@@ -26,7 +26,10 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 pub fn render_table2(rows: &[Table2Row]) -> String {
     let mut s = String::new();
     s.push_str("Table 2. Scalability of an N-body Simulation on the MetaBlade Bladed Beowulf\n");
-    s.push_str(&format!("{:>7}{:>14}{:>12}\n", "# CPUs", "Time (sec)", "Speed-Up"));
+    s.push_str(&format!(
+        "{:>7}{:>14}{:>12}\n",
+        "# CPUs", "Time (sec)", "Speed-Up"
+    ));
     for r in rows {
         s.push_str(&format!(
             "{:>7}{:>14.2}{:>12.2}\n",

@@ -46,7 +46,11 @@ pub struct Atom {
 
 impl Atom {
     fn new(kind: OpKind, reads: Vec<u16>, writes: Vec<u16>) -> Self {
-        Atom { kind, reads, writes }
+        Atom {
+            kind,
+            reads,
+            writes,
+        }
     }
 }
 
@@ -361,7 +365,10 @@ mod tests {
         let cfg = CrackConfig::full_hardware();
         let mut t = FIRST_TEMP;
         assert_eq!(crack_insn(&Insn::Add(Reg(0), Reg(1)), cfg, &mut t).len(), 1);
-        assert_eq!(crack_insn(&Insn::FMul(FReg(0), FReg(1)), cfg, &mut t).len(), 1);
+        assert_eq!(
+            crack_insn(&Insn::FMul(FReg(0), FReg(1)), cfg, &mut t).len(),
+            1
+        );
         // FSqrt cracks to the libm-call wrapper around the hardware op.
         let sqrt_atoms = crack_insn(&Insn::FSqrt(FReg(0)), cfg, &mut t);
         assert!(sqrt_atoms.iter().any(|a| a.kind == OpKind::FpSqrt));
@@ -372,11 +379,7 @@ mod tests {
     fn cisc_memory_form_cracks_to_two_atoms() {
         let cfg = CrackConfig::full_hardware();
         let mut t = FIRST_TEMP;
-        let atoms = crack_insn(
-            &Insn::FAddMem(FReg(0), Addr::base(Reg(1), 8)),
-            cfg,
-            &mut t,
-        );
+        let atoms = crack_insn(&Insn::FAddMem(FReg(0), Addr::base(Reg(1), 8)), cfg, &mut t);
         assert_eq!(atoms.len(), 2);
         assert_eq!(atoms[0].kind, OpKind::Load);
         assert_eq!(atoms[1].kind, OpKind::FpAdd);
@@ -389,7 +392,11 @@ mod tests {
         let cfg = CrackConfig::crusoe();
         let mut t = FIRST_TEMP;
         let atoms = crack_insn(&Insn::FSqrt(FReg(2)), cfg, &mut t);
-        assert!(atoms.len() > 10, "expected a long sequence, got {}", atoms.len());
+        assert!(
+            atoms.len() > 10,
+            "expected a long sequence, got {}",
+            atoms.len()
+        );
         assert!(atoms.iter().all(|a| a.kind != OpKind::FpSqrt));
         // The architected register is the final write.
         assert_eq!(atoms.last().unwrap().writes, vec![freg(FReg(2))]);

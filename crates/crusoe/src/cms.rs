@@ -153,6 +153,35 @@ impl CmsRunStats {
     pub fn total_atoms(&self) -> u64 {
         self.atom_counts.iter().sum()
     }
+
+    /// Record this run into a telemetry registry under `label` (usually
+    /// empty, or `rank=N` when each SPMD rank runs its own CMS). Counters
+    /// merge additively across runs and ranks; the translated fraction
+    /// and t-cache hit rate land as gauges.
+    pub fn record_into(&self, reg: &mut mb_telemetry::Registry, label: &str) {
+        reg.count("cms.total_cycles", label, self.total_cycles);
+        reg.count("cms.interp_insns", label, self.interp_insns);
+        reg.count("cms.interp_cycles", label, self.interp_cycles);
+        reg.count("cms.translated_insns", label, self.translated_insns);
+        reg.count("cms.translated_cycles", label, self.translated_cycles);
+        reg.count("cms.translate_cycles", label, self.translate_cycles);
+        reg.count("cms.translations", label, self.translations);
+        reg.count("cms.block_executions", label, self.block_executions);
+        reg.count("cms.chained_entries", label, self.chained_entries);
+        reg.count("cms.rollbacks", label, self.rollbacks);
+        reg.record_gauge("cms.translated_fraction", label, self.translated_fraction());
+        for (i, &n) in self.atom_counts.iter().enumerate() {
+            if n > 0 {
+                reg.count(&format!("cms.atoms.{}", OpKind::NAMES[i]), label, n);
+            }
+        }
+        reg.count("tcache.hits", label, self.tcache.hits);
+        reg.count("tcache.misses", label, self.tcache.misses);
+        reg.count("tcache.insertions", label, self.tcache.insertions);
+        reg.count("tcache.evictions", label, self.tcache.evictions);
+        reg.count("tcache.flushes", label, self.tcache.flushes);
+        reg.record_gauge("tcache.hit_rate", label, self.tcache.hit_rate());
+    }
 }
 
 /// The CMS engine. Holds the translation cache and profile counters
@@ -260,13 +289,33 @@ impl Cms {
     /// and flags; the real Crusoe additionally gates stores through a
     /// store buffer, which our block-granularity model folds into the
     /// re-interpretation).
-    fn snapshot(state: &MachineState) -> ([i64; crate::isa::NUM_REGS], [f64; crate::isa::NUM_FREGS], bool, bool, usize) {
-        (state.regs, state.fregs, state.flag_lt, state.flag_eq, state.pc)
+    fn snapshot(
+        state: &MachineState,
+    ) -> (
+        [i64; crate::isa::NUM_REGS],
+        [f64; crate::isa::NUM_FREGS],
+        bool,
+        bool,
+        usize,
+    ) {
+        (
+            state.regs,
+            state.fregs,
+            state.flag_lt,
+            state.flag_eq,
+            state.pc,
+        )
     }
 
     fn restore(
         state: &mut MachineState,
-        snap: ([i64; crate::isa::NUM_REGS], [f64; crate::isa::NUM_FREGS], bool, bool, usize),
+        snap: (
+            [i64; crate::isa::NUM_REGS],
+            [f64; crate::isa::NUM_FREGS],
+            bool,
+            bool,
+            usize,
+        ),
     ) {
         state.regs = snap.0;
         state.fregs = snap.1;
@@ -276,7 +325,11 @@ impl Cms {
     }
 
     /// Run a program from `state.pc` until it executes `Halt`.
-    pub fn run(&mut self, program: &Program, state: &mut MachineState) -> Result<CmsRunStats, MemFault> {
+    pub fn run(
+        &mut self,
+        program: &Program,
+        state: &mut MachineState,
+    ) -> Result<CmsRunStats, MemFault> {
         let mut stats = CmsRunStats::default();
         let factor = self.config.generation.translated_cycle_factor();
         let mut pc = state.pc;
@@ -307,8 +360,7 @@ impl Cms {
                 } else {
                     self.config.block_entry_overhead
                 };
-                let cycles =
-                    ((entry.schedule.cycles as f64 * factor).ceil() as u64) + dispatch;
+                let cycles = ((entry.schedule.cycles as f64 * factor).ceil() as u64) + dispatch;
                 let entry_end = entry.end;
                 let snap = Self::snapshot(state);
                 match Self::execute_block_semantics(state, &program.insns, pc, entry_end) {
@@ -491,8 +543,8 @@ mod tests {
             let mut b = ProgramBuilder::new();
             let top = b.label();
             b.push(Insn::MovImm(Reg(0), 200)); // loop count > memory size
-            b.push(Insn::MovImm(Reg(1), 0));   // sum
-            b.push(Insn::MovImm(Reg(2), 0));   // index
+            b.push(Insn::MovImm(Reg(1), 0)); // sum
+            b.push(Insn::MovImm(Reg(2), 0)); // index
             b.bind(top);
             b.push(Insn::Load(Reg(3), crate::isa::Addr::base(Reg(2), 0)));
             b.push(Insn::Add(Reg(1), Reg(3)));
@@ -568,7 +620,10 @@ mod tests {
         let mut st2 = MachineState::new(4);
         let second = cms.run(&prog, &mut st2).unwrap();
         assert_eq!(st.regs[1], st2.regs[1]);
-        assert!(second.translations >= 1, "must retranslate after invalidation");
+        assert!(
+            second.translations >= 1,
+            "must retranslate after invalidation"
+        );
         assert!(second.interp_insns > 0);
     }
 
@@ -582,5 +637,50 @@ mod tests {
         assert!(stats.atom_counts[OpKind::IntAlu.index()] > 0);
         assert!(stats.atom_counts[OpKind::Branch.index()] > 0);
         assert_eq!(stats.atom_counts[OpKind::FpMul.index()], 0);
+    }
+
+    #[test]
+    fn stats_record_into_a_telemetry_registry() {
+        let mut cms = Cms::new(CmsConfig::metablade());
+        let mut st = MachineState::new(4);
+        let stats = cms.run(&countdown_program(10_000), &mut st).unwrap();
+
+        let mut reg = mb_telemetry::Registry::new();
+        stats.record_into(&mut reg, "");
+        assert_eq!(
+            reg.counter_value("cms.total_cycles", ""),
+            Some(stats.total_cycles)
+        );
+        assert_eq!(
+            reg.counter_value("cms.translated_insns", ""),
+            Some(stats.translated_insns)
+        );
+        assert_eq!(
+            reg.gauge_value("cms.translated_fraction", ""),
+            Some(stats.translated_fraction())
+        );
+        assert_eq!(
+            reg.gauge_value("tcache.hit_rate", ""),
+            Some(stats.tcache.hit_rate())
+        );
+        assert!(stats.tcache.hit_rate() > 0.9, "hot loop mostly hits");
+        assert_eq!(
+            reg.counter_value("cms.atoms.int_alu", ""),
+            Some(stats.atom_counts[OpKind::IntAlu.index()])
+        );
+        assert_eq!(
+            reg.counter_value("cms.atoms.fp_mul", ""),
+            None,
+            "zero counts are not registered"
+        );
+
+        // A second run merges additively through the same registry.
+        let mut st2 = MachineState::new(4);
+        let stats2 = cms.run(&countdown_program(10_000), &mut st2).unwrap();
+        stats2.record_into(&mut reg, "");
+        assert_eq!(
+            reg.counter_value("cms.total_cycles", ""),
+            Some(stats.total_cycles + stats2.total_cycles)
+        );
     }
 }

@@ -80,9 +80,8 @@ impl OpMix {
         let fp = (self.fadd + self.fmul) as f64;
         if fp > 0.0 {
             let other_fp = (other.fadd + other.fmul) as f64;
-            self.fma_fusable = (self.fma_fusable * (fp - other_fp)
-                + other.fma_fusable * other_fp)
-                / fp;
+            self.fma_fusable =
+                (self.fma_fusable * (fp - other_fp) + other.fma_fusable * other_fp) / fp;
         }
     }
 }
@@ -138,8 +137,7 @@ impl HwCpu {
                         let uat = crack_block(&unrolled, self.params.crack);
                         let total = schedule_block(&uat, &self.params).cycles;
                         // Marginal steady-state cost per iteration.
-                        let marginal =
-                            (total.saturating_sub(once)) as f64 / (COPIES - 1) as f64;
+                        let marginal = (total.saturating_sub(once)) as f64 / (COPIES - 1) as f64;
                         marginal.max(1.0)
                     } else {
                         once.max(1) as f64

@@ -354,12 +354,8 @@ impl MachineState {
             AndImm(d, v) => self.regs[d.0 as usize] &= v,
             Or(d, s) => self.regs[d.0 as usize] |= self.regs[s.0 as usize],
             Xor(d, s) => self.regs[d.0 as usize] ^= self.regs[s.0 as usize],
-            Shl(d, k) => {
-                self.regs[d.0 as usize] = ((self.regs[d.0 as usize] as u64) << k) as i64
-            }
-            Shr(d, k) => {
-                self.regs[d.0 as usize] = ((self.regs[d.0 as usize] as u64) >> k) as i64
-            }
+            Shl(d, k) => self.regs[d.0 as usize] = ((self.regs[d.0 as usize] as u64) << k) as i64,
+            Shr(d, k) => self.regs[d.0 as usize] = ((self.regs[d.0 as usize] as u64) >> k) as i64,
             Sar(d, k) => self.regs[d.0 as usize] >>= k,
             Load(d, ref a) => self.regs[d.0 as usize] = self.read_mem(a)? as i64,
             Store(ref a, s) => self.write_mem(a, self.regs[s.0 as usize] as u64)?,
@@ -376,13 +372,19 @@ impl MachineState {
             FMulMem(d, ref a) => self.fregs[d.0 as usize] *= f64::from_bits(self.read_mem(a)?),
             Cvtsi2sd(d, s) => self.fregs[d.0 as usize] = self.regs[s.0 as usize] as f64,
             Cvtsd2si(d, s) => self.regs[d.0 as usize] = self.fregs[s.0 as usize] as i64,
-            FBits(d, s) => self.fregs[d.0 as usize] = f64::from_bits(self.regs[s.0 as usize] as u64),
+            FBits(d, s) => {
+                self.fregs[d.0 as usize] = f64::from_bits(self.regs[s.0 as usize] as u64)
+            }
             IBits(d, s) => self.regs[d.0 as usize] = self.fregs[s.0 as usize].to_bits() as i64,
             Cmp(a, b) => self.set_flags(self.regs[a.0 as usize], self.regs[b.0 as usize]),
             CmpImm(a, v) => self.set_flags(self.regs[a.0 as usize], v),
             FCmp(a, b) => self.set_fflags(self.fregs[a.0 as usize], self.fregs[b.0 as usize]),
             Jcc(c, t) => {
-                return Ok(if self.cond(c) { Step::Jump(t) } else { Step::Next });
+                return Ok(if self.cond(c) {
+                    Step::Jump(t)
+                } else {
+                    Step::Next
+                });
             }
             Jmp(t) => return Ok(Step::Jump(t)),
             Halt => {
@@ -421,7 +423,7 @@ mod tests {
         st.poke_f64(10, 2.5);
         st.regs[2] = 4; // base
         st.regs[3] = 3; // index
-        // [r2 + r3*2 + 0] = word 10
+                        // [r2 + r3*2 + 0] = word 10
         let a = Addr::indexed(Reg(2), Reg(3), 1, 0);
         assert_eq!(st.effective(&a), 10);
         st.execute(&Insn::FLoad(FReg(0), a)).unwrap();

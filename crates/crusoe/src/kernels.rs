@@ -144,7 +144,7 @@ fn emit_karp_rsqrt(b: &mut ProgramBuilder) {
     b.push(Shl(r(9), 52));
     b.push(Or(r(7), r(9)));
     b.push(FBits(f(4), r(7))); // m ∈ [1,4)
-    // --- table lookup + Chebyshev (constants live in f9/f13/f14/f15) ---
+                               // --- table lookup + Chebyshev (constants live in f9/f13/f14/f15) ---
     b.push(FMov(f(5), f(4)));
     b.push(FSub(f(5), f(13))); // m − 1
     b.push(FMul(f(5), f(9))); // pos = (m−1)·SEGMENTS/3
@@ -161,7 +161,7 @@ fn emit_karp_rsqrt(b: &mut ProgramBuilder) {
     b.push(FAddMem(f(6), Addr::base(r(11), KTAB + 1))); // + c1
     b.push(FMul(f(6), f(5))); // ·t
     b.push(FAddMem(f(6), Addr::base(r(11), KTAB))); // + c0 → y
-    // --- two Newton–Raphson steps: y ← y·(3 − m·y²)·0.5 ---
+                                                    // --- two Newton–Raphson steps: y ← y·(3 − m·y²)·0.5 ---
     for _ in 0..2 {
         b.push(FMov(f(7), f(6)));
         b.push(FMul(f(7), f(6))); // y²
@@ -199,8 +199,8 @@ pub fn build_microkernel(
     b.push(FMovImm(f(10), 0.0)); // ax
     b.push(FMovImm(f(11), 0.0)); // ay
     b.push(FMovImm(f(12), 0.0)); // az
-    // Loop-invariant constants, hoisted into the registers the paper's
-    // hand-optimized kernels would use.
+                                 // Loop-invariant constants, hoisted into the registers the paper's
+                                 // hand-optimized kernels would use.
     b.push(FLoad(f(9), Addr::abs(INVWIDTH)));
     b.push(FLoad(f(13), Addr::abs(ONE)));
     b.push(FLoad(f(14), Addr::abs(THREE)));
@@ -388,4 +388,3 @@ mod tests {
         assert_eq!(mk.useful_flops(), 70 * FLOPS_PER_INTERACTION);
     }
 }
-

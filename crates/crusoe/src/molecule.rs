@@ -41,6 +41,13 @@ impl OpKind {
     /// Number of distinct operation kinds (for count arrays).
     pub const COUNT: usize = 11;
 
+    /// Stable lowercase names, indexed by [`OpKind::index`] (telemetry
+    /// metric keys, disassembly).
+    pub const NAMES: [&'static str; OpKind::COUNT] = [
+        "int_alu", "int_mul", "fp_add", "fp_mul", "fp_fma", "fp_div", "fp_sqrt", "fp_mov", "load",
+        "store", "branch",
+    ];
+
     /// Dense index of this kind, `0..COUNT` (for count arrays).
     pub fn index(self) -> usize {
         match self {

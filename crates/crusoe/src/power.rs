@@ -103,11 +103,26 @@ pub struct LongRunState {
 /// TM5600 envelope).
 pub fn tm5600_longrun_states() -> Vec<LongRunState> {
     vec![
-        LongRunState { mhz: 300.0, volts: 1.20 },
-        LongRunState { mhz: 400.0, volts: 1.30 },
-        LongRunState { mhz: 500.0, volts: 1.40 },
-        LongRunState { mhz: 567.0, volts: 1.50 },
-        LongRunState { mhz: 633.0, volts: 1.60 },
+        LongRunState {
+            mhz: 300.0,
+            volts: 1.20,
+        },
+        LongRunState {
+            mhz: 400.0,
+            volts: 1.30,
+        },
+        LongRunState {
+            mhz: 500.0,
+            volts: 1.40,
+        },
+        LongRunState {
+            mhz: 567.0,
+            volts: 1.50,
+        },
+        LongRunState {
+            mhz: 633.0,
+            volts: 1.60,
+        },
     ]
 }
 

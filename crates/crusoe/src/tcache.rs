@@ -45,6 +45,18 @@ pub struct TCacheStats {
     pub flushes: u64,
 }
 
+impl TCacheStats {
+    /// Hit rate over all lookups, in `[0, 1]`; zero when there were none.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The translation cache proper.
 #[derive(Debug)]
 pub struct TCache {
@@ -215,6 +227,17 @@ mod tests {
         assert!(tc.insert(0, 1, sched(256)));
         assert_eq!(tc.used_bits(), 256);
         assert_eq!(tc.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate_tracks_lookups() {
+        let mut tc = TCache::new(1024);
+        assert_eq!(tc.stats.hit_rate(), 0.0, "no lookups yet");
+        tc.lookup(0); // miss
+        tc.insert(0, 4, sched(128));
+        tc.lookup(0); // hit
+        tc.lookup(0); // hit
+        assert!((tc.stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

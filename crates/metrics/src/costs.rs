@@ -145,7 +145,8 @@ mod tests {
             let expected = &profile.paper_row_k[..5];
             for (i, (&m, &e)) in measured.iter().zip(expected).enumerate() {
                 assert_eq!(
-                    m, e,
+                    m,
+                    e,
                     "{}: component {i} measured {m}K vs paper {e}K ({b:?})",
                     profile.family.label()
                 );

@@ -23,7 +23,9 @@ pub struct MachineRow {
 pub fn render_table5(constants: &CostConstants) -> String {
     let mut out = String::new();
     let catalog = cluster_cost_catalog();
-    out.push_str("Table 5. Total Cost of Ownership for a 24-node Cluster Over a Four-Year Period\n");
+    out.push_str(
+        "Table 5. Total Cost of Ownership for a 24-node Cluster Over a Four-Year Period\n",
+    );
     out.push_str(&format!(
         "{:<18}{:>9}{:>9}{:>9}{:>9}{:>9}\n",
         "Cost Parameter", "Alpha", "Athlon", "PIII", "P4", "TM5600"
@@ -53,10 +55,16 @@ pub fn render_table5(constants: &CostConstants) -> String {
     // Alpha: 17+60+11+8+12 = $108K although the exact total is $107.2K).
     let rounded_total = |i: usize| {
         let b = &rows[i];
-        [b.acquisition, b.sysadmin, b.power_cooling, b.space, b.downtime]
-            .iter()
-            .map(|x| (x / 1000.0).round() * 1000.0)
-            .sum::<f64>()
+        [
+            b.acquisition,
+            b.sysadmin,
+            b.power_cooling,
+            b.space,
+            b.downtime,
+        ]
+        .iter()
+        .map(|x| (x / 1000.0).round() * 1000.0)
+        .sum::<f64>()
     };
     line("TCO", &rounded_total);
     out
@@ -97,7 +105,9 @@ pub fn render_table6(machines: &[MachineRow]) -> String {
 /// Bladed Beowulfs") for the given machines.
 pub fn render_table7(machines: &[MachineRow]) -> String {
     let mut out = String::new();
-    out.push_str("Table 7. Performance-Power Ratio for a Traditional Beowulf vs. Bladed Beowulfs\n");
+    out.push_str(
+        "Table 7. Performance-Power Ratio for a Traditional Beowulf vs. Bladed Beowulfs\n",
+    );
     out.push_str(&format!("{:<22}", "Machine"));
     for m in machines {
         out.push_str(&format!("{:>10}", m.name));

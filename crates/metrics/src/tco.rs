@@ -129,7 +129,11 @@ impl DowntimeModel {
     /// Total CPU-hours of downtime over the lifetime for an `n_cpus` cluster.
     pub fn cpu_hours(&self, n_cpus: usize, constants: &CostConstants) -> f64 {
         let events = self.outages_per_year * constants.lifetime_years;
-        let affected = if self.whole_cluster { n_cpus as f64 } else { 1.0 };
+        let affected = if self.whole_cluster {
+            n_cpus as f64
+        } else {
+            1.0
+        };
         events * self.hours_per_outage * affected
     }
 
@@ -271,7 +275,11 @@ mod tests {
         let raw = p4.cluster_kw() * HOURS_PER_YEAR * 4.0 * 0.10;
         assert!((raw - 7148.16).abs() < 1.0, "raw power cost {raw}");
         let b = p4.evaluate(&constants());
-        assert!((b.power_cooling - 10_722.24).abs() < 1.0, "{}", b.power_cooling);
+        assert!(
+            (b.power_cooling - 10_722.24).abs() < 1.0,
+            "{}",
+            b.power_cooling
+        );
     }
 
     #[test]
@@ -342,6 +350,10 @@ mod tests {
         assert_eq!(blade.power_multiplier(&constants()), 1.0);
         let b = blade.evaluate(&constants());
         // 0.5208 kW × 35,040 h × $0.10 ≈ $1,825 — the paper's "$2K" row.
-        assert!((b.power_cooling - 1824.9).abs() < 1.0, "{}", b.power_cooling);
+        assert!(
+            (b.power_cooling - 1824.9).abs() < 1.0,
+            "{}",
+            b.power_cooling
+        );
     }
 }

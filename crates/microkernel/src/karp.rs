@@ -105,7 +105,7 @@ impl KarpTable {
         let raw_exp = ((bits >> 52) & 0x7ff) as i64;
         debug_assert!(raw_exp != 0, "subnormals are outside the kernel's range");
         let e = raw_exp - 1023; // unbiased binary exponent
-        // k = floor(e / 2) (arithmetic shift), leftover bit widens m to [1,4).
+                                // k = floor(e / 2) (arithmetic shift), leftover bit widens m to [1,4).
         let k = e >> 1;
         let odd = (e & 1) as u64;
         // Mantissa in [1, 2): clear exponent field, set it to 1023 (+odd).
@@ -218,7 +218,7 @@ mod tests {
             let width = 3.0 / SEGMENTS as f64;
             let pos = (m - 1.0) / width;
             let idx = (pos as usize).min(SEGMENTS - 1);
-            let t = 2.0 * (pos - idx as f64) - 1.0;
+            let _t = 2.0 * (pos - idx as f64) - 1.0;
             let seg_y = {
                 // re-derive the raw interpolant through the public API by
                 // undoing the Newton iterations is awkward; instead check the

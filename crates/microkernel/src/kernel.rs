@@ -176,7 +176,9 @@ mod tests {
         let ten = accel_kernel(&input, 10, RsqrtMethod::MathSqrt);
         assert_eq!(ten.flops, 10 * one.flops);
         for i in 0..3 {
-            assert!((ten.accel[i] - 10.0 * one.accel[i]).abs() < 1e-9 * one.accel[i].abs().max(1.0));
+            assert!(
+                (ten.accel[i] - 10.0 * one.accel[i]).abs() < 1e-9 * one.accel[i].abs().max(1.0)
+            );
         }
     }
 

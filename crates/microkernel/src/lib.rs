@@ -30,7 +30,5 @@ pub mod kernel;
 pub mod timing;
 
 pub use karp::{rsqrt_karp, rsqrt_math, KarpTable};
-pub use kernel::{
-    accel_kernel, AccelResult, MicrokernelInput, RsqrtMethod, FLOPS_PER_INTERACTION,
-};
+pub use kernel::{accel_kernel, AccelResult, MicrokernelInput, RsqrtMethod, FLOPS_PER_INTERACTION};
 pub use timing::{measure_mflops, MflopsMeasurement};

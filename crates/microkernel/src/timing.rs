@@ -52,7 +52,10 @@ mod tests {
         for method in RsqrtMethod::ALL {
             let m = measure_mflops(128, 8, method);
             assert!(m.mflops > 0.0, "{method:?} produced {m:?}");
-            assert_eq!(m.flops, (128 * 8) as u64 * crate::kernel::FLOPS_PER_INTERACTION);
+            assert_eq!(
+                m.flops,
+                (128 * 8) as u64 * crate::kernel::FLOPS_PER_INTERACTION
+            );
         }
     }
 }

@@ -64,11 +64,11 @@ impl SparseMatrix {
         let mut cursor: Vec<usize> = row_ptr[..n].to_vec();
         let mut placed_diag = vec![false; n];
         let push = |i: usize,
-                        j: u32,
-                        v: f64,
-                        cursor: &mut Vec<usize>,
-                        cols: &mut Vec<u32>,
-                        vals: &mut Vec<f64>| {
+                    j: u32,
+                    v: f64,
+                    cursor: &mut Vec<usize>,
+                    cols: &mut Vec<u32>,
+                    vals: &mut Vec<f64>| {
             cols[cursor[i]] = j;
             vals[cursor[i]] = v;
             cursor[i] += 1;
@@ -196,8 +196,7 @@ impl NpbKernel for Cg {
         // final relative update.
         let monotone = deltas.windows(2).all(|w| w[1] <= w[0]);
         let final_rel = deltas.last().map_or(f64::INFINITY, |d| d / zeta.abs());
-        let verified =
-            zeta.is_finite() && monotone && final_rel < 5e-3 && last_resid.is_finite();
+        let verified = zeta.is_finite() && monotone && final_rel < 5e-3 && last_resid.is_finite();
         let nnz = a.nnz() as u64;
         let nn = n as u64;
         let total_inner = (outer * INNER) as u64;
@@ -296,4 +295,3 @@ mod tests {
         assert!(r.mix.fma_fusable > 0.5);
     }
 }
-

@@ -263,7 +263,9 @@ impl NpbKernel for Ft {
         let e_final = final_field.energy();
         let verified = max_err < 1e-10
             && e_final <= e0 * (1.0 + 1e-9)
-            && checksums.iter().all(|c| c.re.is_finite() && c.im.is_finite());
+            && checksums
+                .iter()
+                .all(|c| c.re.is_finite() && c.im.is_finite());
         let points = (n * n * n) as u64;
         let log2n = n.trailing_zeros() as u64;
         // 1-D FFT: 5 n log2 n flops; 3 passes per 3-D transform; one
@@ -354,14 +356,9 @@ mod tests {
             for i in 0..n {
                 for j in 0..n {
                     for k in 0..n {
-                        let k2 =
-                            freq(i, n).powi(2) + freq(j, n).powi(2) + freq(k, n).powi(2);
-                        let f = (-4.0
-                            * alpha
-                            * std::f64::consts::PI.powi(2)
-                            * k2
-                            * step as f64)
-                            .exp();
+                        let k2 = freq(i, n).powi(2) + freq(j, n).powi(2) + freq(k, n).powi(2);
+                        let f =
+                            (-4.0 * alpha * std::f64::consts::PI.powi(2) * k2 * step as f64).exp();
                         let at = (i * n + j) * n + k;
                         snapshot.data[at] = snapshot.data[at].scale(f);
                     }

@@ -106,7 +106,11 @@ pub mod block5 {
             let mut m = [0.0f64; 25];
             for i in 0..5 {
                 for j in 0..5 {
-                    m[i * 5 + j] = if i == j { 6.0 } else { 0.3 * ((i * 5 + j) as f64).sin() };
+                    m[i * 5 + j] = if i == j {
+                        6.0
+                    } else {
+                        0.3 * ((i * 5 + j) as f64).sin()
+                    };
                 }
             }
             let inv = invert(&m);
@@ -155,9 +159,7 @@ pub struct BlockField {
 
 impl BlockField {
     fn cell_seed(&self, c: [usize; 3], which: u64) -> u64 {
-        splitmix(
-            (c[0] as u64) << 40 | (c[1] as u64) << 20 | c[2] as u64 | which << 60,
-        )
+        splitmix((c[0] as u64) << 40 | (c[1] as u64) << 20 | c[2] as u64 | which << 60)
     }
 
     /// The diagonal block at a cell: strongly diagonally dominant.
@@ -214,12 +216,7 @@ impl VecField {
 
     /// RMS over all components.
     pub fn rms(&self) -> f64 {
-        let s: f64 = self
-            .data
-            .iter()
-            .flat_map(|v| v.iter())
-            .map(|x| x * x)
-            .sum();
+        let s: f64 = self.data.iter().flat_map(|v| v.iter()).map(|x| x * x).sum();
         (s / (self.data.len() * 5) as f64).sqrt()
     }
 }

@@ -40,7 +40,10 @@ pub struct Grid {
 impl Grid {
     /// Zero-filled grid.
     pub fn zeros(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "grid edge must be a power of two ≥ 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "grid edge must be a power of two ≥ 2"
+        );
         Grid {
             n,
             data: vec![0.0; n * n * n],
@@ -99,8 +102,7 @@ pub fn apply_stencil(c: &Stencil, u: &Grid, out: &mut Grid) {
                     + g(ip, jp, km)
                     + g(ip, jp, kp);
                 let at = out.idx(i, j, k);
-                out.data[at] =
-                    c[0] * center + c[1] * faces + c[2] * edges + c[3] * corners;
+                out.data[at] = c[0] * center + c[1] * faces + c[2] * edges + c[3] * corners;
             }
         }
     }
@@ -145,9 +147,7 @@ pub fn prolong_add(coarse: &Grid, fine: &mut Grid) {
                         if wj == 0.0 {
                             continue;
                         }
-                        for (dk, wk) in
-                            [(0usize, 1.0 - 0.5 * fk as f64), (1, 0.5 * fk as f64)]
-                        {
+                        for (dk, wk) in [(0usize, 1.0 - 0.5 * fk as f64), (1, 0.5 * fk as f64)] {
                             if wk == 0.0 {
                                 continue;
                             }
@@ -280,7 +280,7 @@ impl NpbKernel for Mg {
             fadd: fine_equiv * points * fp_per_point_add,
             fmul: fine_equiv * points * fp_per_point_mul,
             fdiv: 0,
-            fsqrt: iters as u64, // norm evaluations
+            fsqrt: iters as u64,              // norm evaluations
             int_ops: fine_equiv * points * 6, // index arithmetic
             loads: fine_equiv * points * 27,
             stores: fine_equiv * points,

@@ -48,11 +48,7 @@ impl SpSystem {
             Axis::Z => 2,
         };
         let mut s = splitmix(
-            (c[0] as u64) << 42
-                | (c[1] as u64) << 21
-                | c[2] as u64
-                | a << 57
-                | (comp as u64) << 60,
+            (c[0] as u64) << 42 | (c[1] as u64) << 21 | c[2] as u64 | a << 57 | (comp as u64) << 60,
         );
         let mut r = || {
             s = splitmix(s);

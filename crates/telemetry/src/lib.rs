@@ -1,0 +1,43 @@
+//! `mb-telemetry` — cluster-wide observability for the MetaBlade
+//! simulator.
+//!
+//! The paper's headline claims (Tables 4–7, Figure 3) hinge on *where
+//! time and watts go*: compute vs. communication per rank, translated
+//! vs. interpreted atoms in the Crusoe CMS, power draw under load. This
+//! crate is the one place all of that flows through:
+//!
+//! * [`metrics`] — a registry of counters, gauges, time-bucketed
+//!   histograms and sampled series, labelled per rank/node, with cheap
+//!   index handles and a cluster-level [`metrics::Registry::merge`]
+//!   aggregator;
+//! * [`trace`] — virtual-time span tracing: instrumented code emits
+//!   [`trace::SpanEvent`]s into an attachable [`trace::TraceSink`];
+//!   `mb-cluster`'s communicator records sends, receives, computes and
+//!   every collective when a sink is attached, and is a no-op when not;
+//! * [`chrome`] — Chrome `trace_event` JSON export (one track per rank,
+//!   loadable in Perfetto / `chrome://tracing`) plus a validating
+//!   re-parser;
+//! * [`summary`] — plain-text per-run reports: per-rank compute / comm
+//!   / blocked seconds, load imbalance, critical path;
+//! * [`manifest`] — the machine-readable run manifest JSON emitted by
+//!   the experiment binaries;
+//! * [`json`] — the dependency-free JSON writer/parser underneath the
+//!   exporters.
+//!
+//! The crate deliberately has **no dependencies** (std only) and no
+//! knowledge of the simulator's types: `mb-cluster`, `mb-crusoe` and
+//! the drivers adapt their own statistics into these structures, so the
+//! telemetry layer can never create a dependency cycle.
+
+pub mod chrome;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod summary;
+pub mod trace;
+
+pub use json::Json;
+pub use manifest::RunManifest;
+pub use metrics::{MetricHandle, MetricValue, Registry};
+pub use summary::{RankTime, RunSummary};
+pub use trace::{MemorySink, RunTrace, SpanEvent, SpanKind, TraceSink};

@@ -1,0 +1,115 @@
+//! Machine-readable run manifests.
+//!
+//! A [`RunManifest`] is the one JSON document a simulated run leaves
+//! behind: what ran, on which simulated machine, how long it took, the
+//! per-rank time summary, and every metric the run registered (t-cache
+//! hit rates, power samples, per-peer traffic, …). The experiment
+//! binaries emit one per run so EXPERIMENTS.md numbers can always be
+//! traced back to a manifest instead of a terminal scrollback.
+
+use crate::json::Json;
+use crate::metrics::Registry;
+use crate::summary::RunSummary;
+
+/// A run manifest under construction.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// Run name ("table2", "treecode-24", …).
+    pub run: String,
+    /// Simulated cluster/machine description.
+    pub machine: String,
+    /// Rank count.
+    pub ranks: usize,
+    /// Per-rank time summary.
+    pub summary: RunSummary,
+    /// Aggregated metrics.
+    pub metrics: Registry,
+    /// Free-form scalar results (gflops, error norms, …).
+    pub notes: Vec<(String, f64)>,
+}
+
+impl RunManifest {
+    /// Start a manifest for a named run.
+    pub fn new(run: impl Into<String>, machine: impl Into<String>, ranks: usize) -> Self {
+        RunManifest {
+            run: run.into(),
+            machine: machine.into(),
+            ranks,
+            ..Default::default()
+        }
+    }
+
+    /// Attach a scalar result.
+    pub fn note(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.notes.push((key.into(), value));
+        self
+    }
+
+    /// Render the manifest as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let notes = Json::Obj(
+            self.notes
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        Json::obj([
+            ("run", Json::str(self.run.clone())),
+            ("machine", Json::str(self.machine.clone())),
+            ("ranks", Json::Num(self.ranks as f64)),
+            ("summary", self.summary.to_json()),
+            ("metrics", self.metrics.to_json()),
+            ("notes", notes),
+        ])
+    }
+
+    /// Serialize to the JSON text the binaries write to disk.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::RankTime;
+
+    #[test]
+    fn manifest_roundtrips_and_carries_metrics() {
+        let mut m = RunManifest::new("ping-pong", "MetaBlade (24x TM5600)", 2);
+        m.summary = RunSummary::new(vec![
+            RankTime {
+                compute_s: 1.0,
+                comm_s: 0.5,
+                blocked_s: 0.0,
+                total_s: 1.5,
+            },
+            RankTime {
+                compute_s: 0.5,
+                comm_s: 0.5,
+                blocked_s: 0.5,
+                total_s: 1.5,
+            },
+        ]);
+        m.metrics.count("comm.sends", "rank=0", 1);
+        m.metrics.record_gauge("tcache.hit_rate", "", 0.97);
+        m.note("gflops", 2.1);
+
+        let text = m.to_json_string();
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(doc.get("run").unwrap().as_str(), Some("ping-pong"));
+        assert_eq!(doc.get("ranks").unwrap().as_f64(), Some(2.0));
+        let metrics = doc.get("metrics").unwrap();
+        assert_eq!(
+            metrics.get("comm.sends{rank=0}").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(metrics.get("tcache.hit_rate").unwrap().as_f64(), Some(0.97));
+        assert_eq!(
+            doc.get("notes").unwrap().get("gflops").unwrap().as_f64(),
+            Some(2.1)
+        );
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("makespan_s").unwrap().as_f64(), Some(1.5));
+    }
+}

@@ -1,0 +1,426 @@
+//! The metrics registry: counters, gauges, time-bucketed histograms and
+//! sampled series, labelled per rank/node, with a cluster-level
+//! aggregator.
+//!
+//! Instrumented code grabs a cheap handle once (an index — no hashing on
+//! the hot path) and bumps it as it runs:
+//!
+//! ```
+//! use mb_telemetry::metrics::Registry;
+//! let mut reg = Registry::new();
+//! let sends = reg.counter("comm.sends", "rank=0");
+//! reg.inc(sends, 3);
+//! let t = reg.gauge("tcache.hit_rate", "rank=0");
+//! reg.set_gauge(t, 0.97);
+//! assert_eq!(reg.counter_value("comm.sends", "rank=0"), Some(3));
+//! ```
+//!
+//! Per-rank registries merge into one cluster view with
+//! [`Registry::merge`]: counters add, gauges keep the last write,
+//! histograms and series concatenate bucket-wise.
+
+use std::collections::HashMap;
+
+use crate::json::Json;
+
+/// Handle to a registered metric. Obtained from [`Registry::counter`] /
+/// [`Registry::gauge`] / [`Registry::histogram`]; valid only for the
+/// registry that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricHandle(usize);
+
+/// A fixed-bound histogram over `f64` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of each bucket, ascending; an implicit overflow
+    /// bucket catches the rest.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Total observations.
+    pub n: u64,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<f64>) -> Self {
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            sum: 0.0,
+            n: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+/// The value side of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Fixed-bound histogram.
+    Histogram(Histogram),
+    /// A sampled time series of `(virtual_seconds, value)` points.
+    Series(Vec<(f64, f64)>),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    label: String,
+    value: MetricValue,
+}
+
+/// The registry proper. One per rank (or per subsystem); merge into a
+/// cluster aggregate at the end of a run.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Vec<Entry>,
+    index: HashMap<(String, String), usize>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, name: &str, label: &str, mk: impl FnOnce() -> MetricValue) -> usize {
+        if let Some(&i) = self.index.get(&(name.to_string(), label.to_string())) {
+            return i;
+        }
+        let i = self.entries.len();
+        self.entries.push(Entry {
+            name: name.to_string(),
+            label: label.to_string(),
+            value: mk(),
+        });
+        self.index.insert((name.to_string(), label.to_string()), i);
+        i
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&mut self, name: &str, label: &str) -> MetricHandle {
+        MetricHandle(self.slot(name, label, || MetricValue::Counter(0)))
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&mut self, name: &str, label: &str) -> MetricHandle {
+        MetricHandle(self.slot(name, label, || MetricValue::Gauge(0.0)))
+    }
+
+    /// Register (or look up) a histogram with the given bucket bounds.
+    pub fn histogram(&mut self, name: &str, label: &str, bounds: &[f64]) -> MetricHandle {
+        MetricHandle(self.slot(name, label, || {
+            MetricValue::Histogram(Histogram::new(bounds.to_vec()))
+        }))
+    }
+
+    /// Register (or look up) a sampled series.
+    pub fn series(&mut self, name: &str, label: &str) -> MetricHandle {
+        MetricHandle(self.slot(name, label, || MetricValue::Series(Vec::new())))
+    }
+
+    /// Increment a counter.
+    pub fn inc(&mut self, h: MetricHandle, by: u64) {
+        if let MetricValue::Counter(c) = &mut self.entries[h.0].value {
+            *c += by;
+        } else {
+            panic!("handle is not a counter");
+        }
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&mut self, h: MetricHandle, v: f64) {
+        if let MetricValue::Gauge(g) = &mut self.entries[h.0].value {
+            *g = v;
+        } else {
+            panic!("handle is not a gauge");
+        }
+    }
+
+    /// Observe a histogram sample.
+    pub fn observe(&mut self, h: MetricHandle, v: f64) {
+        if let MetricValue::Histogram(hist) = &mut self.entries[h.0].value {
+            hist.observe(v);
+        } else {
+            panic!("handle is not a histogram");
+        }
+    }
+
+    /// Append a series sample.
+    pub fn sample(&mut self, h: MetricHandle, t_s: f64, v: f64) {
+        if let MetricValue::Series(s) = &mut self.entries[h.0].value {
+            s.push((t_s, v));
+        } else {
+            panic!("handle is not a series");
+        }
+    }
+
+    /// Convenience: register-and-increment in one call (cold paths).
+    pub fn count(&mut self, name: &str, label: &str, by: u64) {
+        let h = self.counter(name, label);
+        self.inc(h, by);
+    }
+
+    /// Convenience: register-and-set in one call (cold paths).
+    pub fn record_gauge(&mut self, name: &str, label: &str, v: f64) {
+        let h = self.gauge(name, label);
+        self.set_gauge(h, v);
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str, label: &str) -> Option<u64> {
+        self.find(name, label).and_then(|v| match v {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &str, label: &str) -> Option<f64> {
+        self.find(name, label).and_then(|v| match v {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// The value of any metric, if registered.
+    pub fn find(&self, name: &str, label: &str) -> Option<&MetricValue> {
+        self.index
+            .get(&(name.to_string(), label.to_string()))
+            .map(|&i| &self.entries[i].value)
+    }
+
+    /// Iterate `(name, label, value)` over every registered metric, in
+    /// registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &MetricValue)> {
+        self.entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.label.as_str(), &e.value))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another registry into this one (the cluster-level
+    /// aggregator): counters add; gauges take the incoming value;
+    /// histograms require identical bounds and add bucket-wise; series
+    /// concatenate and re-sort by time.
+    pub fn merge(&mut self, other: &Registry) {
+        for e in &other.entries {
+            match &e.value {
+                MetricValue::Counter(c) => {
+                    let h = self.counter(&e.name, &e.label);
+                    self.inc(h, *c);
+                }
+                MetricValue::Gauge(g) => {
+                    let h = self.gauge(&e.name, &e.label);
+                    self.set_gauge(h, *g);
+                }
+                MetricValue::Histogram(hist) => {
+                    let h = self.histogram(&e.name, &e.label, &hist.bounds);
+                    if let MetricValue::Histogram(mine) = &mut self.entries[h.0].value {
+                        assert_eq!(
+                            mine.bounds, hist.bounds,
+                            "merging histograms with different bounds: {}",
+                            e.name
+                        );
+                        for (a, b) in mine.counts.iter_mut().zip(&hist.counts) {
+                            *a += b;
+                        }
+                        mine.sum += hist.sum;
+                        mine.n += hist.n;
+                    }
+                }
+                MetricValue::Series(points) => {
+                    let h = self.series(&e.name, &e.label);
+                    if let MetricValue::Series(mine) = &mut self.entries[h.0].value {
+                        mine.extend_from_slice(points);
+                        mine.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot as JSON: `{ "name{label}": value, ... }` with histograms
+    /// and series expanded to objects.
+    pub fn to_json(&self) -> Json {
+        let mut map = std::collections::BTreeMap::new();
+        for e in &self.entries {
+            let key = if e.label.is_empty() {
+                e.name.clone()
+            } else {
+                format!("{}{{{}}}", e.name, e.label)
+            };
+            let val = match &e.value {
+                MetricValue::Counter(c) => Json::Num(*c as f64),
+                MetricValue::Gauge(g) => Json::Num(*g),
+                MetricValue::Histogram(h) => Json::obj([
+                    (
+                        "bounds",
+                        Json::Arr(h.bounds.iter().map(|&b| Json::Num(b)).collect()),
+                    ),
+                    (
+                        "counts",
+                        Json::Arr(h.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+                    ),
+                    ("sum", Json::Num(h.sum)),
+                    ("n", Json::Num(h.n as f64)),
+                ]),
+                MetricValue::Series(points) => Json::Arr(
+                    points
+                        .iter()
+                        .map(|&(t, v)| Json::Arr(vec![Json::Num(t), Json::Num(v)]))
+                        .collect(),
+                ),
+            };
+            map.insert(key, val);
+        }
+        Json::Obj(map)
+    }
+}
+
+/// Standard label for a rank-scoped metric.
+pub fn rank_label(rank: usize) -> String {
+    format!("rank={rank}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_stable_and_cheap_to_reuse() {
+        let mut r = Registry::new();
+        let a = r.counter("x", "rank=0");
+        let b = r.counter("x", "rank=0");
+        assert_eq!(a, b, "same metric resolves to the same slot");
+        r.inc(a, 2);
+        r.inc(b, 3);
+        assert_eq!(r.counter_value("x", "rank=0"), Some(5));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn labels_separate_metrics() {
+        let mut r = Registry::new();
+        r.count("bytes", "rank=0", 10);
+        r.count("bytes", "rank=1", 20);
+        assert_eq!(r.counter_value("bytes", "rank=0"), Some(10));
+        assert_eq!(r.counter_value("bytes", "rank=1"), Some(20));
+        assert_eq!(r.counter_value("bytes", "rank=2"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut r = Registry::new();
+        let h = r.histogram("lat", "", &[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 100.0] {
+            r.observe(h, v);
+        }
+        match r.find("lat", "").unwrap() {
+            MetricValue::Histogram(hist) => {
+                assert_eq!(hist.counts, vec![2, 1, 1]);
+                assert_eq!(hist.n, 4);
+                assert!((hist.mean() - 26.6).abs() < 1e-9);
+            }
+            _ => panic!("not a histogram"),
+        }
+    }
+
+    #[test]
+    fn merge_aggregates_per_rank_registries() {
+        let mut r0 = Registry::new();
+        r0.count("sends", "all", 4);
+        r0.record_gauge("hit_rate", "rank=0", 0.9);
+        let s0 = r0.series("power", "cluster");
+        r0.sample(s0, 1.0, 100.0);
+
+        let mut r1 = Registry::new();
+        r1.count("sends", "all", 6);
+        r1.record_gauge("hit_rate", "rank=1", 0.8);
+        let s1 = r1.series("power", "cluster");
+        r1.sample(s1, 0.5, 90.0);
+
+        r0.merge(&r1);
+        assert_eq!(r0.counter_value("sends", "all"), Some(10));
+        assert_eq!(r0.gauge_value("hit_rate", "rank=0"), Some(0.9));
+        assert_eq!(r0.gauge_value("hit_rate", "rank=1"), Some(0.8));
+        match r0.find("power", "cluster").unwrap() {
+            MetricValue::Series(s) => {
+                assert_eq!(s, &vec![(0.5, 90.0), (1.0, 100.0)], "sorted by time");
+            }
+            _ => panic!("not a series"),
+        }
+    }
+
+    #[test]
+    fn merged_histograms_add_bucketwise() {
+        let mut a = Registry::new();
+        let ha = a.histogram("h", "", &[1.0]);
+        a.observe(ha, 0.5);
+        let mut b = Registry::new();
+        let hb = b.histogram("h", "", &[1.0]);
+        b.observe(hb, 2.0);
+        a.merge(&b);
+        match a.find("h", "").unwrap() {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.counts, vec![1, 1]);
+                assert_eq!(h.n, 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_parseable() {
+        let mut r = Registry::new();
+        r.count("sends", "rank=0", 7);
+        r.record_gauge("rate", "", 0.5);
+        let text = r.to_json().to_string();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("sends{rank=0}").unwrap().as_f64(), Some(7.0));
+        assert_eq!(parsed.get("rate").unwrap().as_f64(), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut r = Registry::new();
+        let g = r.gauge("g", "");
+        r.inc(g, 1);
+    }
+}

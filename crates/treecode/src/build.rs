@@ -90,8 +90,7 @@ fn build_range(
     for d in 0..8u8 {
         let daughter = cell.child(d);
         // First key beyond this daughter's subtree.
-        let end = start
-            + keys[start..hi].partition_point(|k| k.ancestor_at(level + 1) <= daughter);
+        let end = start + keys[start..hi].partition_point(|k| k.ancestor_at(level + 1) <= daughter);
         if end > start {
             child_mask |= 1 << d;
             child_moments.push(build_range(

@@ -166,14 +166,18 @@ mod tests {
         let mut errs: Vec<f64> = (0..b.len())
             .map(|i| {
                 let (t, d) = (b.acc[i], exact.acc[i]);
-                let e = ((t[0] - d[0]).powi(2) + (t[1] - d[1]).powi(2) + (t[2] - d[2]).powi(2))
-                    .sqrt();
+                let e =
+                    ((t[0] - d[0]).powi(2) + (t[1] - d[1]).powi(2) + (t[2] - d[2]).powi(2)).sqrt();
                 let m = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
                 e / m.max(1e-30)
             })
             .collect();
         errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(errs[errs.len() / 2] < 4e-3, "median {}", errs[errs.len() / 2]);
+        assert!(
+            errs[errs.len() / 2] < 4e-3,
+            "median {}",
+            errs[errs.len() / 2]
+        );
     }
 
     #[test]

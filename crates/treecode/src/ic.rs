@@ -169,12 +169,7 @@ mod tests {
             .zip(&b.mass)
             .map(|(v, &m)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
             .sum();
-        let pe: f64 = 0.5
-            * b.pot
-                .iter()
-                .zip(&b.mass)
-                .map(|(&p, &m)| m * p)
-                .sum::<f64>();
+        let pe: f64 = 0.5 * b.pot.iter().zip(&b.mass).map(|(&p, &m)| m * p).sum::<f64>();
         // Virial theorem: 2K + W = 0 ⇒ Q = −2K/W ≈ 1.
         let q = -2.0 * ke / pe;
         assert!((0.8..1.2).contains(&q), "virial ratio {q}");

@@ -85,9 +85,7 @@ mod tests {
         (0..bodies.len())
             .filter(|&i| {
                 let p = bodies.pos[i];
-                (p[0] - center[0]).powi(2)
-                    + (p[1] - center[1]).powi(2)
-                    + (p[2] - center[2]).powi(2)
+                (p[0] - center[0]).powi(2) + (p[1] - center[1]).powi(2) + (p[2] - center[2]).powi(2)
                     <= r2
             })
             .collect()

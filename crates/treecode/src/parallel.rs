@@ -38,8 +38,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use mb_cluster::comm::Comm;
-use mb_cluster::machine::Cluster;
+use mb_cluster::comm::{Comm, CommStats};
+use mb_cluster::machine::{Cluster, SpmdOutcome};
+use mb_telemetry::summary::{RankTime, RunSummary};
+use mb_telemetry::trace::RunTrace;
 
 use crate::body::Bodies;
 use crate::build::build_tree;
@@ -123,6 +125,28 @@ pub struct StepReport {
     pub pot: Vec<f64>,
     /// Per-body interaction counts in original order (cost-zone feedback).
     pub body_cost: Vec<f64>,
+    /// Per-rank communicator statistics (index = rank): compute/comm
+    /// split, blocked time, per-peer traffic.
+    pub comm: Vec<CommStats>,
+}
+
+impl StepReport {
+    /// Per-rank compute/comm/blocked summary of the step, ready for
+    /// rendering or a run manifest.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary::new(
+            self.comm
+                .iter()
+                .zip(&self.per_rank)
+                .map(|(s, r)| RankTime {
+                    compute_s: s.compute_s,
+                    comm_s: s.send_busy_s + s.recv_busy_s,
+                    blocked_s: s.wait_s,
+                    total_s: r.clock_s,
+                })
+                .collect(),
+        )
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -221,7 +245,11 @@ fn deserialize_foreign(b: &Bytes) -> ForeignTree {
         let bstart = read_u32(b, &mut at);
         let bend = read_u32(b, &mut at);
         let mass = read_f64(b, &mut at);
-        let com = [read_f64(b, &mut at), read_f64(b, &mut at), read_f64(b, &mut at)];
+        let com = [
+            read_f64(b, &mut at),
+            read_f64(b, &mut at),
+            read_f64(b, &mut at),
+        ];
         let mut quad = [0.0; 6];
         for q in &mut quad {
             *q = read_f64(b, &mut at);
@@ -244,7 +272,11 @@ fn deserialize_foreign(b: &Bytes) -> ForeignTree {
     t.bodies.reserve(n_bodies);
     for _ in 0..n_bodies {
         let m = read_f64(b, &mut at);
-        let p = [read_f64(b, &mut at), read_f64(b, &mut at), read_f64(b, &mut at)];
+        let p = [
+            read_f64(b, &mut at),
+            read_f64(b, &mut at),
+            read_f64(b, &mut at),
+        ];
         t.bodies.push((m, p));
     }
     t
@@ -328,9 +360,9 @@ fn prune_for_domain(
             bodies: (0, 0),
         };
         let all_accept = node.count > 1
-            && req.iter().all(|&c| {
-                mac.accepts(size, node.delta, domain[c].dist2_to_point(node.com))
-            });
+            && req
+                .iter()
+                .all(|&c| mac.accepts(size, node.delta, domain[c].dist2_to_point(node.com)));
         if req.is_empty() || all_accept {
             out_nodes.push((node.key.0, fnode));
             continue;
@@ -430,7 +462,9 @@ fn merge_foreign(trees: Vec<ForeignTree>, global_bb: &BoundingBox) -> ImportedFo
         let offset = forest.bodies.len() as u32;
         forest.bodies.extend_from_slice(&tree.bodies);
         for (key, n) in tree.nodes {
-            let entry = pieces.entry(key).or_insert_with(|| (Vec::new(), Vec::new(), 0));
+            let entry = pieces
+                .entry(key)
+                .or_insert_with(|| (Vec::new(), Vec::new(), 0));
             entry.0.push((n.mass, n.com, n.quad));
             match n.tag {
                 TAG_TERMINAL => entry.1.push(Resident::Multipole {
@@ -587,11 +621,7 @@ fn walk_forest(
 /// Run one distributed force evaluation of `bodies` on `cluster` with
 /// uniform cost weights. See [`distributed_step_weighted`] for the
 /// cost-feedback variant the production treecode uses.
-pub fn distributed_step(
-    cluster: &Cluster,
-    bodies: &Bodies,
-    cfg: &DistributedConfig,
-) -> StepReport {
+pub fn distributed_step(cluster: &Cluster, bodies: &Bodies, cfg: &DistributedConfig) -> StepReport {
     distributed_step_weighted(cluster, bodies, cfg, None)
 }
 
@@ -607,22 +637,54 @@ pub fn distributed_step_weighted(
     let nranks = cluster.spec().nodes;
     let bb = BoundingBox::containing(&bodies.pos);
     let zones = cost_zones(bodies, &bb, nranks, weights);
-    let zone_bodies: Arc<Vec<Bodies>> =
-        Arc::new(zones.iter().map(|z| bodies.select(z)).collect());
+    let zone_bodies: Arc<Vec<Bodies>> = Arc::new(zones.iter().map(|z| bodies.select(z)).collect());
     let cfg = *cfg;
 
     let outcome =
         cluster.run(move |comm: &mut Comm| run_rank(comm, &zone_bodies[comm.rank()], &cfg));
+    assemble_step(&zones, outcome, bodies.len(), &cfg)
+}
 
+/// [`distributed_step_weighted`] with per-rank span tracing: every rank
+/// records `global_box` / `tree_build` / `domain_publish` /
+/// `let_exchange` / `walk` phase spans plus the send/recv/collective
+/// spans the `Comm` emits, ready for Chrome `trace_event` export.
+/// Tracing never touches the virtual clocks — the report is identical to
+/// the untraced step's.
+pub fn distributed_step_traced(
+    cluster: &Cluster,
+    bodies: &Bodies,
+    cfg: &DistributedConfig,
+    weights: Option<&[f64]>,
+) -> (StepReport, RunTrace) {
+    let nranks = cluster.spec().nodes;
+    let bb = BoundingBox::containing(&bodies.pos);
+    let zones = cost_zones(bodies, &bb, nranks, weights);
+    let zone_bodies: Arc<Vec<Bodies>> = Arc::new(zones.iter().map(|z| bodies.select(z)).collect());
+    let cfg = *cfg;
+
+    let (outcome, trace) =
+        cluster.run_traced(move |comm: &mut Comm| run_rank(comm, &zone_bodies[comm.rank()], &cfg));
+    (assemble_step(&zones, outcome, bodies.len(), &cfg), trace)
+}
+
+/// Scatter per-rank results back to original body order and derive the
+/// step-level aggregates.
+fn assemble_step(
+    zones: &[Vec<usize>],
+    outcome: SpmdOutcome<RankReport>,
+    n_bodies: usize,
+    cfg: &DistributedConfig,
+) -> StepReport {
     let total_flops: f64 = outcome
         .results
         .iter()
         .map(|r: &RankReport| r.interactions.flops(cfg.mac.quadrupole) as f64)
         .sum();
     let makespan = outcome.makespan_s();
-    let mut acc = vec![[0.0; 3]; bodies.len()];
-    let mut pot = vec![0.0; bodies.len()];
-    let mut body_cost = vec![0.0; bodies.len()];
+    let mut acc = vec![[0.0; 3]; n_bodies];
+    let mut pot = vec![0.0; n_bodies];
+    let mut body_cost = vec![0.0; n_bodies];
     for (zone, report) in zones.iter().zip(&outcome.results) {
         for (slot, &orig) in zone.iter().enumerate() {
             acc[orig] = report.acc[slot];
@@ -642,6 +704,7 @@ pub fn distributed_step_weighted(
         pot,
         per_rank: outcome.results,
         body_cost,
+        comm: outcome.stats,
     }
 }
 
@@ -652,6 +715,7 @@ fn run_rank(comm: &mut Comm, mine: &Bodies, cfg: &DistributedConfig) -> RankRepo
     let n_local = mine.len();
 
     // 1. Agree on the global bounding box (allgather + union).
+    comm.begin_phase("global_box");
     let my_box = if n_local > 0 {
         let b = BoundingBox::containing(&mine.pos);
         vec![b.min[0], b.min[1], b.min[2], b.size]
@@ -675,9 +739,11 @@ fn run_rank(comm: &mut Comm, mine: &Bodies, cfg: &DistributedConfig) -> RankRepo
         });
     }
     let global_bb = global_bb.expect("at least one rank owns bodies");
+    comm.end_phase();
 
     // 2. Local tree in the global key space. `build_tree` Morton-sorts;
     // replicate the permutation to scatter results back to zone order.
+    comm.begin_phase("tree_build");
     let mut local = mine.clone();
     let mut order: Vec<usize> = (0..n_local).collect();
     let tree = if n_local > 0 {
@@ -690,9 +756,11 @@ fn run_rank(comm: &mut Comm, mine: &Bodies, cfg: &DistributedConfig) -> RankRepo
     } else {
         None
     };
+    comm.end_phase();
 
     // 3. Publish the domain description: the adaptive cell frontier of
     // the local tree (see DOMAIN_CELL_BUDGET).
+    comm.begin_phase("domain_publish");
     let occupied: Vec<u64> = match &tree {
         Some(t) => domain_frontier(t, DOMAIN_CELL_BUDGET),
         None => Vec::new(),
@@ -722,8 +790,10 @@ fn run_rank(comm: &mut Comm, mine: &Bodies, cfg: &DistributedConfig) -> RankRepo
                 .collect()
         })
         .collect();
+    comm.end_phase();
 
     // 4. LET exchange: pruned skeleton per peer.
+    comm.begin_phase("let_exchange");
     let mut outgoing = vec![Bytes::new(); nranks];
     if let Some(tree) = &tree {
         for (peer, domain) in peer_domains.iter().enumerate() {
@@ -748,8 +818,10 @@ fn run_rank(comm: &mut Comm, mine: &Bodies, cfg: &DistributedConfig) -> RankRepo
     let imported_cells: u64 = foreign.iter().map(|f| f.nodes.len() as u64).sum();
     let imported_bodies: u64 = foreign.iter().map(|f| f.bodies.len() as u64).sum();
     let forest = merge_foreign(foreign, &global_bb);
+    comm.end_phase();
 
     // 5. Walk: local tree plus every imported skeleton.
+    comm.begin_phase("walk");
     let mut counts = InteractionCounts::default();
     let mut acc = vec![[0.0; 3]; n_local];
     let mut pot = vec![0.0; n_local];
@@ -775,11 +847,11 @@ fn run_rank(comm: &mut Comm, mine: &Bodies, cfg: &DistributedConfig) -> RankRepo
         // Scatter: `i` is Morton order, `order[i]` the caller's zone slot.
         acc[order[i]] = a;
         pot[order[i]] = phi;
-        body_cost[order[i]] =
-            ((counts.pp - before.pp) + (counts.pc - before.pc)) as f64;
+        body_cost[order[i]] = ((counts.pp - before.pp) + (counts.pc - before.pc)) as f64;
     }
     comm.compute(counts.flops(cfg.mac.quadrupole) as f64);
     comm.barrier();
+    comm.end_phase();
 
     RankReport {
         rank,
@@ -807,8 +879,8 @@ mod tests {
             .iter()
             .zip(b)
             .map(|(x, y)| {
-                let e = ((x[0] - y[0]).powi(2) + (x[1] - y[1]).powi(2) + (x[2] - y[2]).powi(2))
-                    .sqrt();
+                let e =
+                    ((x[0] - y[0]).powi(2) + (x[1] - y[1]).powi(2) + (x[2] - y[2]).powi(2)).sqrt();
                 let n = (y[0] * y[0] + y[1] * y[1] + y[2] * y[2]).sqrt();
                 e / n.max(1e-30)
             })
@@ -842,10 +914,10 @@ mod tests {
     fn more_ranks_are_faster_with_reasonable_efficiency() {
         let bodies = plummer(20_000, 5);
         let cfg = DistributedConfig::default();
-        let t1 = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg)
-            .makespan_s;
-        let t8 = distributed_step(&Cluster::new(metablade().with_nodes(8)), &bodies, &cfg)
-            .makespan_s;
+        let t1 =
+            distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg).makespan_s;
+        let t8 =
+            distributed_step(&Cluster::new(metablade().with_nodes(8)), &bodies, &cfg).makespan_s;
         let speedup = t1 / t8;
         assert!(speedup > 4.0, "speedup {speedup} too low");
         assert!(speedup < 8.0, "speedup {speedup} super-linear?");
@@ -857,10 +929,10 @@ mod tests {
         // mechanism behind Table 2's "drop in efficiency".
         let bodies = plummer(1000, 6);
         let cfg = DistributedConfig::default();
-        let t1 = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg)
-            .makespan_s;
-        let t16 = distributed_step(&Cluster::new(metablade().with_nodes(16)), &bodies, &cfg)
-            .makespan_s;
+        let t1 =
+            distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg).makespan_s;
+        let t16 =
+            distributed_step(&Cluster::new(metablade().with_nodes(16)), &bodies, &cfg).makespan_s;
         let eff = t1 / t16 / 16.0;
         assert!(
             eff < 0.6,
@@ -954,6 +1026,46 @@ mod tests {
     }
 
     #[test]
+    fn traced_step_matches_untraced_and_records_phases() {
+        let bodies = plummer(1200, 42);
+        let cfg = DistributedConfig::default();
+        let cluster = Cluster::new(metablade().with_nodes(4));
+        let plain = distributed_step(&cluster, &bodies, &cfg);
+        let (traced, trace) = distributed_step_traced(&cluster, &bodies, &cfg, None);
+        assert_eq!(
+            traced.makespan_s, plain.makespan_s,
+            "tracing must not perturb the virtual clock"
+        );
+        assert_eq!(trace.ranks.len(), 4, "one track per rank");
+        use mb_telemetry::trace::SpanKind;
+        for (rank, spans) in trace.ranks.iter().enumerate() {
+            let phases: Vec<&str> = spans
+                .iter()
+                .filter(|e| e.kind == SpanKind::Phase)
+                .map(|e| e.name)
+                .collect();
+            assert_eq!(
+                phases,
+                [
+                    "global_box",
+                    "tree_build",
+                    "domain_publish",
+                    "let_exchange",
+                    "walk"
+                ],
+                "rank {rank} phase sequence"
+            );
+        }
+        let json = mb_telemetry::chrome::export(&trace);
+        let chrome = mb_telemetry::chrome::validate(&json).expect("valid chrome trace");
+        assert_eq!(chrome.tracks, vec![0, 1, 2, 3]);
+        assert!(
+            (chrome.end_us - plain.makespan_s * 1e6).abs() < 1.0,
+            "trace ends at the makespan"
+        );
+    }
+
+    #[test]
     fn foreign_tree_roundtrips_through_serialization() {
         let nodes = vec![
             (
@@ -1008,15 +1120,32 @@ mod probe {
         for &n in &[50_000usize, 100_000] {
             let bodies = plummer(n, 5);
             let cfg = DistributedConfig::default();
-            let t1 = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg).makespan_s;
+            let t1 = distributed_step(&Cluster::new(metablade().with_nodes(1)), &bodies, &cfg)
+                .makespan_s;
             for &p in &[4usize, 8, 16, 24] {
-                let warm = distributed_step(&Cluster::new(metablade().with_nodes(p)), &bodies, &cfg);
-                let r = distributed_step_weighted(&Cluster::new(metablade().with_nodes(p)), &bodies, &cfg, Some(&warm.body_cost));
+                let warm =
+                    distributed_step(&Cluster::new(metablade().with_nodes(p)), &bodies, &cfg);
+                let r = distributed_step_weighted(
+                    &Cluster::new(metablade().with_nodes(p)),
+                    &bodies,
+                    &cfg,
+                    Some(&warm.body_cost),
+                );
                 let imp: u64 = r.per_rank.iter().map(|x| x.imported_bodies).sum();
-                let ints: Vec<u64> = r.per_rank.iter().map(|x| x.interactions.pp + x.interactions.pc).collect();
-                println!("N={n} P={p}: t={:.2}s speedup={:.2} eff={:.2} imp={} ints(min/max)={}/{}",
-                    r.makespan_s, t1 / r.makespan_s, t1 / r.makespan_s / p as f64, imp,
-                    ints.iter().min().unwrap(), ints.iter().max().unwrap());
+                let ints: Vec<u64> = r
+                    .per_rank
+                    .iter()
+                    .map(|x| x.interactions.pp + x.interactions.pc)
+                    .collect();
+                println!(
+                    "N={n} P={p}: t={:.2}s speedup={:.2} eff={:.2} imp={} ints(min/max)={}/{}",
+                    r.makespan_s,
+                    t1 / r.makespan_s,
+                    t1 / r.makespan_s / p as f64,
+                    imp,
+                    ints.iter().min().unwrap(),
+                    ints.iter().max().unwrap()
+                );
             }
         }
     }

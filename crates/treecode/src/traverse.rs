@@ -169,10 +169,9 @@ mod tests {
                 let ta = tree_b.acc[i];
                 let da = direct_b.acc[j];
                 let dn = (da[0] * da[0] + da[1] * da[1] + da[2] * da[2]).sqrt();
-                let en = ((ta[0] - da[0]).powi(2)
-                    + (ta[1] - da[1]).powi(2)
-                    + (ta[2] - da[2]).powi(2))
-                .sqrt();
+                let en =
+                    ((ta[0] - da[0]).powi(2) + (ta[1] - da[1]).powi(2) + (ta[2] - da[2]).powi(2))
+                        .sqrt();
                 en / dn.max(1e-30)
             })
             .collect();
@@ -192,15 +191,39 @@ mod tests {
 
     #[test]
     fn tighter_mac_is_more_accurate() {
-        let loose = median_error(400, &Mac { theta: 1.0, quadrupole: true });
-        let tight = median_error(400, &Mac { theta: 0.4, quadrupole: true });
+        let loose = median_error(
+            400,
+            &Mac {
+                theta: 1.0,
+                quadrupole: true,
+            },
+        );
+        let tight = median_error(
+            400,
+            &Mac {
+                theta: 0.4,
+                quadrupole: true,
+            },
+        );
         assert!(tight < loose, "tight {tight} !< loose {loose}");
     }
 
     #[test]
     fn quadrupole_terms_help() {
-        let mono = median_error(400, &Mac { theta: 0.8, quadrupole: false });
-        let quad = median_error(400, &Mac { theta: 0.8, quadrupole: true });
+        let mono = median_error(
+            400,
+            &Mac {
+                theta: 0.8,
+                quadrupole: false,
+            },
+        );
+        let quad = median_error(
+            400,
+            &Mac {
+                theta: 0.8,
+                quadrupole: true,
+            },
+        );
         assert!(quad < mono, "quad {quad} !< mono {mono}");
     }
 

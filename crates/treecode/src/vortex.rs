@@ -122,13 +122,7 @@ impl VortexSystem {
                             if oj == orig {
                                 continue;
                             }
-                            add_biot_savart(
-                                &mut u,
-                                x,
-                                self.pos[oj],
-                                self.alpha[oj],
-                                self.core2,
-                            );
+                            add_biot_savart(&mut u, x, self.pos[oj], self.alpha[oj], self.core2);
                         }
                     }
                     NodeKind::Internal { .. } => stack.extend(tree.children(&node).copied()),
@@ -242,8 +236,8 @@ mod tests {
             .iter()
             .zip(&tree)
             .map(|(d, t)| {
-                let e = ((d[0] - t[0]).powi(2) + (d[1] - t[1]).powi(2) + (d[2] - t[2]).powi(2))
-                    .sqrt();
+                let e =
+                    ((d[0] - t[0]).powi(2) + (d[1] - t[1]).powi(2) + (d[2] - t[2]).powi(2)).sqrt();
                 let m = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
                 e / m.max(1e-30)
             })
@@ -269,7 +263,9 @@ mod tests {
     #[test]
     fn smaller_theta_tightens_the_tree_answer() {
         let cube = crate::ic::uniform_cube(300, 1.0, 22);
-        let alpha: Vec<[f64; 3]> = (0..300).map(|i| [0.01, 0.005 * (i as f64).sin(), 0.0]).collect();
+        let alpha: Vec<[f64; 3]> = (0..300)
+            .map(|i| [0.01, 0.005 * (i as f64).sin(), 0.0])
+            .collect();
         let sys = VortexSystem {
             pos: cube.pos.clone(),
             alpha,
@@ -283,8 +279,8 @@ mod tests {
             });
             let mut total = 0.0;
             for (d, t) in direct.iter().zip(&tree) {
-                total += ((d[0] - t[0]).powi(2) + (d[1] - t[1]).powi(2) + (d[2] - t[2]).powi(2))
-                    .sqrt();
+                total +=
+                    ((d[0] - t[0]).powi(2) + (d[1] - t[1]).powi(2) + (d[2] - t[2]).powi(2)).sqrt();
             }
             total
         };

@@ -11,7 +11,10 @@ use metablade::treecode::parallel::{distributed_step, DistributedConfig};
 use metablade::treecode::plummer;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
     let bodies = plummer(n, 5);
     let cfg = DistributedConfig::default();
     println!(

@@ -52,5 +52,8 @@ fn main() {
 
     // Same accelerations as the native code?
     let accel = mk.read_accel(&st2);
-    println!("  accel checksum: [{:.6}, {:.6}, {:.6}]", accel[0], accel[1], accel[2]);
+    println!(
+        "  accel checksum: [{:.6}, {:.6}, {:.6}]",
+        accel[0], accel[1], accel[2]
+    );
 }

@@ -5,13 +5,14 @@
 //! Run with: `cargo run --release --example nbody_galaxy [n] [steps]`
 
 use metablade::treecode::render::DensityImage;
-use metablade::treecode::{
-    cold_disk, direct::direct_forces, leapfrog_step, total_energy, Mac,
-};
+use metablade::treecode::{cold_disk, direct::direct_forces, leapfrog_step, total_energy, Mac};
 
 fn main() {
     let arg = |i: usize, d: usize| {
-        std::env::args().nth(i).and_then(|a| a.parse().ok()).unwrap_or(d)
+        std::env::args()
+            .nth(i)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(d)
     };
     let (n, steps) = (arg(1, 10_000), arg(2, 40));
     let eps2 = 1e-4;
@@ -19,7 +20,12 @@ fn main() {
     let mut bodies = cold_disk(n, 7);
     direct_forces(&mut bodies, eps2);
     let e0 = total_energy(&bodies);
-    println!("N = {n} disk | E0 = {:.4} (K {:.4}, W {:.4})", e0.total(), e0.kinetic, e0.potential);
+    println!(
+        "N = {n} disk | E0 = {:.4} (K {:.4}, W {:.4})",
+        e0.total(),
+        e0.kinetic,
+        e0.potential
+    );
     let mut interactions = 0u64;
     for step in 0..steps {
         let c = leapfrog_step(&mut bodies, 2e-3, &mac, eps2, 8);

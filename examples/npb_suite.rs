@@ -22,7 +22,12 @@ fn main() {
         "{:<5}{:>9}{:>16}{:>13}{:>11}{:>11}{:>11}{:>11}",
         "code", "verified", "useful Mops", "fp/mem", "Athlon", "PIII", "TM5600", "Power3"
     );
-    let cpus = [athlon_mp_1200(), pentium_iii_500(), tm5600_analytic(), power3_375()];
+    let cpus = [
+        athlon_mp_1200(),
+        pentium_iii_500(),
+        tm5600_analytic(),
+        power3_375(),
+    ];
     for k in &kernels {
         let r = k.run();
         let fp = (r.mix.fadd + r.mix.fmul + r.mix.fdiv + r.mix.fsqrt) as f64;

@@ -10,11 +10,17 @@ use metablade::treecode::Mac;
 
 fn main() {
     let arg = |i: usize, d: usize| {
-        std::env::args().nth(i).and_then(|a| a.parse().ok()).unwrap_or(d)
+        std::env::args()
+            .nth(i)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(d)
     };
     let (n, steps) = (arg(1, 512), arg(2, 20));
     let mut sys = VortexSystem::ring(n, 1.0, 1.0, 0.15);
-    let mac = Mac { theta: 0.5, quadrupole: false };
+    let mac = Mac {
+        theta: 0.5,
+        quadrupole: false,
+    };
     let z0: f64 = sys.pos.iter().map(|p| p[2]).sum::<f64>() / n as f64;
     println!("vortex ring: {n} particles, radius 1.0, core 0.15");
     let dt = 0.5;

@@ -71,9 +71,8 @@ fn main() {
         "evolve" => {
             let n = arg_usize(2, 10_000);
             let steps = arg_usize(3, 20);
-            let cluster = metablade::cluster::machine::Cluster::new(
-                metablade::cluster::spec::metablade(),
-            );
+            let cluster =
+                metablade::cluster::machine::Cluster::new(metablade::cluster::spec::metablade());
             let bodies = metablade::treecode::plummer(n, 1);
             let r = metablade::treecode::distributed_evolve(
                 &cluster,

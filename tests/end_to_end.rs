@@ -79,10 +79,7 @@ fn metablade2_outruns_metablade() {
     let cfg = DistributedConfig::default();
     let t1 = distributed_step(&Cluster::new(metablade()), &bodies, &cfg).makespan_s;
     let t2 = distributed_step(&Cluster::new(metablade2()), &bodies, &cfg).makespan_s;
-    assert!(
-        t2 < t1,
-        "MetaBlade2 ({t2}s) should beat MetaBlade ({t1}s)"
-    );
+    assert!(t2 < t1, "MetaBlade2 ({t2}s) should beat MetaBlade ({t1}s)");
     // Roughly the sustained-rate ratio (3.3/2.1 ≈ 1.57), diluted by
     // communication which does not speed up.
     let ratio = t1 / t2;
@@ -133,6 +130,12 @@ fn economics_pipeline_reproduces_headline_ratios() {
         / perf_space_mflop_per_ft2(machines[0].gflops, machines[0].area_ft2);
     let pp_ratio = perf_power_gflop_per_kw(machines[1].gflops, machines[1].power_kw)
         / perf_power_gflop_per_kw(machines[0].gflops, machines[0].power_kw);
-    assert!((1.5..3.5).contains(&ps_ratio), "perf/space ratio {ps_ratio}");
-    assert!((3.0..5.5).contains(&pp_ratio), "perf/power ratio {pp_ratio}");
+    assert!(
+        (1.5..3.5).contains(&ps_ratio),
+        "perf/space ratio {ps_ratio}"
+    );
+    assert!(
+        (3.0..5.5).contains(&pp_ratio),
+        "perf/power ratio {pp_ratio}"
+    );
 }

@@ -89,10 +89,7 @@ fn section4_topper_beats_price_performance() {
     // ToPPeR with the paper's performance assumption (blade = 75% of a
     // comparable traditional cluster).
     let trad_perf = 2.8;
-    let blade_topper = topper(
-        blade.inputs.evaluate(&constants).total(),
-        0.75 * trad_perf,
-    );
+    let blade_topper = topper(blade.inputs.evaluate(&constants).total(), 0.75 * trad_perf);
     let trad_topper = topper(piii.inputs.evaluate(&constants).total(), trad_perf);
     assert!(
         blade_topper / trad_topper < 0.5,
@@ -124,16 +121,10 @@ fn section4_derived_metrics() {
     let avalon_pp = perf_power_gflop_per_kw(avalon_perf, 18.0);
     let mb_perf = 2.1;
     let gd_perf = gd.nodes as f64 * gd.node.cpu.sustained_mflops / 1000.0;
-    assert!(
-        (1.8..3.0).contains(&(perf_space_mflop_per_ft2(mb_perf, mb.footprint_ft2) / avalon_ps))
-    );
+    assert!((1.8..3.0).contains(&(perf_space_mflop_per_ft2(mb_perf, mb.footprint_ft2) / avalon_ps)));
     assert!(perf_space_mflop_per_ft2(gd_perf, gd.footprint_ft2) / avalon_ps > 20.0);
-    assert!(
-        (3.5..4.5).contains(&(perf_power_gflop_per_kw(mb_perf, mb.load_kw()) / avalon_pp))
-    );
-    assert!(
-        (3.5..4.5).contains(&(perf_power_gflop_per_kw(gd_perf, gd.load_kw()) / avalon_pp))
-    );
+    assert!((3.5..4.5).contains(&(perf_power_gflop_per_kw(mb_perf, mb.load_kw()) / avalon_pp)));
+    assert!((3.5..4.5).contains(&(perf_power_gflop_per_kw(gd_perf, gd.load_kw()) / avalon_pp)));
 }
 
 /// §5: "The TM6000 ... is expected to improve flop performance over the

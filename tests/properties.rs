@@ -10,7 +10,7 @@ use metablade::crusoe::program::ProgramBuilder;
 use metablade::microkernel::{rsqrt_karp, rsqrt_math};
 use metablade::npb::common::NpbRng;
 use metablade::npb::is::Is;
-use metablade::treecode::{build_tree, Bodies, BoundingBox, Key};
+use metablade::treecode::{build_tree, BoundingBox, Key};
 
 proptest! {
     /// Karp's algorithm matches the math-library reciprocal square root
