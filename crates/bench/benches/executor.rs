@@ -1,0 +1,44 @@
+//! Executor-policy benchmarks: host cost of the same simulated job
+//! under the sequential engine, bounded worker pools, and the unbounded
+//! default (wall-clock only — simulated results are policy-invariant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_cluster::machine::Cluster;
+use mb_cluster::spec::metablade;
+use mb_cluster::ExecPolicy;
+use std::hint::black_box;
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    let policies = [
+        ExecPolicy::Sequential,
+        ExecPolicy::Parallel { workers: 2 },
+        ExecPolicy::Parallel { workers: 8 },
+        ExecPolicy::Unbounded,
+    ];
+    for policy in policies {
+        let cluster = Cluster::new(metablade()).with_exec(policy);
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_sweep_24", policy.label()),
+            &policy,
+            |b, _| {
+                b.iter(|| {
+                    let out = cluster.run(|comm| {
+                        let mut v = vec![comm.rank() as f64; 256];
+                        for _ in 0..8 {
+                            v = comm.allreduce_sum(&v);
+                            comm.compute(1e5);
+                        }
+                        v[0]
+                    });
+                    black_box(out.makespan_s())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,457 @@
+//! The `bench_baseline` measurement harness: sequential-vs-parallel
+//! executor sweeps over the simulated cluster and the distributed
+//! treecode step, emitted as machine-readable `BENCH_cluster.json` /
+//! `BENCH_treecode.json` documents (schema documented in
+//! `BENCHMARKS.md` at the repo root).
+//!
+//! Two numbers per benchmark matter and they must not be confused:
+//!
+//! * **virtual makespan** — the simulated MetaBlade's wall-clock for the
+//!   job (slowest rank's virtual clock). This is a *result* of the
+//!   simulation: bit-identical under every [`ExecPolicy`], on every
+//!   host, in every run. The harness verifies that by fingerprinting
+//!   each outcome (results + clocks + `CommStats`) and recording
+//!   `identical_across_policies`.
+//! * **host wall seconds** — how long the simulator itself took on this
+//!   machine, per executor policy. This is a *measurement*: it depends
+//!   on `host_threads`, load, and the OS scheduler. Speedups are
+//!   derived from it; on a single-core host every policy is expected to
+//!   tie (the recorded `host_threads` field says which regime a given
+//!   document was produced in).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use mb_cluster::machine::Cluster;
+use mb_cluster::spec::metablade;
+use mb_cluster::{Comm, CommStats, ExecPolicy};
+use mb_telemetry::json::Json;
+use mb_treecode::parallel::{distributed_step, DistributedConfig};
+use mb_treecode::plummer;
+
+/// Schema tag stamped into every BENCH document.
+pub const SCHEMA: &str = "metablade-bench/1";
+
+/// Shape of one baseline sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Simulated rank counts to sweep (the paper's machine is 24 nodes).
+    pub rank_counts: Vec<usize>,
+    /// Communication rounds per cluster microbenchmark.
+    pub rounds: usize,
+    /// Plummer-sphere size for the treecode step.
+    pub n_bodies: usize,
+    /// Wall-clock repeats per (bench, policy); the minimum is recorded.
+    pub repeats: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            rank_counts: vec![1, 4, 8, 24],
+            rounds: 64,
+            n_bodies: 20_000,
+            repeats: 2,
+        }
+    }
+}
+
+/// The executor policies every sweep compares: the sequential reference
+/// engine, bounded pools of 2 and 8 workers, and the unbounded default.
+pub fn policies() -> [ExecPolicy; 4] {
+    [
+        ExecPolicy::Sequential,
+        ExecPolicy::Parallel { workers: 2 },
+        ExecPolicy::Parallel { workers: 8 },
+        ExecPolicy::Unbounded,
+    ]
+}
+
+/// Host hardware threads (the wall-clock context for speedup numbers).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Seconds since the Unix epoch (document timestamp).
+pub fn unix_time_s() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Incremental FNV-1a hasher for outcome fingerprints.
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold in one u64, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Fold in one f64's exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fold per-rank [`CommStats`] into a fingerprint: every counter and
+/// every virtual-time accumulator, bit-exact.
+pub fn hash_stats(h: &mut Fnv, stats: &[CommStats]) {
+    for s in stats {
+        h.write_u64(s.sends);
+        h.write_u64(s.recvs);
+        h.write_u64(s.bytes_sent);
+        h.write_u64(s.bytes_recv);
+        h.write_f64(s.compute_s);
+        h.write_f64(s.wait_s);
+        h.write_f64(s.send_busy_s);
+        h.write_f64(s.recv_busy_s);
+    }
+}
+
+/// One measured benchmark: virtual result plus per-policy wall clocks.
+pub struct BenchRecord {
+    /// Benchmark name (stable across document versions).
+    pub name: String,
+    /// Simulated rank count.
+    pub ranks: usize,
+    /// Simulated makespan, identical across policies when `identical`.
+    pub virtual_makespan_s: f64,
+    /// Outcome fingerprint (results + clocks + stats) per policy label.
+    pub fingerprints: BTreeMap<String, u64>,
+    /// Host wall seconds per policy label (minimum over repeats).
+    pub wall_s: BTreeMap<String, f64>,
+    /// True when every policy produced a bit-identical outcome.
+    pub identical: bool,
+    /// Extra scalar fields (e.g. treecode gflops).
+    pub extra: Vec<(&'static str, Json)>,
+}
+
+impl BenchRecord {
+    /// The record as one JSON object (fields documented in BENCHMARKS.md).
+    pub fn to_json(&self) -> Json {
+        let seq_wall = self.wall_s.get("seq").copied().unwrap_or(f64::NAN);
+        let walls = Json::Obj(
+            self.wall_s
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let speedups = Json::Obj(
+            self.wall_s
+                .iter()
+                .filter(|(k, _)| k.as_str() != "seq")
+                .map(|(k, v)| (k.clone(), Json::Num(seq_wall / v.max(1e-12))))
+                .collect(),
+        );
+        let fps = Json::Obj(
+            self.fingerprints
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::str(format!("{v:016x}"))))
+                .collect(),
+        );
+        let mut fields = vec![
+            ("name", Json::str(self.name.clone())),
+            ("ranks", Json::Num(self.ranks as f64)),
+            ("virtual_makespan_s", Json::Num(self.virtual_makespan_s)),
+            ("identical_across_policies", Json::Bool(self.identical)),
+            ("outcome_fingerprints", fps),
+            ("wall_s", walls),
+            ("speedup_vs_seq", speedups),
+        ];
+        fields.extend(self.extra.iter().cloned());
+        Json::obj(fields)
+    }
+}
+
+/// Wrap bench records into a full BENCH document.
+fn document(suite: &str, cfg_fields: Vec<(&'static str, Json)>, benches: &[BenchRecord]) -> Json {
+    let mut fields = vec![
+        ("schema", Json::str(SCHEMA)),
+        ("suite", Json::str(suite)),
+        ("generated_unix_s", Json::Num(unix_time_s() as f64)),
+        ("host_threads", Json::Num(host_threads() as f64)),
+        (
+            "policies",
+            Json::Arr(policies().iter().map(|p| Json::str(p.label())).collect()),
+        ),
+    ];
+    fields.extend(cfg_fields);
+    fields.push((
+        "benches",
+        Json::Arr(benches.iter().map(BenchRecord::to_json).collect()),
+    ));
+    Json::obj(fields)
+}
+
+/// Run `job` at `ranks` under every policy, `repeats` wall repeats each.
+fn run_case<F>(name: &str, ranks: usize, repeats: usize, job: F) -> BenchRecord
+where
+    F: Fn(&mut Comm) -> Vec<f64> + Sync,
+{
+    let spec = metablade().with_nodes(ranks);
+    let mut wall_s = BTreeMap::new();
+    let mut fingerprints = BTreeMap::new();
+    let mut makespan = 0.0;
+    for policy in policies() {
+        let cluster = Cluster::new(spec.clone()).with_exec(policy);
+        let mut best = f64::INFINITY;
+        let mut fp = 0u64;
+        for _ in 0..repeats.max(1) {
+            let t = Instant::now();
+            let out = cluster.run(&job);
+            best = best.min(t.elapsed().as_secs_f64());
+            let mut h = Fnv::new();
+            for r in &out.results {
+                for v in r {
+                    h.write_f64(*v);
+                }
+            }
+            for c in &out.clocks {
+                h.write_f64(*c);
+            }
+            hash_stats(&mut h, &out.stats);
+            fp = h.finish();
+            makespan = out.makespan_s();
+        }
+        wall_s.insert(policy.label(), best);
+        fingerprints.insert(policy.label(), fp);
+    }
+    let identical = {
+        let mut vals = fingerprints.values();
+        let first = vals.next().copied();
+        vals.all(|v| Some(*v) == first)
+    };
+    BenchRecord {
+        name: name.to_string(),
+        ranks,
+        virtual_makespan_s: makespan,
+        fingerprints,
+        wall_s,
+        identical,
+        extra: Vec::new(),
+    }
+}
+
+/// The cluster suite: collective, point-to-point and imbalanced-compute
+/// microbenchmarks swept over rank counts and executor policies.
+pub fn cluster_baseline(cfg: &SweepConfig) -> Json {
+    let rounds = cfg.rounds.max(1);
+    let mut benches = Vec::new();
+    for &ranks in &cfg.rank_counts {
+        benches.push(run_case(
+            &format!("allreduce_32x{rounds}"),
+            ranks,
+            cfg.repeats,
+            move |comm: &mut Comm| {
+                let mut v = vec![comm.rank() as f64 + 1.0; 32];
+                for _ in 0..rounds {
+                    v = comm.allreduce_sum(&v);
+                    for x in v.iter_mut() {
+                        *x = (*x / comm.nranks() as f64).sqrt() + 1.0;
+                    }
+                    comm.compute(64.0 * v.len() as f64);
+                }
+                v.push(comm.now());
+                v
+            },
+        ));
+        benches.push(run_case(
+            &format!("ring_4KiBx{rounds}"),
+            ranks,
+            cfg.repeats,
+            move |comm: &mut Comm| {
+                let rank = comm.rank();
+                let n = comm.nranks();
+                let mut buf = vec![rank as f64; 512]; // 4 KiB payload
+                if n > 1 {
+                    let next = (rank + 1) % n;
+                    let prev = (rank + n - 1) % n;
+                    for _ in 0..rounds {
+                        comm.send_f64s(next, 5, &buf);
+                        let got = comm.recv_f64s(prev, 5);
+                        buf[0] += got[0] + 1.0;
+                        comm.compute(buf.len() as f64);
+                    }
+                }
+                vec![buf[0], comm.now()]
+            },
+        ));
+        benches.push(run_case(
+            &format!("imbalance_x{rounds}"),
+            ranks,
+            cfg.repeats,
+            move |comm: &mut Comm| {
+                let rank = comm.rank();
+                let mut spin = 0.0f64;
+                for round in 0..rounds {
+                    // Skewed virtual compute so the conservative scheduler
+                    // has real clock spread to order …
+                    comm.compute(2e5 * (1 + (rank + round) % 4) as f64);
+                    // … and real host work so wall-clock reflects how many
+                    // ranks the policy lets run at once.
+                    for i in 0..2_000u64 {
+                        spin += ((i + rank as u64) as f64).sqrt();
+                    }
+                    comm.barrier();
+                }
+                vec![std::hint::black_box(spin), comm.now()]
+            },
+        ));
+    }
+    document(
+        "cluster",
+        vec![("rounds", Json::Num(rounds as f64))],
+        &benches,
+    )
+}
+
+/// The treecode suite: one full distributed force evaluation per
+/// (rank count, policy), wall-timed, with virtual makespan, sustained
+/// Gflops and a particle-state fingerprint (acc + pot bit patterns).
+pub fn treecode_baseline(cfg: &SweepConfig) -> Json {
+    let bodies = plummer(cfg.n_bodies, 1999);
+    let tree_cfg = DistributedConfig::default();
+    let mut benches = Vec::new();
+    for &ranks in &cfg.rank_counts {
+        let spec = metablade().with_nodes(ranks);
+        let mut wall_s = BTreeMap::new();
+        let mut fingerprints = BTreeMap::new();
+        let mut makespan = 0.0;
+        let mut gflops = 0.0;
+        for policy in policies() {
+            let cluster = Cluster::new(spec.clone()).with_exec(policy);
+            let t = Instant::now();
+            let report = distributed_step(&cluster, &bodies, &tree_cfg);
+            wall_s.insert(policy.label(), t.elapsed().as_secs_f64());
+            let mut h = Fnv::new();
+            h.write_f64(report.makespan_s);
+            for a in &report.acc {
+                for v in a {
+                    h.write_f64(*v);
+                }
+            }
+            for p in &report.pot {
+                h.write_f64(*p);
+            }
+            hash_stats(&mut h, &report.comm);
+            fingerprints.insert(policy.label(), h.finish());
+            makespan = report.makespan_s;
+            gflops = report.gflops;
+        }
+        let identical = {
+            let mut vals = fingerprints.values();
+            let first = vals.next().copied();
+            vals.all(|v| Some(*v) == first)
+        };
+        benches.push(BenchRecord {
+            name: "treecode_step".to_string(),
+            ranks,
+            virtual_makespan_s: makespan,
+            fingerprints,
+            wall_s,
+            identical,
+            extra: vec![("gflops", Json::Num(gflops))],
+        });
+    }
+    document(
+        "treecode",
+        vec![
+            ("n_bodies", Json::Num(cfg.n_bodies as f64)),
+            ("ic", Json::str("plummer(seed=1999)")),
+        ],
+        &benches,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            rank_counts: vec![1, 4],
+            rounds: 4,
+            n_bodies: 400,
+            repeats: 1,
+        }
+    }
+
+    fn assert_benches_identical(doc: &Json, expected: usize) {
+        let benches = doc.get("benches").and_then(Json::as_arr).expect("benches");
+        assert_eq!(benches.len(), expected);
+        for b in benches {
+            assert_eq!(
+                b.get("identical_across_policies"),
+                Some(&Json::Bool(true)),
+                "{:?} diverged across policies",
+                b.get("name")
+            );
+            let walls = b.get("wall_s").expect("wall_s");
+            for p in policies() {
+                assert!(
+                    walls.get(&p.label()).and_then(Json::as_f64).is_some(),
+                    "missing wall for {}",
+                    p.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_baseline_outcomes_match_across_policies() {
+        let doc = cluster_baseline(&tiny());
+        assert_eq!(doc.get("schema"), Some(&Json::str(SCHEMA)));
+        assert_eq!(doc.get("suite"), Some(&Json::str("cluster")));
+        // Two rank counts × three microbenchmarks.
+        assert_benches_identical(&doc, 2 * 3);
+        // The document round-trips through the dependency-free parser.
+        let text = doc.to_string();
+        assert_eq!(mb_telemetry::json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn treecode_baseline_outcomes_match_across_policies() {
+        let doc = treecode_baseline(&tiny());
+        assert_eq!(doc.get("suite"), Some(&Json::str("treecode")));
+        assert_benches_identical(&doc, 2);
+        for b in doc.get("benches").and_then(Json::as_arr).unwrap() {
+            let g = b.get("gflops").and_then(Json::as_f64).unwrap();
+            assert!(g > 0.0, "gflops must be positive, got {g}");
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_bit_patterns() {
+        let mut a = Fnv::new();
+        a.write_f64(0.0);
+        let mut b = Fnv::new();
+        b.write_f64(-0.0); // same value, different bits — must differ
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.write_f64(0.0);
+        assert_eq!(a.finish(), c.finish());
+    }
+}

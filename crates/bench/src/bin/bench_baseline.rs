@@ -1,0 +1,74 @@
+//! Regenerate the repo-root benchmark baselines: sweep the cluster and
+//! treecode suites over executor policies (seq / w2 / w8 / unbounded)
+//! and rank counts (1/4/8/24), verify every policy produced a
+//! bit-identical outcome, and write `BENCH_cluster.json` and
+//! `BENCH_treecode.json` (schema documented in `BENCHMARKS.md`).
+//!
+//! argv: `[n_bodies]` (default 20 000). Output directory:
+//! `$MB_BENCH_DIR`, or the current directory (the repo root keeps its
+//! committed copies there).
+
+use std::path::PathBuf;
+
+use mb_bench::baseline::{cluster_baseline, host_threads, treecode_baseline, SweepConfig};
+use mb_bench::write_artifact;
+use mb_telemetry::json::Json;
+
+fn summarize(doc: &Json) {
+    let suite = doc.get("suite").and_then(Json::as_str).unwrap_or("?");
+    println!("{suite} suite:");
+    for b in doc.get("benches").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = b.get("name").and_then(Json::as_str).unwrap_or("?");
+        let ranks = b.get("ranks").and_then(Json::as_f64).unwrap_or(0.0);
+        let identical = b.get("identical_across_policies") == Some(&Json::Bool(true));
+        let seq = b
+            .get("wall_s")
+            .and_then(|w| w.get("seq"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let s8 = b
+            .get("speedup_vs_seq")
+            .and_then(|s| s.get("w8"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        println!(
+            "  {name:<18} P={ranks:<3.0} seq {seq:>8.3}s  w8 speedup {s8:>5.2}x  identical={identical}"
+        );
+        assert!(
+            identical,
+            "{suite}/{name} outcomes diverged across policies"
+        );
+    }
+}
+
+fn main() {
+    let n_bodies = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let cfg = SweepConfig {
+        n_bodies,
+        ..SweepConfig::default()
+    };
+    let dir = std::env::var_os("MB_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    println!(
+        "benchmark baseline: host_threads = {}, ranks {:?}, N = {}\n",
+        host_threads(),
+        cfg.rank_counts,
+        cfg.n_bodies
+    );
+
+    let cluster_doc = cluster_baseline(&cfg);
+    summarize(&cluster_doc);
+    let p = write_artifact(&dir, "BENCH_cluster.json", &cluster_doc.to_string())
+        .expect("write BENCH_cluster.json");
+    println!("wrote {}\n", p.display());
+
+    let tree_doc = treecode_baseline(&cfg);
+    summarize(&tree_doc);
+    let p = write_artifact(&dir, "BENCH_treecode.json", &tree_doc.to_string())
+        .expect("write BENCH_treecode.json");
+    println!("wrote {}", p.display());
+}

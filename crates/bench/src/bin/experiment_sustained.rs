@@ -15,9 +15,10 @@ fn main() {
     ] {
         let r = mb_core::experiments::sustained_gflops(spec.clone(), n);
         let manifest = mb_bench::treecode_manifest(&format!("sustained-{name}"), &spec, &r.step);
+        let stem = mb_telemetry::artifact::artifact_stem(&format!("sustained_{name}"), spec.nodes);
         match mb_bench::write_artifact(
             &mb_bench::artifact_dir(),
-            &format!("sustained_{name}.manifest.json"),
+            &format!("{stem}.manifest.json"),
             &manifest.to_json_string(),
         ) {
             Ok(p) => println!("manifest: {}", p.display()),

@@ -51,9 +51,14 @@ fn main() {
     );
     let dir = mb_bench::artifact_dir();
     let chrome = mb_telemetry::chrome::export(&trace);
+    let stem = mb_telemetry::artifact::artifact_stem("run_all", spec.nodes);
     match (
-        mb_bench::write_artifact(&dir, "run_all.trace.json", &chrome),
-        mb_bench::write_artifact(&dir, "run_all.manifest.json", &manifest.to_json_string()),
+        mb_bench::write_artifact(&dir, &format!("{stem}.trace.json"), &chrome),
+        mb_bench::write_artifact(
+            &dir,
+            &format!("{stem}.manifest.json"),
+            &manifest.to_json_string(),
+        ),
     ) {
         (Ok(t), Ok(m)) => println!("telemetry: wrote {} and {}", t.display(), m.display()),
         (t, m) => eprintln!("telemetry: write failed: {:?}", t.err().or_else(|| m.err())),

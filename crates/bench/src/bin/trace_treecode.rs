@@ -50,15 +50,14 @@ fn main() {
     stats.record_into(&mut manifest.metrics, "kernel=gravity");
 
     let dir = artifact_dir();
-    let trace_path = write_artifact(
-        &dir,
-        &format!("treecode{p}.trace.json"),
-        &chrome::export(&trace),
-    )
-    .expect("write chrome trace");
+    // The stem embeds rank count + run id, so concurrent sweeps sharing
+    // one artifact directory never overwrite each other's traces.
+    let stem = mb_telemetry::artifact::artifact_stem("treecode", p);
+    let trace_path = write_artifact(&dir, &format!("{stem}.trace.json"), &chrome::export(&trace))
+        .expect("write chrome trace");
     let manifest_path = write_artifact(
         &dir,
-        &format!("treecode{p}.manifest.json"),
+        &format!("{stem}.manifest.json"),
         &manifest.to_json_string(),
     )
     .expect("write run manifest");

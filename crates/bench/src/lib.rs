@@ -1,6 +1,22 @@
 //! Shared plumbing for the experiment binaries: where telemetry
-//! artifacts (Chrome traces, run manifests) land on disk, and the
-//! standard manifest a traced treecode run produces.
+//! artifacts (Chrome traces, run manifests) land on disk, the standard
+//! manifest a traced treecode run produces, and the [`baseline`]
+//! sequential-vs-parallel benchmark harness behind `bench_baseline`.
+//!
+//! # Example
+//!
+//! ```
+//! use mb_bench::baseline::{policies, SweepConfig};
+//!
+//! // The default baseline sweep: the paper's rank counts under every
+//! // executor policy (labels are the BENCH_*.json keys).
+//! let cfg = SweepConfig::default();
+//! assert_eq!(cfg.rank_counts, vec![1, 4, 8, 24]);
+//! let labels: Vec<String> = policies().iter().map(|p| p.label()).collect();
+//! assert_eq!(labels, ["seq", "w2", "w8", "unbounded"]);
+//! ```
+
+pub mod baseline;
 
 use std::io::Write;
 use std::path::{Path, PathBuf};

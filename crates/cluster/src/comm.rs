@@ -7,7 +7,8 @@
 //! timestamp. Message transport between threads uses crossbeam channels;
 //! because every receive names its source rank and all collectives use
 //! fixed deterministic patterns, the virtual clocks are bit-reproducible
-//! regardless of host thread scheduling.
+//! regardless of host thread scheduling — and therefore regardless of the
+//! executor policy mapping ranks onto host workers (see [`crate::exec`]).
 //!
 //! Collectives are the classic binomial-tree / ring algorithms MPICH used
 //! in the paper's era: `bcast` and `reduce` are binomial trees (⌈log₂ P⌉
@@ -24,10 +25,13 @@
 //! tracing, [`CommStats`] keeps per-peer message/byte counts so load
 //! imbalance is visible from statistics alone.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use mb_telemetry::trace::{SpanEvent, SpanKind, TraceSink};
 
+use crate::exec::Scheduler;
 use crate::network::NetworkModel;
 
 /// A message in flight.
@@ -107,6 +111,7 @@ pub struct Comm {
     pending: Vec<Msg>,
     coll_seq: u32,
     sink: Option<Box<dyn TraceSink + Send>>,
+    sched: Option<Arc<Scheduler>>,
     phases: Vec<(&'static str, f64)>,
     /// Running statistics.
     pub stats: CommStats,
@@ -133,6 +138,7 @@ impl Comm {
             pending: Vec::new(),
             coll_seq: 0,
             sink: None,
+            sched: None,
             phases: Vec::new(),
             stats: CommStats {
                 peers: vec![PeerTraffic::default(); nranks],
@@ -165,6 +171,14 @@ impl Comm {
     /// virtual-time span into it. Replaces any previous sink.
     pub fn attach_sink(&mut self, sink: Box<dyn TraceSink + Send>) {
         self.sink = Some(sink);
+    }
+
+    /// Attach the executor's slot scheduler (bounded [`crate::exec::ExecPolicy`]
+    /// modes): from now on a receive that would block the host thread
+    /// releases its execution slot while waiting and re-applies for one —
+    /// at this rank's current virtual clock — once the message arrives.
+    pub(crate) fn attach_scheduler(&mut self, sched: Arc<Scheduler>) {
+        self.sched = Some(sched);
     }
 
     /// Detach and return the current sink, closing any phases still open
@@ -293,7 +307,23 @@ impl Comm {
             {
                 break self.pending.remove(i);
             }
-            let m = self.rx.recv().expect("all peers hung up");
+            let m = match self.rx.try_recv() {
+                Ok(m) => m,
+                Err(TryRecvError::Empty) => {
+                    // The host thread is about to block: under a bounded
+                    // executor, hand the execution slot to another rank
+                    // and take one back once the message is here.
+                    if let Some(sched) = &self.sched {
+                        sched.release(self.rank);
+                        let m = self.rx.recv();
+                        sched.acquire(self.rank, self.clock);
+                        m.expect("all peers hung up")
+                    } else {
+                        self.rx.recv().expect("all peers hung up")
+                    }
+                }
+                Err(TryRecvError::Disconnected) => panic!("all peers hung up"),
+            };
             if m.src == src && m.tag == tag {
                 break m;
             }

@@ -20,6 +20,10 @@
 //!   time, `compute(flops)` charges CPU time. Virtual time is fully
 //!   deterministic: a rank's clock depends only on its own event sequence
 //!   and on the send timestamps of messages it receives;
+//! * [`exec`] — the deterministic rank executor: an [`ExecPolicy`] maps
+//!   ranks onto host worker threads (sequential / bounded pool /
+//!   unbounded, `MB_PARALLEL`), with a conservative lowest-virtual-clock
+//!   slot scheduler; every policy yields bit-identical outcomes;
 //! * [`machine`] — the cluster runtime: run an SPMD closure over all
 //!   ranks, gather results, per-rank statistics and the makespan;
 //!   [`machine::Cluster::run_traced`] additionally captures a span trace
@@ -35,9 +39,27 @@
 //! * [`checkpoint`] — Young/Daly checkpoint-restart modeling plus a
 //!   Monte-Carlo validator, closing the loop from the failure law to
 //!   long-job efficiency.
+//!
+//! # Example
+//!
+//! ```
+//! use mb_cluster::machine::Cluster;
+//! use mb_cluster::spec::metablade;
+//! use mb_cluster::ExecPolicy;
+//!
+//! // Four simulated MetaBlade nodes summing their ranks with an
+//! // allreduce. The executor policy bounds *host* parallelism only:
+//! // results and virtual clocks are bit-identical under every policy.
+//! let cluster = Cluster::new(metablade().with_nodes(4))
+//!     .with_exec(ExecPolicy::Parallel { workers: 2 });
+//! let out = cluster.run(|comm| comm.allreduce_sum(&[comm.rank() as f64])[0]);
+//! assert_eq!(out.results, vec![6.0; 4]); // 0+1+2+3 on every rank
+//! assert!(out.makespan_s() > 0.0); // virtual seconds on 100-Mb/s Ethernet
+//! ```
 
 pub mod checkpoint;
 pub mod comm;
+pub mod exec;
 pub mod machine;
 pub mod network;
 pub mod power;
@@ -47,6 +69,7 @@ pub mod thermal;
 pub mod trace;
 
 pub use comm::{Comm, CommStats, PeerTraffic};
+pub use exec::ExecPolicy;
 pub use machine::{Cluster, SpmdOutcome};
 pub use network::NetworkModel;
 pub use spec::{cluster_catalog, ClusterSpec, CpuSpec, NetworkSpec, NodeSpec, PackagingKind};

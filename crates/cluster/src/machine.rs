@@ -5,12 +5,20 @@
 //! a buffering trace sink to every rank's communicator, so the same job
 //! closure additionally yields a [`RunTrace`] ready for Chrome export
 //! (`mb_telemetry::chrome::export`) — one track per rank.
+//!
+//! How ranks map onto host threads is an [`ExecPolicy`]
+//! ([`Cluster::with_exec`], default `MB_PARALLEL`): sequential, bounded
+//! worker pool, or one thread per rank. Every policy produces the same
+//! [`SpmdOutcome`] bit for bit — see [`crate::exec`].
+
+use std::sync::Arc;
 
 use crossbeam::channel::unbounded;
 use mb_telemetry::summary::{RankTime, RunSummary};
 use mb_telemetry::trace::{MemorySink, RunTrace};
 
 use crate::comm::{Comm, CommStats, Msg};
+use crate::exec::{ExecPolicy, Scheduler};
 use crate::network::NetworkModel;
 use crate::spec::ClusterSpec;
 
@@ -84,12 +92,28 @@ impl<R> SpmdOutcome<R> {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     spec: ClusterSpec,
+    exec: ExecPolicy,
 }
 
 impl Cluster {
-    /// Build a cluster from a spec.
+    /// Build a cluster from a spec. The executor policy comes from the
+    /// `MB_PARALLEL` environment variable (see [`ExecPolicy::from_env`]).
     pub fn new(spec: ClusterSpec) -> Self {
-        Self { spec }
+        Self {
+            spec,
+            exec: ExecPolicy::from_env(),
+        }
+    }
+
+    /// Use an explicit executor policy instead of the environment's.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The executor policy in force.
+    pub fn exec(&self) -> ExecPolicy {
+        self.exec
     }
 
     /// The spec.
@@ -161,19 +185,29 @@ impl Cluster {
         // Drop the original senders so channels close when ranks finish.
         drop(txs);
 
+        // Bounded policies share one slot scheduler; unbounded runs free.
+        let sched = self.exec.workers().map(|w| Arc::new(Scheduler::new(w, n)));
         let f = &f;
         type RankOut<R> = (R, f64, CommStats, Vec<mb_telemetry::trace::SpanEvent>);
         let mut results: Vec<Option<RankOut<R>>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, mut comm) in comms.drain(..).enumerate() {
+                let sched = sched.clone();
                 handles.push((
                     rank,
                     scope.spawn(move || {
                         if traced {
                             comm.attach_sink(Box::new(MemorySink::new()));
                         }
+                        if let Some(sched) = &sched {
+                            comm.attach_scheduler(Arc::clone(sched));
+                            sched.acquire(rank, 0.0);
+                        }
                         let r = f(&mut comm);
+                        if let Some(sched) = &sched {
+                            sched.release(rank);
+                        }
                         let spans = comm
                             .detach_sink()
                             .map(|mut s| s.drain())
@@ -386,6 +420,60 @@ mod tests {
         for (rank, t) in out.results.iter().enumerate() {
             assert!(*t >= 1.0, "rank {rank} left the barrier at {t}");
         }
+    }
+
+    #[test]
+    fn outcome_is_bit_identical_under_every_exec_policy() {
+        use crate::exec::ExecPolicy;
+        // A job exercising point-to-point traffic, collectives and
+        // skewed compute, so clocks, stats and results all depend on the
+        // full message schedule.
+        let job = |comm: &mut crate::comm::Comm| {
+            let rank = comm.rank();
+            let n = comm.nranks();
+            comm.compute(1e6 * (1 + rank % 3) as f64);
+            if n > 1 {
+                let next = (rank + 1) % n;
+                let prev = (rank + n - 1) % n;
+                comm.send_f64s(next, 11, &[rank as f64]);
+                let got = comm.recv_f64s(prev, 11);
+                assert_eq!(got, vec![prev as f64]);
+            }
+            let sum = comm.allreduce_sum(&[comm.now(), rank as f64]);
+            comm.barrier();
+            (sum, comm.now())
+        };
+        for n in [1usize, 4, 8, 24] {
+            let reference = small_cluster(n).with_exec(ExecPolicy::Unbounded).run(job);
+            for policy in [
+                ExecPolicy::Sequential,
+                ExecPolicy::Parallel { workers: 2 },
+                ExecPolicy::Parallel { workers: 8 },
+            ] {
+                let out = small_cluster(n).with_exec(policy).run(job);
+                assert_eq!(out.results, reference.results, "{policy:?} at {n} ranks");
+                assert_eq!(out.clocks, reference.clocks, "{policy:?} at {n} ranks");
+                assert_eq!(out.stats, reference.stats, "{policy:?} at {n} ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_executor_supports_tracing_identically() {
+        use crate::exec::ExecPolicy;
+        let job = |comm: &mut crate::comm::Comm| {
+            let s = comm.allreduce_sum(&[comm.rank() as f64]);
+            comm.compute(2e6);
+            comm.barrier();
+            s[0]
+        };
+        let plain = small_cluster(8).with_exec(ExecPolicy::Sequential).run(job);
+        let (traced, trace) = small_cluster(8)
+            .with_exec(ExecPolicy::Parallel { workers: 3 })
+            .run_traced(job);
+        assert_eq!(plain.clocks, traced.clocks);
+        assert_eq!(plain.results, traced.results);
+        assert_eq!(trace.ranks.len(), 8);
     }
 
     #[test]

@@ -18,6 +18,18 @@
 //! [`history`] carries the Table 4 machine records; [`report`] renders
 //! every table in the paper's layout; [`hpl`] runs a distributed
 //! Linpack on the simulated machines (the §4 Top500 tie-in).
+//!
+//! # Example
+//!
+//! ```
+//! // Table 4: the historical treecode ladder with the MetaBlade rows
+//! // added from the calibrated sustained rate, sorted by per-CPU Mflops.
+//! let rows = mb_core::experiments::table4();
+//! assert!(rows.iter().any(|r| r.machine.contains("MetaBlade")));
+//! assert!(rows
+//!     .windows(2)
+//!     .all(|w| w[0].mflops_per_proc() >= w[1].mflops_per_proc()));
+//! ```
 
 pub mod experiments;
 pub mod history;

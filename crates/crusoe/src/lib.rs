@@ -34,6 +34,24 @@
 //! * [`kernels`] — the gravitational microkernel (math-sqrt and Karp-sqrt
 //!   variants) as guest programs, used to regenerate Table 1;
 //! * [`disasm`] — disassembly and molecule-schedule dumps.
+//!
+//! # Example
+//!
+//! ```
+//! use mb_crusoe::cms::{Cms, CmsConfig};
+//! use mb_crusoe::kernels::{build_microkernel, MicrokernelVariant};
+//! use mb_microkernel::MicrokernelInput;
+//!
+//! // Run the Karp-sqrt gravity microkernel (16 bodies × 4 sweeps) under
+//! // the Code Morphing Software: the hot loop gets translated to VLIW
+//! // molecules and the repeat sweeps amortize the translation cost.
+//! let mk = build_microkernel(MicrokernelVariant::KarpSqrt, 16, 4);
+//! let mut state = mk.setup_state(&MicrokernelInput::generate(16));
+//! let mut cms = Cms::new(CmsConfig::metablade());
+//! let stats = cms.run(&mk.program, &mut state).expect("no mem faults");
+//! assert!(stats.translated_insns > 0, "hot loop should be translated");
+//! assert!(stats.total_cycles > 0);
+//! ```
 
 pub mod atoms;
 pub mod cms;

@@ -21,6 +21,19 @@
 //! schedules); [`topper`] computes the derived ratios; [`space`] models
 //! footprints including the 240-node scale-up of footnote 5; [`report`]
 //! renders the paper's exact table layouts.
+//!
+//! # Example
+//!
+//! ```
+//! use mb_metrics::{perf_power_gflop_per_kw, price_performance, topper};
+//!
+//! // The paper's §4 arithmetic: acquisition price-performance can favor
+//! // the traditional cluster while TCO-based ToPPeR favors the blades,
+//! // and performance/power is where low-wattage nodes win outright.
+//! let metablade = topper(211_000.0, 2.1); // $/Mflops on TCO
+//! assert!(metablade > price_performance(89_000.0, 2.1));
+//! assert!(perf_power_gflop_per_kw(2.1, 0.52) > perf_power_gflop_per_kw(2.1, 1.8));
+//! ```
 
 pub mod costs;
 pub mod report;

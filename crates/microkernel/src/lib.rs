@@ -24,6 +24,19 @@
 //! guest-ISA programs in `mb-crusoe::kernels` so they can be timed on the
 //! simulated Transmeta CMS/VLIW processor and the hardware CPU models,
 //! which is how Table 1 of the paper is regenerated.
+//!
+//! # Example
+//!
+//! ```
+//! use mb_microkernel::{rsqrt_karp, rsqrt_math};
+//!
+//! // Karp's adds-and-multiplies-only rsqrt agrees with the math library
+//! // to working precision after its Newton–Raphson polish.
+//! for x in [0.5, 1.0, 2.75, 1.0e6] {
+//!     let exact = rsqrt_math(x);
+//!     assert!((rsqrt_karp(x) - exact).abs() <= 1e-9 * exact);
+//! }
+//! ```
 
 pub mod karp;
 pub mod kernel;

@@ -27,6 +27,20 @@
 //! itself, and returns an operation-mix profile
 //! ([`mb_crusoe::hardware::OpMix`]) which the era CPU models turn into
 //! the per-architecture Mop/s of Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use mb_npb::is::Is;
+//! use mb_npb::{Class, NpbKernel};
+//!
+//! // IS class S: the NPB integer sort at sample size, self-verified
+//! // (full key-ranking check), returning the operation mix the era CPU
+//! // models price into Mop/s.
+//! let result = Is::new(Class::S).run();
+//! assert!(result.verified);
+//! assert!(result.mix.total_ops() > 0);
+//! ```
 
 pub mod bt;
 pub mod cg;

@@ -1,0 +1,67 @@
+//! Collision-free artifact naming.
+//!
+//! The experiment binaries used to write fixed filenames
+//! (`run_all.trace.json`, `treecode24.trace.json`), so two runs sharing
+//! one artifact directory — a parallel bench sweep, or CI jobs racing on
+//! a cache — silently overwrote each other's traces. Every artifact
+//! filename now embeds a [`run_id`]: seconds since the Unix epoch, the
+//! host process id, and a per-process sequence number. Any two artifacts
+//! written by the same process, by two processes on one host, or by runs
+//! started in the same second therefore get distinct names; the binaries
+//! print the chosen path, which is the authoritative way to find it.
+//!
+//! [`artifact_stem`] is the standard shape: `{run}-r{ranks}-{run_id}`,
+//! keeping the simulated rank count greppable in directory listings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique run identifier: `{unix_secs}-{pid}-{seq}`.
+///
+/// Monotonic within a process (the trailing sequence number) and unique
+/// across processes on one host (the pid), so filenames built from it
+/// never collide even when runs start in the same second.
+pub fn run_id() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let pid = std::process::id();
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("{secs}-{pid}-{seq}")
+}
+
+/// The standard artifact filename stem: `{run}-r{ranks}-{run_id}`.
+///
+/// Append the artifact kind and extension yourself
+/// (`format!("{stem}.trace.json")`).
+pub fn artifact_stem(run: &str, ranks: usize) -> String {
+    format!("{run}-r{ranks}-{}", run_id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_are_unique_within_a_process() {
+        let a = run_id();
+        let b = run_id();
+        assert_ne!(a, b, "consecutive run ids must differ");
+    }
+
+    #[test]
+    fn stem_embeds_run_name_and_rank_count() {
+        let stem = artifact_stem("treecode", 24);
+        assert!(stem.starts_with("treecode-r24-"), "got {stem}");
+        // Three id fields after the stem prefix: secs, pid, seq.
+        let id = stem.trim_start_matches("treecode-r24-");
+        assert_eq!(id.split('-').count(), 3, "got {id}");
+    }
+
+    #[test]
+    fn stems_for_identical_runs_do_not_collide() {
+        assert_ne!(artifact_stem("run_all", 24), artifact_stem("run_all", 24));
+    }
+}

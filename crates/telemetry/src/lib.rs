@@ -22,13 +22,33 @@
 //! * [`manifest`] — the machine-readable run manifest JSON emitted by
 //!   the experiment binaries;
 //! * [`json`] — the dependency-free JSON writer/parser underneath the
-//!   exporters.
+//!   exporters;
+//! * [`artifact`] — collision-free artifact filenames (run ids embedding
+//!   time, pid and a sequence number) so concurrent runs sharing one
+//!   artifact directory never overwrite each other.
 //!
 //! The crate deliberately has **no dependencies** (std only) and no
 //! knowledge of the simulator's types: `mb-cluster`, `mb-crusoe` and
 //! the drivers adapt their own statistics into these structures, so the
 //! telemetry layer can never create a dependency cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use mb_telemetry::{Json, Registry};
+//!
+//! // Count per-rank events into a registry …
+//! let mut reg = Registry::new();
+//! reg.count("comm.sends", "rank=0", 3);
+//! reg.count("comm.sends", "rank=0", 2);
+//! assert_eq!(reg.counter_value("comm.sends", "rank=0"), Some(5));
+//!
+//! // … and round-trip a document through the built-in JSON layer.
+//! let doc = Json::obj([("sends", Json::Num(5.0))]);
+//! assert_eq!(mb_telemetry::json::parse(&doc.to_string()), Ok(doc));
+//! ```
 
+pub mod artifact;
 pub mod chrome;
 pub mod json;
 pub mod manifest;

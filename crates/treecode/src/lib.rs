@@ -39,6 +39,31 @@
 //!   "3000 lines interfaced to the same treecode library" of §3.5.1);
 //! * [`vortex`] — the vortex particle method (Biot–Savart via the tree,
 //!   the Salmon–Warren–Winckelmans application).
+//!
+//! # Example
+//!
+//! ```
+//! use mb_treecode::{build_tree, direct_forces, plummer, tree_forces};
+//! use mb_treecode::{BoundingBox, Mac};
+//!
+//! // Tree-walk forces on a small Plummer sphere agree with O(N²)
+//! // direct summation to the multipole acceptance criterion's bound.
+//! let mut bodies = plummer(256, 7);
+//! let bb = BoundingBox::containing(&bodies.pos);
+//! let tree = build_tree(&mut bodies, bb, 8);
+//! tree_forces(&mut bodies, &tree, &Mac::standard(), 1e-4);
+//! let approx = bodies.acc.clone();
+//! direct_forces(&mut bodies, 1e-4);
+//! let max_err = approx
+//!     .iter()
+//!     .zip(&bodies.acc)
+//!     .map(|(t, d)| {
+//!         let e: f64 = (0..3).map(|k| (t[k] - d[k]).powi(2)).sum();
+//!         e.sqrt()
+//!     })
+//!     .fold(0.0, f64::max);
+//! assert!(max_err < 0.1, "max |Δa| = {max_err}");
+//! ```
 
 pub mod body;
 pub mod build;

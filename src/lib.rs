@@ -15,6 +15,17 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and per-experiment index.
+//!
+//! # Example
+//!
+//! ```
+//! // One façade over the whole reproduction: run an SPMD job on a
+//! // 4-node slice of the simulated MetaBlade.
+//! let spec = metablade::cluster::spec::metablade().with_nodes(4);
+//! let out = metablade::cluster::Cluster::new(spec).run(|comm| comm.rank());
+//! assert_eq!(out.results, vec![0, 1, 2, 3]);
+//! assert!(out.makespan_s() >= 0.0);
+//! ```
 
 pub use mb_cluster as cluster;
 pub use mb_core as core;
