@@ -82,39 +82,10 @@ pub fn unix_time_s() -> u64 {
         .unwrap_or(0)
 }
 
-/// Incremental FNV-1a hasher for outcome fingerprints.
-pub struct Fnv(u64);
-
-impl Fnv {
-    /// A fresh hasher at the FNV offset basis.
-    pub fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    /// Fold in one u64, little-endian.
-    pub fn write_u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    /// Fold in one f64's exact bit pattern.
-    pub fn write_f64(&mut self, v: f64) {
-        self.write_u64(v.to_bits());
-    }
-
-    /// The digest.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+// The hasher moved to `mb_telemetry::fnv` (PR 5) so `mb-sched` can
+// fingerprint outcomes without depending on the bench harness;
+// re-exported here to keep this module's API stable.
+pub use mb_telemetry::fnv::Fnv;
 
 /// Fold per-rank [`CommStats`] into a fingerprint: every counter and
 /// every virtual-time accumulator, bit-exact.
@@ -441,17 +412,5 @@ mod tests {
             let g = b.get("gflops").and_then(Json::as_f64).unwrap();
             assert!(g > 0.0, "gflops must be positive, got {g}");
         }
-    }
-
-    #[test]
-    fn fnv_distinguishes_bit_patterns() {
-        let mut a = Fnv::new();
-        a.write_f64(0.0);
-        let mut b = Fnv::new();
-        b.write_f64(-0.0); // same value, different bits — must differ
-        assert_ne!(a.finish(), b.finish());
-        let mut c = Fnv::new();
-        c.write_f64(0.0);
-        assert_eq!(a.finish(), c.finish());
     }
 }

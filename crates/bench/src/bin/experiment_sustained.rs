@@ -1,6 +1,6 @@
 //! §3.3 headline experiment: sustained Gflops and fraction of peak on
 //! MetaBlade (paper: 2.1 Gflops = 14% of 15.2-Gflops peak) and
-//! MetaBlade2 (3.3 Gflops). argv[1]: body count (default 50,000).
+//! MetaBlade2 (3.3 Gflops). argv\[1\]: body count (default 50,000).
 
 use mb_cluster::spec::{metablade, metablade2};
 

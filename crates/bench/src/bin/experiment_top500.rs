@@ -1,7 +1,7 @@
 //! §4's Top500 critique, made quantitative: rank the study's machines by
 //! Linpack Gflops (the Top500 metric) and then by ToPPeR and
 //! performance/power — the orderings disagree, which is the paper's
-//! point. argv[1]: matrix order for the native verification run
+//! point. argv\[1\]: matrix order for the native verification run
 //! (default 256).
 
 use mb_core::experiments::tm5600_analytic;

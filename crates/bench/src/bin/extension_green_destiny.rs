@@ -1,7 +1,7 @@
 //! Run the full 240-node Green Destiny rack (§4.2's "recently-ordered
 //! 240-node Bladed Beowulf ... in the same footprint as MetaBlade"):
 //! 240 simulated ranks, one rack, six square feet.
-//! argv[1]: bodies (default 100,000).
+//! argv\[1\]: bodies (default 100,000).
 
 use mb_cluster::machine::Cluster;
 use mb_cluster::spec::green_destiny;

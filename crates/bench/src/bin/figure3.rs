@@ -1,5 +1,5 @@
 //! Regenerate Figure 3: density image of a gravitational N-body
-//! simulation. argv: [n_bodies] [steps] [pixels] (defaults 20000 60 96).
+//! simulation. argv: \[n_bodies\] \[steps\] \[pixels\] (defaults 20000 60 96).
 //! Writes figure3.pgm and prints an ASCII rendering.
 
 fn main() {

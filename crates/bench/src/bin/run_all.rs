@@ -7,28 +7,28 @@ use mb_npb::Class;
 fn main() {
     println!("=== Honey, I Shrunk the Beowulf! — full reproduction run ===\n");
     let t1 = mb_core::experiments::table1();
-    print!("{}\n", mb_core::report::render_table1(&t1));
+    println!("{}", mb_core::report::render_table1(&t1));
     let n2: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(30_000);
     let t2 = mb_core::experiments::table2(n2);
-    print!("{}\n", mb_core::report::render_table2(&t2));
+    println!("{}", mb_core::report::render_table2(&t2));
     let class = match std::env::args().nth(2).as_deref() {
         Some("W") => Class::W,
         _ => Class::S,
     };
     let t3 = mb_core::experiments::table3(class);
-    print!("{}\n", mb_core::report::render_table3(&t3, class));
+    println!("{}", mb_core::report::render_table3(&t3, class));
     let t4 = mb_core::experiments::table4();
-    print!("{}\n", mb_core::report::render_table4(&t4));
-    print!(
-        "{}\n",
+    println!("{}", mb_core::report::render_table4(&t4));
+    println!(
+        "{}",
         mb_metrics::report::render_table5(&CostConstants::default())
     );
     let machines = mb_core::experiments::table67_machines();
-    print!("{}\n", mb_metrics::report::render_table6(&machines));
-    print!("{}\n", mb_metrics::report::render_table7(&machines));
+    println!("{}", mb_metrics::report::render_table6(&machines));
+    println!("{}", mb_metrics::report::render_table7(&machines));
     let img = mb_core::experiments::figure3(8_000, 30, 64);
     println!("Figure 3 (ASCII density projection):\n{}", img.to_ascii());
 

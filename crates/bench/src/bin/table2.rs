@@ -1,5 +1,5 @@
 //! Regenerate Table 2: scalability of the N-body simulation on the
-//! MetaBlade Bladed Beowulf. Body count via argv[1] (default 50,000).
+//! MetaBlade Bladed Beowulf. Body count via argv\[1\] (default 50,000).
 
 fn main() {
     let n: usize = std::env::args()

@@ -1,4 +1,4 @@
-//! Regenerate Table 3: single-processor NPB 2.3 Mop/s. Class via argv[1]
+//! Regenerate Table 3: single-processor NPB 2.3 Mop/s. Class via argv\[1\]
 //! (S|W|A, default W — the paper's configuration).
 
 use mb_npb::Class;

@@ -18,32 +18,18 @@
 
 pub mod baseline;
 
-use std::io::Write;
-use std::path::{Path, PathBuf};
-
 use mb_cluster::power;
 use mb_cluster::spec::ClusterSpec;
 use mb_telemetry::manifest::RunManifest;
 use mb_treecode::parallel::StepReport;
 
+// Artifact placement moved into the telemetry layer (PR 5) so non-bench
+// binaries (`sched_sim`) share the same convention; re-exported here to
+// keep the experiment binaries' imports stable.
+pub use mb_telemetry::artifact::{artifact_dir, write_artifact};
+
 /// Power samples recorded into a run manifest's `power.watts` series.
 pub const POWER_SAMPLES: usize = 64;
-
-/// Artifact directory: `$MB_TELEMETRY_DIR`, or `./traces`.
-pub fn artifact_dir() -> PathBuf {
-    std::env::var_os("MB_TELEMETRY_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("traces"))
-}
-
-/// Write one artifact under `dir` (created if needed); returns its path.
-pub fn write_artifact(dir: &Path, name: &str, contents: &str) -> std::io::Result<PathBuf> {
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(name);
-    let mut f = std::fs::File::create(&path)?;
-    f.write_all(contents.as_bytes())?;
-    Ok(path)
-}
 
 /// The standard manifest of one distributed treecode step: per-rank
 /// time summary, per-rank traffic counters, sampled power draw, and the

@@ -46,7 +46,7 @@ use std::sync::{Condvar, Mutex};
 /// The default comes from the `MB_PARALLEL` environment variable:
 /// unset/empty → `Unbounded`, `0`/`seq`/`sequential` → `Sequential`,
 /// `N` → `Parallel { workers: N }`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecPolicy {
     /// One rank makes progress at a time (reference engine).
     Sequential,
@@ -56,13 +56,8 @@ pub enum ExecPolicy {
         workers: usize,
     },
     /// Every rank is runnable at all times (one OS thread each).
+    #[default]
     Unbounded,
-}
-
-impl Default for ExecPolicy {
-    fn default() -> Self {
-        ExecPolicy::Unbounded
-    }
 }
 
 impl ExecPolicy {

@@ -29,6 +29,9 @@
 //!   [`machine::Cluster::run_traced`] additionally captures a span trace
 //!   of every rank (see the `mb-telemetry` crate) ready for Chrome
 //!   `trace_event` export;
+//! * [`partition`] — node-subset allocation ([`NodeSet`]) and partitioned
+//!   runs ([`machine::Cluster::run_on`]): the substrate the `mb-sched`
+//!   batch workload manager schedules jobs onto;
 //! * [`power`] — node and cluster power accounting (load/idle, cooling),
 //!   plus sampled power series recorded into a telemetry registry;
 //! * [`thermal`] — ambient → component temperature model;
@@ -62,6 +65,7 @@ pub mod comm;
 pub mod exec;
 pub mod machine;
 pub mod network;
+pub mod partition;
 pub mod power;
 pub mod reliability;
 pub mod spec;
@@ -72,4 +76,5 @@ pub use comm::{Comm, CommStats, PeerTraffic};
 pub use exec::ExecPolicy;
 pub use machine::{Cluster, SpmdOutcome};
 pub use network::NetworkModel;
+pub use partition::NodeSet;
 pub use spec::{cluster_catalog, ClusterSpec, CpuSpec, NetworkSpec, NodeSpec, PackagingKind};

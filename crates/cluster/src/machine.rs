@@ -684,9 +684,9 @@ mod telemetry_tests {
         }
         // The traffic matrix agrees with the per-rank totals.
         let m = out.traffic_matrix();
-        for src in 0..n {
+        for (src, row) in m.iter().enumerate() {
             assert_eq!(
-                m[src].iter().sum::<u64>(),
+                row.iter().sum::<u64>(),
                 out.stats[src].bytes_sent,
                 "row {src} sums to bytes_sent"
             );

@@ -1,0 +1,174 @@
+//! Node-subset allocation and partitioned runs — the machine-side
+//! support for multi-job scheduling (`mb-sched`).
+//!
+//! A [`NodeSet`] names a concrete subset of a cluster's nodes;
+//! [`Cluster::run_on`] runs an SPMD job on exactly that subset. The
+//! catalog machines are homogeneous and star-networked (every node one
+//! link from the switch), so a job's *virtual-time* behaviour depends
+//! only on how many nodes it holds, never on which ones — the subset is
+//! simulated as a right-sized sub-cluster, while callers keep the
+//! concrete ids for occupancy bookkeeping (free lists, failure
+//! attribution, per-node trace tracks).
+
+use crate::comm::Comm;
+use crate::machine::{Cluster, SpmdOutcome};
+
+/// A sorted, duplicate-free set of node ids within a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    ids: Vec<usize>,
+}
+
+impl NodeSet {
+    /// Build a set from arbitrary ids (sorted and deduplicated).
+    pub fn new(mut ids: Vec<usize>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        NodeSet { ids }
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the set holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The node ids, ascending.
+    pub fn ids(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// Membership test.
+    pub fn contains(&self, node: usize) -> bool {
+        self.ids.binary_search(&node).is_ok()
+    }
+
+    /// Allocate `want` nodes from a free mask (`free[i]` ⇔ node `i` is
+    /// allocatable), lowest ids first. Returns `None` when fewer than
+    /// `want` nodes are free. Lowest-first keeps allocation a pure
+    /// function of the mask, which the scheduler's determinism contract
+    /// relies on.
+    pub fn alloc_lowest(free: &[bool], want: usize) -> Option<NodeSet> {
+        if want == 0 {
+            return None;
+        }
+        let ids: Vec<usize> = free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .take(want)
+            .collect();
+        (ids.len() == want).then_some(NodeSet { ids })
+    }
+}
+
+impl Cluster {
+    /// Run an SPMD job on a subset of this cluster's nodes: rank `i` of
+    /// the job executes on node `nodes.ids()[i]`. Inherits the cluster's
+    /// executor policy; the outcome is bit-identical under every
+    /// [`crate::ExecPolicy`], exactly as [`Cluster::run`].
+    ///
+    /// Because the catalog machines are homogeneous with a star network,
+    /// the job is simulated as a `nodes.len()`-node sub-cluster of the
+    /// same spec — which nodes were picked affects occupancy accounting
+    /// only, never virtual time.
+    ///
+    /// Panics when `nodes` is empty or names a node outside the spec.
+    pub fn run_on<R, F>(&self, nodes: &NodeSet, f: F) -> SpmdOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        assert!(!nodes.is_empty(), "run_on needs at least one node");
+        let max = *nodes.ids().last().expect("non-empty");
+        assert!(
+            max < self.spec().nodes,
+            "node {max} outside spec '{}' ({} nodes)",
+            self.spec().name,
+            self.spec().nodes
+        );
+        Cluster::new(self.spec().with_nodes(nodes.len()))
+            .with_exec(self.exec())
+            .run(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecPolicy;
+    use crate::spec::metablade;
+
+    #[test]
+    fn node_set_sorts_and_dedups() {
+        let s = NodeSet::new(vec![7, 2, 7, 0]);
+        assert_eq!(s.ids(), &[0, 2, 7]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn alloc_lowest_picks_lowest_free_ids() {
+        let free = vec![false, true, true, false, true, true];
+        let s = NodeSet::alloc_lowest(&free, 3).unwrap();
+        assert_eq!(s.ids(), &[1, 2, 4]);
+        assert!(NodeSet::alloc_lowest(&free, 5).is_none());
+        assert!(NodeSet::alloc_lowest(&free, 0).is_none());
+    }
+
+    #[test]
+    fn run_on_subset_matches_equal_sized_cluster() {
+        let cluster = Cluster::new(metablade()).with_exec(ExecPolicy::Sequential);
+        let job = |comm: &mut Comm| {
+            comm.compute(1e6 * (comm.rank() + 1) as f64);
+            let s = comm.allreduce_sum(&[comm.rank() as f64]);
+            (s[0], comm.now())
+        };
+        // Which ids are held must not matter: {3, 11, 17, 22} behaves
+        // exactly like a fresh 4-node MetaBlade.
+        let subset = cluster.run_on(&NodeSet::new(vec![22, 3, 17, 11]), job);
+        let reference = Cluster::new(metablade().with_nodes(4))
+            .with_exec(ExecPolicy::Sequential)
+            .run(job);
+        assert_eq!(subset.results, reference.results);
+        assert_eq!(subset.clocks, reference.clocks);
+    }
+
+    #[test]
+    fn run_on_is_exec_policy_invariant() {
+        let job = |comm: &mut Comm| {
+            let n = comm.nranks();
+            let rank = comm.rank();
+            comm.compute(5e5 * (1 + rank % 3) as f64);
+            if n > 1 {
+                comm.send_f64s((rank + 1) % n, 9, &[rank as f64]);
+                let _ = comm.recv_f64s((rank + n - 1) % n, 9);
+            }
+            comm.barrier();
+            comm.now()
+        };
+        let nodes = NodeSet::new(vec![0, 5, 9, 13, 21]);
+        let reference = Cluster::new(metablade())
+            .with_exec(ExecPolicy::Unbounded)
+            .run_on(&nodes, job);
+        for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel { workers: 2 }] {
+            let out = Cluster::new(metablade())
+                .with_exec(policy)
+                .run_on(&nodes, job);
+            assert_eq!(out.clocks, reference.clocks, "{policy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside spec")]
+    fn run_on_rejects_out_of_range_nodes() {
+        let cluster = Cluster::new(metablade().with_nodes(4));
+        cluster.run_on(&NodeSet::new(vec![0, 4]), |comm| comm.rank());
+    }
+}

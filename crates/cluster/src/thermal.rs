@@ -3,7 +3,7 @@
 //! A simple steady-state thermal-resistance model: a component running at
 //! `watts` above an ambient of `ambient_c` settles at
 //! `ambient + θ · watts`, where θ (°C/W) encodes heatsink + airflow. The
-//! paper's operational contrast: traditional Beowulfs "in [a] typical
+//! paper's operational contrast: traditional Beowulfs "in \[a\] typical
 //! office environment where the ambient temperature hovers around 75 °F"
 //! versus the Bladed Beowulf "in a dusty 80 °F environment" — the blades
 //! run cooler *despite* warmer ambient because each node dissipates so

@@ -10,7 +10,6 @@
 //! 1-D HPL; computation is charged at the node's sustained rate with the
 //! standard `2/3 n³` accounting.
 
-use bytes::Bytes;
 use mb_cluster::comm::{pack_f64s, unpack_f64s, Comm};
 use mb_cluster::machine::Cluster;
 use mb_npb::linpack::{dgetrf, linpack_flops, Dense};
@@ -152,7 +151,7 @@ fn run_rank(comm: &mut Comm, a: &Dense, n: usize, nb: usize) -> Vec<Vec<f64>> {
         if nb == 1 {
             let payload = if rank == owner_k {
                 let ik = local.iter().position(|(g, _)| *g == k).expect("own k");
-                Some(Bytes::from(pack_f64s(&local[ik].1[k..])))
+                Some(pack_f64s(&local[ik].1[k..]))
             } else {
                 None
             };
@@ -166,7 +165,7 @@ fn run_rank(comm: &mut Comm, a: &Dense, n: usize, nb: usize) -> Vec<Vec<f64>> {
             // panel rows with zero-length fillers outside the boundary.
             let payload = if rank == owner_k {
                 let ik = local.iter().position(|(g, _)| *g == k).expect("own k");
-                Some(Bytes::from(pack_f64s(&local[ik].1[k..])))
+                Some(pack_f64s(&local[ik].1[k..]))
             } else {
                 None
             };

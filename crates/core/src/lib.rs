@@ -9,8 +9,8 @@
 //! * [`experiments::table2`] — N-body scalability on MetaBlade;
 //! * [`experiments::table3`] — NPB class-W single-CPU Mop/s;
 //! * [`experiments::table4`] — historical treecode placing;
-//! * [`experiments::table5`] / [`experiments::table6`] /
-//!   [`experiments::table7`] — TCO, performance/space, performance/power;
+//! * [`experiments::table67_machines`] (with `mb_metrics::report`'s
+//!   renderers for Tables 5–7) — TCO, performance/space, performance/power;
 //! * [`experiments::figure3`] — the N-body density image;
 //! * [`experiments::sustained_gflops`] — the §3.3 2.1-Gflops/14%-of-peak
 //!   headline run.

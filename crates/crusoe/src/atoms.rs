@@ -59,7 +59,7 @@ impl Atom {
 pub struct CrackConfig {
     /// Core has a hardware FP square-root unit. Cores without one (the
     /// Crusoe VLIW, the Alpha EV56) expand `FSqrt` into a Newton–Raphson
-    /// software sequence — "particularly [slow] when the square root must
+    /// software sequence — "particularly \[slow\] when the square root must
     /// be performed in software" (§3.2).
     pub hw_sqrt: bool,
     /// Core has a hardware FP divider. Cores without one expand `FDiv`

@@ -1,6 +1,6 @@
 //! Molecules, atoms' operation kinds, and functional-unit classes.
 //!
-//! "In Transmeta's terminology, the Crusoe processor's VLIW [instruction]
+//! "In Transmeta's terminology, the Crusoe processor's VLIW \[instruction\]
 //! is called a *molecule*. Each molecule can be 64 bits or 128 bits long
 //! and can contain up to four RISC-like instructions called *atoms*, which
 //! are executed in parallel. The format of the molecule directly determines

@@ -18,7 +18,7 @@
 //! [`costs`] carries the paper's cost catalog for five comparably-equipped
 //! 24-node clusters (Alpha, Athlon, PIII, P4, TM5600); [`tco`] evaluates the
 //! TCO equations from first-principles inputs (watts, square feet, failure
-//! schedules); [`topper`] computes the derived ratios; [`space`] models
+//! schedules); [`mod@topper`] computes the derived ratios; [`space`] models
 //! footprints including the 240-node scale-up of footnote 5; [`report`]
 //! renders the paper's exact table layouts.
 //!

@@ -32,6 +32,18 @@ pub fn perf_power_gflop_per_kw(sustained_gflops: f64, power_kw: f64) -> f64 {
     sustained_gflops / power_kw
 }
 
+/// Throughput-per-TCO — the service-level extension of ToPPeR: jobs
+/// completed per hour per thousand TCO dollars (higher is better).
+///
+/// Where [`topper`] prices *sustained Mflops* (a machine property), this
+/// prices *delivered batch throughput* — the quantity the `mb-sched`
+/// workload manager measures when the same job stream is replayed on two
+/// machines at equal cost.
+pub fn throughput_per_tco(jobs_per_hour: f64, tco_dollars: f64) -> f64 {
+    assert!(tco_dollars > 0.0, "TCO must be positive");
+    jobs_per_hour / (tco_dollars / 1000.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +77,22 @@ mod tests {
     #[should_panic(expected = "performance must be positive")]
     fn zero_performance_is_rejected() {
         topper(1.0, 0.0);
+    }
+
+    #[test]
+    fn throughput_per_tco_scales_linearly() {
+        // 12 jobs/h at a $35K TCO ⇒ ≈ 0.343 jobs/h per $1K.
+        let blade = throughput_per_tco(12.0, 35_000.0);
+        assert!((blade - 12.0 / 35.0).abs() < 1e-12);
+        // Same throughput at triple the cost is worth a third as much.
+        assert!((throughput_per_tco(12.0, 105_000.0) - blade / 3.0).abs() < 1e-12);
+        // And doubling throughput at fixed cost doubles the metric.
+        assert_eq!(throughput_per_tco(24.0, 35_000.0), 2.0 * blade);
+    }
+
+    #[test]
+    #[should_panic(expected = "TCO must be positive")]
+    fn zero_tco_is_rejected() {
+        throughput_per_tco(1.0, 0.0);
     }
 }

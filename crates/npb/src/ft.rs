@@ -22,18 +22,22 @@ pub struct Cplx {
     pub im: f64,
 }
 
-impl Cplx {
-    /// Construct.
-    pub fn new(re: f64, im: f64) -> Self {
-        Self { re, im }
-    }
+impl std::ops::Mul for Cplx {
+    type Output = Cplx;
 
     /// Complex product.
-    pub fn mul(self, o: Cplx) -> Cplx {
+    fn mul(self, o: Cplx) -> Cplx {
         Cplx::new(
             self.re * o.re - self.im * o.im,
             self.re * o.im + self.im * o.re,
         )
+    }
+}
+
+impl Cplx {
+    /// Construct.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
     }
 
     /// Scale by a real.
@@ -69,10 +73,10 @@ pub fn fft_inplace(data: &mut [Cplx], sign: f64) {
             let mut w = Cplx::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let a = data[start + k];
-                let b = data[start + k + len / 2].mul(w);
+                let b = data[start + k + len / 2] * w;
                 data[start + k] = Cplx::new(a.re + b.re, a.im + b.im);
                 data[start + k + len / 2] = Cplx::new(a.re - b.re, a.im - b.im);
-                w = w.mul(wlen);
+                w = w * wlen;
             }
         }
         len <<= 1;

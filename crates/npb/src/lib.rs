@@ -28,6 +28,10 @@
 //! ([`mb_crusoe::hardware::OpMix`]) which the era CPU models turn into
 //! the per-architecture Mop/s of Table 3.
 //!
+//! The kernels are transcribed from the Fortran NPB sources and keep
+//! their index-style loops, where subscript arithmetic *is* the
+//! algorithm (pivoting, stencils, bit-reversed butterflies).
+//!
 //! # Example
 //!
 //! ```
@@ -41,6 +45,8 @@
 //! assert!(result.verified);
 //! assert!(result.mix.total_ops() > 0);
 //! ```
+
+#![allow(clippy::needless_range_loop)]
 
 pub mod bt;
 pub mod cg;

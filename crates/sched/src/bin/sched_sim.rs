@@ -1,0 +1,259 @@
+//! `sched_sim`: replay a seeded multi-job workload through the batch
+//! scheduler on a 24-node MetaBlade and on the largest traditional
+//! Beowulf affordable at the same TCO, under FCFS, EASY backfill and
+//! SJF. Verifies the determinism contract (run fingerprints identical
+//! across executor policies), asserts EASY strictly beats FCFS on
+//! utilization, and writes `BENCH_sched.json` plus a per-node Chrome
+//! occupancy trace into the artifact directory (`$MB_TELEMETRY_DIR`,
+//! default `./traces`).
+//!
+//! `--smoke` runs a smaller workload with aggressive failure injection
+//! across three executors — the CI gate.
+
+use mb_cluster::{Cluster, ClusterSpec, ExecPolicy};
+use mb_sched::report::{
+    equal_tco_nodes, metablade_tco, occupancy_chrome, policy_row, traditional_tco, SCHEMA,
+};
+use mb_sched::{
+    generate, simulate, workload, EasyBackfill, FailureConfig, Fcfs, SchedConfig, SchedPolicy,
+    ServiceModel, SimReport, Sjf, WorkloadConfig,
+};
+use mb_telemetry::artifact::{artifact_dir, artifact_stem, write_artifact};
+use mb_telemetry::Json;
+
+fn unix_time_s() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn policies() -> [&'static dyn SchedPolicy; 3] {
+    [&Fcfs, &EasyBackfill, &Sjf]
+}
+
+/// Run every policy on `spec` under each executor in `execs`, asserting
+/// per-policy fingerprints are identical across executors. Returns the
+/// reports from the first executor.
+fn run_cluster(
+    spec: &ClusterSpec,
+    wl: &[mb_sched::JobSpec],
+    cfg: &SchedConfig,
+    execs: &[ExecPolicy],
+) -> Vec<SimReport> {
+    assert!(!execs.is_empty());
+    let mut reference: Vec<SimReport> = Vec::new();
+    for (ei, &exec) in execs.iter().enumerate() {
+        let cluster = Cluster::new(spec.clone()).with_exec(exec);
+        let service = ServiceModel::new(&cluster);
+        for (pi, policy) in policies().into_iter().enumerate() {
+            let rep = simulate(&service, policy, wl, cfg);
+            if ei == 0 {
+                reference.push(rep);
+            } else {
+                assert_eq!(
+                    rep.fingerprint,
+                    reference[pi].fingerprint,
+                    "fingerprint for '{}' on '{}' diverged under {exec:?}",
+                    policy.name(),
+                    spec.name,
+                );
+            }
+        }
+    }
+    reference
+}
+
+fn print_table(label: &str, reports: &[SimReport], tco: f64) {
+    println!("\n{label} (TCO ${tco:.0}):");
+    println!(
+        "  {:<6} {:>11} {:>6} {:>9} {:>9} {:>8} {:>5} {:>5} {:>12}",
+        "policy",
+        "makespan_s",
+        "util",
+        "wait_s",
+        "slowdown",
+        "jobs/h",
+        "fail",
+        "requ",
+        "j/h per $K"
+    );
+    for r in reports {
+        println!(
+            "  {:<6} {:>11.0} {:>6.3} {:>9.0} {:>9.2} {:>8.2} {:>5} {:>5} {:>12.4}",
+            r.policy,
+            r.makespan_s,
+            r.utilization,
+            r.mean_wait_s,
+            r.mean_slowdown,
+            r.jobs_per_hour,
+            r.failures,
+            r.requeues,
+            r.jobs_per_hour / (tco / 1000.0),
+        );
+    }
+}
+
+fn workload_json(wl: &WorkloadConfig) -> Json {
+    Json::obj([
+        ("jobs", Json::Num(wl.jobs as f64)),
+        ("seed", Json::Num(wl.seed as f64)),
+        ("mean_interarrival_s", Json::Num(wl.mean_interarrival_s)),
+        ("max_ranks", Json::Num(wl.max_ranks as f64)),
+    ])
+}
+
+fn failure_json(f: &FailureConfig) -> Json {
+    Json::obj([
+        ("temp_c", Json::Num(f.temp_c)),
+        ("accel", Json::Num(f.accel)),
+        ("repair_s", Json::Num(f.repair_s)),
+        ("seed", Json::Num(f.seed as f64)),
+    ])
+}
+
+fn cluster_section(name: &str, nodes: usize, tco: f64, reports: &[SimReport]) -> Json {
+    Json::obj([
+        ("name", Json::str(name.to_string())),
+        ("nodes", Json::Num(nodes as f64)),
+        ("tco_dollars", Json::Num(tco)),
+        (
+            "policies",
+            Json::Arr(reports.iter().map(|r| policy_row(r, tco, true)).collect()),
+        ),
+    ])
+}
+
+fn run(wl_cfg: &WorkloadConfig, cfg: &SchedConfig, execs: &[ExecPolicy], smoke: bool) {
+    let wl = generate(wl_cfg);
+
+    let blade_spec = mb_cluster::spec::metablade();
+    let blade_tco = metablade_tco();
+    let trad_nodes = equal_tco_nodes(blade_tco);
+    let trad_spec = mb_cluster::spec::traditional_piii().with_nodes(trad_nodes);
+    let trad_tco = traditional_tco(trad_nodes);
+
+    println!(
+        "sched_sim: {} jobs (seed {}), MetaBlade {} nodes vs traditional {} nodes at equal TCO (${:.0} vs ${:.0})",
+        wl.len(),
+        wl_cfg.seed,
+        blade_spec.nodes,
+        trad_nodes,
+        blade_tco,
+        trad_tco,
+    );
+
+    let blade_reports = run_cluster(&blade_spec, &wl, cfg, execs);
+    let trad_reports = run_cluster(&trad_spec, &wl, cfg, execs);
+
+    let fcfs = &blade_reports[0];
+    let easy = &blade_reports[1];
+    assert!(
+        easy.utilization > fcfs.utilization,
+        "EASY backfill must strictly beat FCFS utilization on MetaBlade: easy={} fcfs={}",
+        easy.utilization,
+        fcfs.utilization,
+    );
+    if smoke {
+        let requeues: u32 = blade_reports.iter().map(|r| r.requeues).sum();
+        assert!(requeues > 0, "smoke failure injection produced no requeue");
+    }
+
+    print_table(&blade_spec.name, &blade_reports, blade_tco);
+    print_table(&trad_spec.name, &trad_reports, trad_tco);
+
+    let doc = Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("created_unix_s", Json::Num(unix_time_s() as f64)),
+        ("host_threads", Json::Num(host_threads() as f64)),
+        ("smoke", Json::Bool(smoke)),
+        ("workload", workload_json(wl_cfg)),
+        (
+            "checkpoint",
+            Json::obj([
+                ("checkpoint_h", Json::Num(cfg.checkpoint.checkpoint_h)),
+                ("restart_h", Json::Num(cfg.checkpoint.restart_h)),
+            ]),
+        ),
+        (
+            "failure",
+            match &cfg.failure {
+                Some(f) => failure_json(f),
+                None => Json::Null,
+            },
+        ),
+        (
+            "clusters",
+            Json::Arr(vec![
+                cluster_section(
+                    &blade_spec.name,
+                    blade_spec.nodes,
+                    blade_tco,
+                    &blade_reports,
+                ),
+                cluster_section(&trad_spec.name, trad_spec.nodes, trad_tco, &trad_reports),
+            ]),
+        ),
+    ]);
+
+    let dir = artifact_dir();
+    match write_artifact(&dir, "BENCH_sched.json", &doc.to_string()) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_sched.json: {e}"),
+    }
+    let trace = occupancy_chrome(&easy.occupancy, blade_spec.nodes);
+    let stem = artifact_stem("sched_easy", blade_spec.nodes);
+    match write_artifact(&dir, &format!("{stem}.trace.json"), &trace) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: could not write occupancy trace: {e}"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        // Small, failure-heavy, and swept across three executors: the
+        // CI determinism gate.
+        let wl = WorkloadConfig {
+            jobs: 80,
+            seed: 7,
+            mean_interarrival_s: 75.0,
+            max_ranks: 24,
+        };
+        let cfg = SchedConfig {
+            failure: Some(FailureConfig::accelerated(4000.0, 7)),
+            ..SchedConfig::default()
+        };
+        run(
+            &wl,
+            &cfg,
+            &[
+                ExecPolicy::Sequential,
+                ExecPolicy::Parallel { workers: 4 },
+                ExecPolicy::Unbounded,
+            ],
+            true,
+        );
+        println!("\nsmoke OK: fingerprints identical across executors, EASY > FCFS utilization");
+    } else {
+        let wl = workload::standard();
+        let cfg = SchedConfig {
+            failure: Some(FailureConfig::accelerated(400.0, 2002)),
+            ..SchedConfig::default()
+        };
+        // Environment-selected executor first (what the user asked
+        // for), Sequential as the determinism reference.
+        let env_exec = ExecPolicy::from_env();
+        let mut execs = vec![env_exec];
+        if env_exec != ExecPolicy::Sequential {
+            execs.push(ExecPolicy::Sequential);
+        }
+        run(&wl, &cfg, &execs, false);
+    }
+}

@@ -1,0 +1,717 @@
+//! The virtual-time scheduling engine.
+//!
+//! [`simulate`] drives a job stream through one cluster under one
+//! policy: a discrete-event loop over arrivals, completions, node
+//! failures (from [`mb_cluster::reliability::sample_failures`]) and
+//! repairs. Job service times come from a [`ServiceModel`] that lowers
+//! each distinct `(step pattern, width)` pair onto the simulated
+//! cluster exactly once via [`Cluster::run_on`]; checkpoint/restart
+//! overhead and failure rework follow the Young/Daly
+//! [`CheckpointModel`]. Everything is a pure function of its inputs —
+//! the run fingerprint is bit-identical under every `MB_PARALLEL`
+//! executor setting, which is the determinism contract tested in
+//! `tests/acceptance.rs` and documented in DESIGN.md §10.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use mb_cluster::checkpoint::CheckpointModel;
+use mb_cluster::reliability::{sample_failures, FailureLaw};
+use mb_cluster::{Cluster, NodeSet};
+use mb_telemetry::{Fnv, Registry};
+
+use crate::job::{JobRecord, JobSpec, WorkModel};
+use crate::policy::{PolicyCtx, QueuedJob, RunningJob, SchedPolicy};
+
+/// Node-failure injection for a simulated run.
+///
+/// Failures are sampled over `accel` calendar years of the paper's
+/// failure process and compressed onto the workload's virtual-second
+/// timeline, so a multi-hour batch trace sees a realistic (rather than
+/// vanishing) number of events. The checkpoint interval uses the same
+/// accelerated MTBF, keeping the Young/Daly optimality condition
+/// consistent with the injected rate.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureConfig {
+    /// The failure process (rate and thermal law).
+    pub law: FailureLaw,
+    /// Component temperature, °C.
+    pub temp_c: f64,
+    /// Time-acceleration factor (≥ 1): `accel` years of failures are
+    /// mapped onto one year of virtual time.
+    pub accel: f64,
+    /// Node repair time after a failure, virtual seconds.
+    pub repair_s: f64,
+    /// Seed for the failure timeline.
+    pub seed: u64,
+}
+
+impl FailureConfig {
+    /// Paper-default law at a bladed enclosure's 45 °C, 30-minute
+    /// repairs, with the given acceleration and seed.
+    pub fn accelerated(accel: f64, seed: u64) -> Self {
+        assert!(accel > 0.0, "acceleration must be positive");
+        Self {
+            law: FailureLaw::paper_default(),
+            temp_c: 45.0,
+            accel,
+            repair_s: 1800.0,
+            seed,
+        }
+    }
+}
+
+/// Engine configuration: checkpointing parameters plus optional
+/// failure injection.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Checkpoint/restart cost model (Young/Daly).
+    pub checkpoint: CheckpointModel,
+    /// Failure injection; `None` runs a failure-free (and
+    /// checkpoint-free) simulation.
+    pub failure: Option<FailureConfig>,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            // 72 s checkpoints, 180 s restarts: small against the
+            // multi-hundred-second jobs the workload generator emits.
+            checkpoint: CheckpointModel {
+                checkpoint_h: 0.02,
+                restart_h: 0.05,
+            },
+            failure: None,
+        }
+    }
+}
+
+/// Checkpoint accounting for one run attempt. With no failure config
+/// the interval is infinite and every charge degenerates to zero
+/// overhead.
+struct CkptCharge {
+    tau_s: f64,
+    ckpt_s: f64,
+    restart_s: f64,
+}
+
+impl CkptCharge {
+    /// Restart pad charged at the head of a resumed attempt.
+    fn pad_s(&self, resumed: bool) -> f64 {
+        if resumed {
+            self.restart_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Failure-free wall time for `work_s` of useful work: the work
+    /// plus one checkpoint per (possibly partial) interval, plus the
+    /// restart pad when resuming from a checkpoint.
+    fn wall_for(&self, work_s: f64, resumed: bool) -> f64 {
+        let pad = self.pad_s(resumed);
+        if self.tau_s.is_infinite() {
+            return work_s + pad;
+        }
+        let n_ckpt = (work_s / self.tau_s).ceil().max(1.0);
+        work_s + n_ckpt * self.ckpt_s + pad
+    }
+
+    /// Progress after `elapsed_s` of wall time in an attempt that began
+    /// with `pad_s` of restart overhead: `(checkpointed work,
+    /// uncheckpointed loss)` — only whole `tau + ckpt` segments count
+    /// as saved.
+    fn progress(&self, elapsed_s: f64, pad_s: f64, work_s: f64) -> (f64, f64) {
+        let eff = (elapsed_s - pad_s).max(0.0);
+        if self.tau_s.is_infinite() {
+            return (0.0, eff.min(work_s));
+        }
+        let seg = self.tau_s + self.ckpt_s;
+        let whole = (eff / seg).floor();
+        let done = (whole * self.tau_s).min(work_s);
+        let lost = (eff - whole * seg).max(0.0);
+        (done, lost)
+    }
+}
+
+/// Memoizing service-time oracle: lowers one step of a work pattern
+/// onto a node subset of the cluster (via [`Cluster::run_on`]) and
+/// caches the resulting virtual makespan per `(step pattern, width)`.
+/// Quantized workload parameters keep the cache small, so a 200-job
+/// stream costs a few dozen SPMD step simulations, not thousands.
+pub struct ServiceModel<'a> {
+    cluster: &'a Cluster,
+    memo: RefCell<HashMap<ServiceKey, f64>>,
+}
+
+/// Cache key for [`ServiceModel`]: a work model's quantized step
+/// pattern ([`WorkModel::step_key`]) plus the rank width it runs at.
+type ServiceKey = ((u8, u64, u64, u64), usize);
+
+impl<'a> ServiceModel<'a> {
+    /// Wrap a cluster.
+    pub fn new(cluster: &'a Cluster) -> Self {
+        Self {
+            cluster,
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// Virtual seconds for one step of `work` on `width` nodes.
+    pub fn step_s(&self, work: &WorkModel, width: usize) -> f64 {
+        assert!(width >= 1, "width must be at least 1");
+        let key = (work.step_key(), width);
+        if let Some(&s) = self.memo.borrow().get(&key) {
+            return s;
+        }
+        let nodes = NodeSet::new((0..width).collect());
+        let outcome = self.cluster.run_on(&nodes, |comm| work.run_step(comm));
+        let s = outcome.makespan_s();
+        self.memo.borrow_mut().insert(key, s);
+        s
+    }
+
+    /// Virtual seconds of useful work for the whole job at `width`.
+    pub fn work_s(&self, work: &WorkModel, width: usize) -> f64 {
+        self.step_s(work, width) * f64::from(work.steps())
+    }
+}
+
+/// One node's occupancy interval (for the per-node Chrome-trace track).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccSpan {
+    /// Node id.
+    pub node: usize,
+    /// Interval start, virtual seconds.
+    pub t0_s: f64,
+    /// Interval end, virtual seconds.
+    pub t1_s: f64,
+    /// Job occupying the node.
+    pub job: usize,
+    /// Which run attempt of that job (0 = first).
+    pub attempt: u32,
+}
+
+/// Everything a simulated run produces.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Per-job records, sorted by id.
+    pub jobs: Vec<JobRecord>,
+    /// Last completion, virtual seconds.
+    pub makespan_s: f64,
+    /// Busy node-seconds over `nodes × makespan`.
+    pub utilization: f64,
+    /// Mean queue wait, seconds.
+    pub mean_wait_s: f64,
+    /// Mean bounded slowdown.
+    pub mean_slowdown: f64,
+    /// Completed jobs per virtual hour.
+    pub jobs_per_hour: f64,
+    /// Node failures applied (up nodes struck).
+    pub failures: u32,
+    /// Jobs requeued by failures.
+    pub requeues: u32,
+    /// Total uncheckpointed work lost, seconds.
+    pub lost_work_s: f64,
+    /// Per-node occupancy intervals, sorted by (node, start).
+    pub occupancy: Vec<OccSpan>,
+    /// Scheduler metrics (counters, gauges, wait/slowdown histograms,
+    /// queue-depth series) keyed by policy name.
+    pub registry: Registry,
+    /// FNV-1a fingerprint of the full outcome; bit-identical across
+    /// `MB_PARALLEL` executor settings.
+    pub fingerprint: u64,
+}
+
+impl SimReport {
+    /// The fingerprint as a fixed-width hex string (bench convention).
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+}
+
+struct QueueEntry {
+    ji: usize,
+    id: usize,
+    ranks: usize,
+    work_rem_s: f64,
+    resumed: bool,
+    attempt: u32,
+}
+
+struct RunEntry {
+    ji: usize,
+    id: usize,
+    nodes: NodeSet,
+    start_s: f64,
+    end_s: f64,
+    work_s: f64,
+    pad_s: f64,
+    attempt: u32,
+}
+
+/// Run `jobs` through `policy` on the service model's cluster.
+///
+/// The event loop processes, at each virtual instant, repairs →
+/// completions → failures → arrivals → dispatch, each sub-ordered
+/// deterministically (completions by `(end, id)`, failures by sampled
+/// order). Failure-struck jobs lose uncheckpointed work per the
+/// Young/Daly accounting and are requeued at the head of the queue
+/// with their remaining work.
+pub fn simulate(
+    service: &ServiceModel,
+    policy: &dyn SchedPolicy,
+    jobs: &[JobSpec],
+    cfg: &SchedConfig,
+) -> SimReport {
+    assert!(!jobs.is_empty(), "empty workload");
+    let n = service.cluster().spec().nodes;
+    assert!(n > 0, "cluster has no nodes");
+
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a]
+            .submit_s
+            .total_cmp(&jobs[b].submit_s)
+            .then(jobs[a].id.cmp(&jobs[b].id))
+    });
+
+    // Failure timeline in virtual seconds, plus the matching Young/Daly
+    // interval at the accelerated MTBF.
+    let mut failure_events: Vec<(f64, usize)> = Vec::new();
+    let (tau_s, repair_s) = match &cfg.failure {
+        Some(f) => {
+            assert!(f.accel > 0.0, "acceleration must be positive");
+            failure_events = sample_failures(&f.law, n, f.temp_c, f.accel, f.seed)
+                .into_iter()
+                .map(|e| (e.at_hours * 3600.0 / f.accel, e.node))
+                .collect();
+            failure_events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mtbf_h = f.law.cluster_mtbf_hours(n, f.temp_c) / f.accel;
+            (cfg.checkpoint.young_interval_h(mtbf_h) * 3600.0, f.repair_s)
+        }
+        None => (f64::INFINITY, 0.0),
+    };
+    let charge = CkptCharge {
+        tau_s,
+        ckpt_s: cfg.checkpoint.checkpoint_h * 3600.0,
+        restart_s: cfg.checkpoint.restart_h * 3600.0,
+    };
+
+    let mut records: Vec<JobRecord> = jobs
+        .iter()
+        .map(|j| JobRecord {
+            id: j.id,
+            ranks: j.ranks.clamp(1, n),
+            submit_s: j.submit_s,
+            start_s: -1.0,
+            end_s: -1.0,
+            clean_service_s: 0.0,
+            restarts: 0,
+            lost_work_s: 0.0,
+        })
+        .collect();
+
+    let mut up = vec![true; n];
+    let mut busy = vec![false; n];
+    let mut repairs: Vec<(f64, usize)> = Vec::new();
+    let mut fail_idx = 0usize;
+    let mut arrive_idx = 0usize;
+    let mut queue: Vec<QueueEntry> = Vec::new();
+    let mut running: Vec<RunEntry> = Vec::new();
+    let mut completed = 0usize;
+    let mut busy_node_s = 0.0;
+    let mut occupancy: Vec<OccSpan> = Vec::new();
+    let mut failures_applied = 0u32;
+    let mut requeues = 0u32;
+    let mut lost_total = 0.0;
+
+    let mut registry = Registry::new();
+    let qd = registry.series("sched.queue_depth", policy.name());
+    let wait_h = registry.histogram(
+        "sched.wait_s",
+        policy.name(),
+        &[60.0, 300.0, 900.0, 3600.0, 7200.0, 14400.0],
+    );
+    let slow_h = registry.histogram(
+        "sched.slowdown",
+        policy.name(),
+        &[1.0, 1.5, 2.0, 4.0, 8.0, 16.0],
+    );
+
+    while completed < jobs.len() {
+        let mut now = f64::INFINITY;
+        if arrive_idx < order.len() {
+            now = now.min(jobs[order[arrive_idx]].submit_s);
+        }
+        for r in &running {
+            now = now.min(r.end_s);
+        }
+        for &(t, _) in &repairs {
+            now = now.min(t);
+        }
+        if fail_idx < failure_events.len() {
+            now = now.min(failure_events[fail_idx].0);
+        }
+        assert!(
+            now.is_finite(),
+            "scheduler deadlock under '{}': {completed}/{} jobs done, {} queued",
+            policy.name(),
+            jobs.len(),
+            queue.len(),
+        );
+
+        // 1. Repairs: failed nodes come back up.
+        let mut back: Vec<usize> = Vec::new();
+        repairs.retain(|&(t, nd)| {
+            if t <= now {
+                back.push(nd);
+                false
+            } else {
+                true
+            }
+        });
+        back.sort_unstable();
+        for nd in back {
+            up[nd] = true;
+        }
+
+        // 2. Completions, ordered by (end, id).
+        let mut finished: Vec<RunEntry> = Vec::new();
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].end_s <= now {
+                finished.push(running.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        finished.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.id.cmp(&b.id)));
+        for run in finished {
+            busy_node_s += (run.end_s - run.start_s) * run.nodes.len() as f64;
+            for &nd in run.nodes.ids() {
+                busy[nd] = false;
+                occupancy.push(OccSpan {
+                    node: nd,
+                    t0_s: run.start_s,
+                    t1_s: run.end_s,
+                    job: run.id,
+                    attempt: run.attempt,
+                });
+            }
+            let rec = &mut records[run.ji];
+            rec.end_s = run.end_s;
+            completed += 1;
+            let (w, s) = (rec.wait_s(), rec.slowdown());
+            registry.observe(wait_h, w);
+            registry.observe(slow_h, s);
+        }
+
+        // 3. Failures: mark the node down, schedule its repair, and
+        // requeue any victim job with its checkpointed remainder.
+        while fail_idx < failure_events.len() && failure_events[fail_idx].0 <= now {
+            let (_, nd) = failure_events[fail_idx];
+            fail_idx += 1;
+            if !up[nd] {
+                continue;
+            }
+            up[nd] = false;
+            failures_applied += 1;
+            repairs.push((now + repair_s, nd));
+            if let Some(pos) = running.iter().position(|r| r.nodes.contains(nd)) {
+                let run = running.remove(pos);
+                let elapsed = now - run.start_s;
+                let (done, lost) = charge.progress(elapsed, run.pad_s, run.work_s);
+                busy_node_s += elapsed * run.nodes.len() as f64;
+                for &m in run.nodes.ids() {
+                    busy[m] = false;
+                    occupancy.push(OccSpan {
+                        node: m,
+                        t0_s: run.start_s,
+                        t1_s: now,
+                        job: run.id,
+                        attempt: run.attempt,
+                    });
+                }
+                let rec = &mut records[run.ji];
+                rec.restarts += 1;
+                rec.lost_work_s += lost;
+                lost_total += lost;
+                requeues += 1;
+                queue.insert(
+                    0,
+                    QueueEntry {
+                        ji: run.ji,
+                        id: run.id,
+                        ranks: run.nodes.len(),
+                        work_rem_s: (run.work_s - done).max(0.0),
+                        resumed: true,
+                        attempt: run.attempt + 1,
+                    },
+                );
+            }
+        }
+
+        // 4. Arrivals.
+        while arrive_idx < order.len() && jobs[order[arrive_idx]].submit_s <= now {
+            let ji = order[arrive_idx];
+            arrive_idx += 1;
+            let spec = &jobs[ji];
+            let width = spec.ranks.clamp(1, n);
+            let work_s = service.work_s(&spec.work, width);
+            records[ji].clean_service_s = charge.wall_for(work_s, false);
+            queue.push(QueueEntry {
+                ji,
+                id: spec.id,
+                ranks: width,
+                work_rem_s: work_s,
+                resumed: false,
+                attempt: 0,
+            });
+        }
+
+        // 5. Dispatch: consult the policy, then re-validate each pick
+        // against the live free list (policies may be optimistic).
+        let free_count = (0..n).filter(|&k| up[k] && !busy[k]).count();
+        let total_up = up.iter().filter(|&&u| u).count();
+        let qview: Vec<QueuedJob> = queue
+            .iter()
+            .map(|q| QueuedJob {
+                ranks: q.ranks,
+                service_est_s: charge.wall_for(q.work_rem_s, q.resumed),
+            })
+            .collect();
+        let rview: Vec<RunningJob> = running
+            .iter()
+            .map(|r| RunningJob {
+                end_s: r.end_s,
+                ranks: r.nodes.len(),
+            })
+            .collect();
+        let picks = policy.select(&PolicyCtx {
+            now_s: now,
+            free_nodes: free_count,
+            total_nodes: total_up,
+            queue: &qview,
+            running: &rview,
+        });
+        let mut started: Vec<usize> = Vec::new();
+        let mut seen = vec![false; queue.len()];
+        for p in picks {
+            if p >= queue.len() || seen[p] {
+                continue;
+            }
+            seen[p] = true;
+            let q = &queue[p];
+            let free_mask: Vec<bool> = (0..n).map(|k| up[k] && !busy[k]).collect();
+            if let Some(nodes) = NodeSet::alloc_lowest(&free_mask, q.ranks) {
+                for &m in nodes.ids() {
+                    busy[m] = true;
+                }
+                if records[q.ji].start_s < 0.0 {
+                    records[q.ji].start_s = now;
+                }
+                running.push(RunEntry {
+                    ji: q.ji,
+                    id: q.id,
+                    nodes,
+                    start_s: now,
+                    end_s: now + charge.wall_for(q.work_rem_s, q.resumed),
+                    work_s: q.work_rem_s,
+                    pad_s: charge.pad_s(q.resumed),
+                    attempt: q.attempt,
+                });
+                started.push(p);
+            }
+        }
+        started.sort_unstable();
+        for &p in started.iter().rev() {
+            queue.remove(p);
+        }
+        registry.sample(qd, now, queue.len() as f64);
+    }
+
+    let makespan_s = records.iter().map(|r| r.end_s).fold(0.0, f64::max);
+    let utilization = busy_node_s / (n as f64 * makespan_s.max(1e-9));
+    let mean_wait_s = records.iter().map(|r| r.wait_s()).sum::<f64>() / records.len() as f64;
+    let mean_slowdown = records.iter().map(|r| r.slowdown()).sum::<f64>() / records.len() as f64;
+    let jobs_per_hour = records.len() as f64 / (makespan_s.max(1e-9) / 3600.0);
+
+    registry.record_gauge("sched.utilization", policy.name(), utilization);
+    registry.record_gauge("sched.mean_wait_s", policy.name(), mean_wait_s);
+    registry.count("sched.jobs", policy.name(), records.len() as u64);
+    registry.count("sched.failures", policy.name(), u64::from(failures_applied));
+    registry.count("sched.requeues", policy.name(), u64::from(requeues));
+
+    records.sort_by_key(|r| r.id);
+    occupancy.sort_by(|a, b| a.node.cmp(&b.node).then(a.t0_s.total_cmp(&b.t0_s)));
+
+    let mut f = Fnv::new();
+    f.write_u64(records.len() as u64);
+    for r in &records {
+        f.write_u64(r.id as u64);
+        f.write_u64(r.ranks as u64);
+        f.write_f64(r.submit_s);
+        f.write_f64(r.start_s);
+        f.write_f64(r.end_s);
+        f.write_u64(u64::from(r.restarts));
+        f.write_f64(r.lost_work_s);
+    }
+    f.write_f64(busy_node_s);
+    f.write_f64(makespan_s);
+    f.write_u64(u64::from(failures_applied));
+    let fingerprint = f.finish();
+
+    SimReport {
+        policy: policy.name(),
+        jobs: records,
+        makespan_s,
+        utilization,
+        mean_wait_s,
+        mean_slowdown,
+        jobs_per_hour,
+        failures: failures_applied,
+        requeues,
+        lost_work_s: lost_total,
+        occupancy,
+        registry,
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{EasyBackfill, Fcfs, Sjf};
+    use crate::workload::{generate, WorkloadConfig};
+    use mb_cluster::ExecPolicy;
+
+    fn small_workload() -> Vec<JobSpec> {
+        generate(&WorkloadConfig {
+            jobs: 16,
+            seed: 11,
+            mean_interarrival_s: 180.0,
+            max_ranks: 24,
+        })
+    }
+
+    #[test]
+    fn all_jobs_complete_with_sane_timelines() {
+        let cluster = Cluster::new(mb_cluster::spec::metablade()).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let jobs = small_workload();
+        for policy in [&Fcfs as &dyn SchedPolicy, &EasyBackfill, &Sjf] {
+            let rep = simulate(&service, policy, &jobs, &SchedConfig::default());
+            assert_eq!(rep.jobs.len(), jobs.len());
+            for r in &rep.jobs {
+                assert!(
+                    r.start_s >= r.submit_s,
+                    "job {} started before submit",
+                    r.id
+                );
+                assert!(r.end_s > r.start_s, "job {} has empty run", r.id);
+                assert!(r.clean_service_s > 0.0);
+                assert_eq!(r.restarts, 0);
+            }
+            assert!(rep.utilization > 0.0 && rep.utilization <= 1.0 + 1e-9);
+            assert_eq!(rep.failures, 0);
+            // Occupancy covers exactly the busy node-seconds.
+            let occ: f64 = rep.occupancy.iter().map(|s| s.t1_s - s.t0_s).sum();
+            let busy: f64 = rep
+                .jobs
+                .iter()
+                .map(|r| (r.end_s - r.start_s) * r.ranks as f64)
+                .sum();
+            assert!((occ - busy).abs() < 1e-6 * busy.max(1.0));
+        }
+    }
+
+    #[test]
+    fn outcome_is_invariant_across_executors() {
+        let jobs = small_workload();
+        let cfg = SchedConfig {
+            failure: Some(FailureConfig::accelerated(2000.0, 3)),
+            ..SchedConfig::default()
+        };
+        let prints: Vec<u64> = [ExecPolicy::Sequential, ExecPolicy::Unbounded]
+            .into_iter()
+            .map(|exec| {
+                let cluster = Cluster::new(mb_cluster::spec::metablade()).with_exec(exec);
+                let service = ServiceModel::new(&cluster);
+                simulate(&service, &EasyBackfill, &jobs, &cfg).fingerprint
+            })
+            .collect();
+        assert_eq!(prints[0], prints[1]);
+    }
+
+    #[test]
+    fn failures_requeue_and_charge_lost_work() {
+        let cluster = Cluster::new(mb_cluster::spec::metablade()).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let jobs = small_workload();
+        let cfg = SchedConfig {
+            failure: Some(FailureConfig::accelerated(30_000.0, 5)),
+            ..SchedConfig::default()
+        };
+        let rep = simulate(&service, &Fcfs, &jobs, &cfg);
+        assert!(
+            rep.failures > 0,
+            "aggressive acceleration produced no failures"
+        );
+        assert!(
+            rep.requeues > 0,
+            "no job was struck despite {} failures",
+            rep.failures
+        );
+        assert!(rep.lost_work_s >= 0.0);
+        let restarts: u32 = rep.jobs.iter().map(|r| r.restarts).sum();
+        assert_eq!(restarts, rep.requeues);
+        // Requeued jobs still finish.
+        assert!(rep.jobs.iter().all(|r| r.end_s > 0.0));
+    }
+
+    #[test]
+    fn no_failure_config_means_no_checkpoint_overhead() {
+        let cluster = Cluster::new(mb_cluster::spec::metablade()).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let work = WorkModel::Npb {
+            kernel: crate::job::NpbKernel::Ep,
+            iters: 600,
+        };
+        let jobs = [JobSpec {
+            id: 0,
+            submit_s: 0.0,
+            ranks: 8,
+            work,
+        }];
+        let rep = simulate(&service, &Fcfs, &jobs, &SchedConfig::default());
+        let expect = service.work_s(&work, 8);
+        assert!((rep.jobs[0].clean_service_s - expect).abs() < 1e-9);
+        assert!((rep.jobs[0].end_s - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_model_memoizes_by_pattern_and_width() {
+        let cluster = Cluster::new(mb_cluster::spec::metablade()).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let short = WorkModel::Treecode {
+            bodies_per_rank: 1200,
+            steps: 10,
+        };
+        let long = WorkModel::Treecode {
+            bodies_per_rank: 1200,
+            steps: 1000,
+        };
+        let s = service.step_s(&short, 4);
+        assert_eq!(service.step_s(&long, 4), s);
+        assert!((service.work_s(&long, 4) - 1000.0 * s).abs() < 1e-9);
+        assert_ne!(service.step_s(&long, 8), s);
+    }
+}

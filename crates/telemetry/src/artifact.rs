@@ -13,9 +13,27 @@
 //! [`artifact_stem`] is the standard shape: `{run}-r{ranks}-{run_id}`,
 //! keeping the simulated rank count greppable in directory listings.
 
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Artifact directory: `$MB_TELEMETRY_DIR`, or `./traces`.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os("MB_TELEMETRY_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("traces"))
+}
+
+/// Write one artifact under `dir` (created if needed); returns its path.
+pub fn write_artifact(dir: &Path, name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(contents.as_bytes())?;
+    Ok(path)
+}
 
 /// A process-unique run identifier: `{unix_secs}-{pid}-{seq}`.
 ///

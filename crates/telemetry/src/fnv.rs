@@ -1,0 +1,69 @@
+//! FNV-1a fingerprinting for bit-exact outcome comparison.
+//!
+//! The benchmark harness and the scheduler both need to prove that two
+//! simulated outcomes are *identical to the bit* — across executor
+//! policies, hosts and runs. [`Fnv`] is the shared incremental hasher:
+//! fold in every `u64`/`f64` of an outcome (floats by exact bit
+//! pattern, so `0.0` and `-0.0` differ) and compare digests.
+
+/// Incremental FNV-1a hasher for outcome fingerprints.
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold in one u64, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Fold in one f64's exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_bit_patterns() {
+        let mut a = Fnv::new();
+        a.write_f64(0.0);
+        let mut b = Fnv::new();
+        b.write_f64(-0.0); // same value, different bits — must differ
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.write_f64(0.0);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        let mut a = Fnv::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -23,9 +23,13 @@
 //!   the experiment binaries;
 //! * [`json`] — the dependency-free JSON writer/parser underneath the
 //!   exporters;
-//! * [`artifact`] — collision-free artifact filenames (run ids embedding
-//!   time, pid and a sequence number) so concurrent runs sharing one
-//!   artifact directory never overwrite each other.
+//! * [`artifact`] — the artifact directory convention
+//!   (`$MB_TELEMETRY_DIR` or `./traces`) and collision-free artifact
+//!   filenames (run ids embedding time, pid and a sequence number) so
+//!   concurrent runs sharing one artifact directory never overwrite each
+//!   other;
+//! * [`fnv`] — the FNV-1a outcome fingerprinter shared by the benchmark
+//!   harness and the `mb-sched` determinism checks.
 //!
 //! The crate deliberately has **no dependencies** (std only) and no
 //! knowledge of the simulator's types: `mb-cluster`, `mb-crusoe` and
@@ -50,12 +54,14 @@
 
 pub mod artifact;
 pub mod chrome;
+pub mod fnv;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod summary;
 pub mod trace;
 
+pub use fnv::Fnv;
 pub use json::Json;
 pub use manifest::RunManifest;
 pub use metrics::{MetricHandle, MetricValue, Registry};

@@ -53,6 +53,7 @@ pub fn build_tree(bodies: &mut Bodies, bb: BoundingBox, leaf_capacity: usize) ->
 
 /// Recursively build the cell `cell` over `keys[lo..hi]`; returns its
 /// moments.
+#[allow(clippy::too_many_arguments)]
 fn build_range(
     nodes: &mut HashMap<u64, Node>,
     bb: &BoundingBox,

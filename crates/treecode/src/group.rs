@@ -83,6 +83,7 @@ pub fn tree_forces_grouped(
         .copied()
         .collect();
     let shared = &*bodies;
+    #[allow(clippy::type_complexity)]
     let results: Vec<(Vec<(usize, [f64; 3], f64)>, InteractionCounts)> = leaves
         .par_iter()
         .map(|group| {

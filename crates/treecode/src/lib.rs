@@ -65,6 +65,10 @@
 //! assert!(max_err < 0.1, "max |Δa| = {max_err}");
 //! ```
 
+// Component/subscript loops over [f64; 3] vectors and Morton-ordered
+// index ranges are the house style of this numerical kernel.
+#![allow(clippy::needless_range_loop)]
+
 pub mod body;
 pub mod build;
 pub mod decompose;

@@ -507,6 +507,7 @@ fn merge_foreign(trees: Vec<ForeignTree>, global_bb: &BoundingBox) -> ImportedFo
     forest
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_multipole(
     mass: f64,
     com: [f64; 3],

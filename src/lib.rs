@@ -11,7 +11,10 @@
 //! * [`cluster`] (`mb-cluster`) — virtual-time Beowulf cluster + network simulator;
 //! * [`npb`] (`mb-npb`) — NAS Parallel Benchmark kernels;
 //! * [`microkernel`] (`mb-microkernel`) — gravitational rsqrt microkernel;
-//! * [`metrics`] (`mb-metrics`) — TCO / ToPPeR / perf-space / perf-power models.
+//! * [`metrics`] (`mb-metrics`) — TCO / ToPPeR / perf-space / perf-power models;
+//! * [`telemetry`] (`mb-telemetry`) — metrics registry, span tracing, Chrome export;
+//! * [`sched`] (`mb-sched`) — deterministic batch workload manager (FCFS /
+//!   EASY backfill / SJF) replaying multi-job traffic on the simulated cluster.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and per-experiment index.
@@ -33,4 +36,6 @@ pub use mb_crusoe as crusoe;
 pub use mb_metrics as metrics;
 pub use mb_microkernel as microkernel;
 pub use mb_npb as npb;
+pub use mb_sched as sched;
+pub use mb_telemetry as telemetry;
 pub use mb_treecode as treecode;

@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 
+use metablade::cluster::checkpoint::CheckpointModel;
 use metablade::cluster::machine::Cluster;
 use metablade::cluster::spec::metablade;
 use metablade::crusoe::isa::{Insn, MachineState, Reg};
@@ -152,5 +153,40 @@ proptest! {
             prop_assert_eq!(a.results[r].0, expect);
             prop_assert_eq!(a.results[r].1, b.results[r].1);
         }
+    }
+
+    /// The Monte-Carlo checkpoint simulator always pays at least the
+    /// useful work, gets slower as failures become more frequent, and
+    /// its seed-averaged walltime tracks the Young/Daly analytic model.
+    /// Each MTBF level runs at its own optimal interval; sharing seeds
+    /// across levels gives common random numbers, so the monotonicity
+    /// comparison is low-variance.
+    #[test]
+    fn checkpoint_simulation_tracks_analytic_model(
+        work in 40.0f64..160.0,
+        mtbf in 150.0f64..900.0,
+        cp_h in 0.02f64..0.2,
+        base_seed in 0u64..1000,
+    ) {
+        let cp = CheckpointModel { checkpoint_h: cp_h, restart_h: 2.0 * cp_h };
+        let seeds = 1024u64;
+        let mean_at = |mtbf_h: f64| {
+            let tau = cp.young_interval_h(mtbf_h);
+            let mut total = 0.0;
+            for s in 0..seeds {
+                let w = cp.simulate_walltime_h(work, tau, mtbf_h, base_seed * seeds + s);
+                assert!(w >= work, "walltime {w} below useful work {work}");
+                total += w;
+            }
+            total / seeds as f64
+        };
+        let flaky = mean_at(mtbf / 8.0);
+        let nominal = mean_at(mtbf);
+        let solid = mean_at(mtbf * 8.0);
+        prop_assert!(flaky > nominal, "8x the failure rate must cost walltime: {flaky} vs {nominal}");
+        prop_assert!(nominal > solid, "an 8x-more-reliable machine must finish sooner: {nominal} vs {solid}");
+        let analytic = cp.expected_walltime_h(work, cp.young_interval_h(mtbf), mtbf);
+        let rel = (nominal - analytic).abs() / analytic;
+        prop_assert!(rel < 0.2, "MC mean {nominal} vs analytic {analytic} ({rel:.3} rel)");
     }
 }
