@@ -40,5 +40,40 @@ fn bench_executor(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_executor);
+/// The event-driven core at scale: one allreduce+compute round over 128
+/// simulated ranks, where heap admission and per-rank wakeups separate
+/// from the legacy engine's O(n) scan + notify_all herd.
+fn bench_event_core_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_scale");
+    group.sample_size(5);
+    let policies = [
+        ExecPolicy::Sequential,
+        ExecPolicy::Parallel { workers: 8 },
+        ExecPolicy::Unbounded,
+    ];
+    for policy in policies {
+        let cluster = Cluster::new(metablade().with_nodes(128)).with_exec(policy);
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_128", policy.label()),
+            &policy,
+            |b, _| {
+                b.iter(|| {
+                    let out = cluster.run(|comm| {
+                        let mut v = vec![comm.rank() as f64; 32];
+                        for _ in 0..2 {
+                            v = comm.allreduce_sum(&v);
+                            comm.compute(1e5);
+                        }
+                        v[0]
+                    });
+                    black_box(out.exec_report.admissions);
+                    black_box(out.makespan_s())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_event_core_scale);
 criterion_main!(benches);

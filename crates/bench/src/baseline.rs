@@ -35,24 +35,68 @@ pub const SCHEMA: &str = "metablade-bench/1";
 /// Shape of one baseline sweep.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
-    /// Simulated rank counts to sweep (the paper's machine is 24 nodes).
+    /// Simulated rank counts for the cluster suite (the paper's machine
+    /// is 24 nodes; 128/512/1024 probe executor-engine scaling).
     pub rank_counts: Vec<usize>,
-    /// Communication rounds per cluster microbenchmark.
+    /// Simulated rank counts for the treecode suite. Capped lower than
+    /// the cluster sweep: past ~128 ranks a 20k-body Plummer sphere
+    /// leaves too few bodies per rank for the domain decomposition to
+    /// say anything about the paper's machine.
+    pub treecode_rank_counts: Vec<usize>,
+    /// Communication rounds per cluster microbenchmark at small rank
+    /// counts; see [`rounds_for`] for the high-rank scaling.
     pub rounds: usize,
     /// Plummer-sphere size for the treecode step.
     pub n_bodies: usize,
     /// Wall-clock repeats per (bench, policy); the minimum is recorded.
+    /// High-rank cases (≥ 128) always run once.
     pub repeats: usize,
 }
 
 impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
-            rank_counts: vec![1, 4, 8, 24],
+            rank_counts: vec![1, 4, 8, 24, 128, 512, 1024],
+            treecode_rank_counts: vec![1, 4, 8, 24, 128],
             rounds: 64,
             n_bodies: 20_000,
             repeats: 2,
         }
+    }
+}
+
+impl SweepConfig {
+    /// A seconds-scale configuration for CI smoke gates: few rounds, a
+    /// small body count, single repeats.
+    pub fn smoke() -> Self {
+        SweepConfig {
+            rank_counts: vec![1, 8],
+            treecode_rank_counts: vec![1, 8],
+            rounds: 4,
+            n_bodies: 1_000,
+            repeats: 1,
+        }
+    }
+
+    /// Restrict both suites' sweeps to the given rank counts.
+    pub fn with_ranks(mut self, ranks: Vec<usize>) -> Self {
+        self.rank_counts = ranks.clone();
+        self.treecode_rank_counts = ranks;
+        self
+    }
+}
+
+/// Communication rounds for one cluster case: `rounds` up to 24 ranks,
+/// scaled down as `rounds / (ranks / 16)` (min 1) from 128 ranks up, so
+/// the event count per case stays roughly flat while the legacy
+/// sequential reference engine — whose per-event cost grows with rank
+/// count — remains measurable at 1024 ranks. The bench *name* embeds the
+/// effective round count, keeping every record self-describing.
+pub fn rounds_for(rounds: usize, ranks: usize) -> usize {
+    if ranks >= 128 {
+        (rounds / (ranks / 16)).max(1)
+    } else {
+        rounds.max(1)
     }
 }
 
@@ -114,6 +158,12 @@ pub struct BenchRecord {
     pub fingerprints: BTreeMap<String, u64>,
     /// Host wall seconds per policy label (minimum over repeats).
     pub wall_s: BTreeMap<String, f64>,
+    /// Simulated communication events (sends + receives summed over
+    /// ranks) per host wall second, per policy label: the executor
+    /// engine's throughput on this machine. The numerator is a simulated
+    /// quantity — identical across policies — so ratios of this field
+    /// are pure engine-overhead comparisons.
+    pub events_per_sec: BTreeMap<String, f64>,
     /// True when every policy produced a bit-identical outcome.
     pub identical: bool,
     /// Extra scalar fields (e.g. treecode gflops).
@@ -143,6 +193,12 @@ impl BenchRecord {
                 .map(|(k, v)| (k.clone(), Json::str(format!("{v:016x}"))))
                 .collect(),
         );
+        let events = Json::Obj(
+            self.events_per_sec
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
         let mut fields = vec![
             ("name", Json::str(self.name.clone())),
             ("ranks", Json::Num(self.ranks as f64)),
@@ -151,6 +207,7 @@ impl BenchRecord {
             ("outcome_fingerprints", fps),
             ("wall_s", walls),
             ("speedup_vs_seq", speedups),
+            ("events_per_sec", events),
         ];
         fields.extend(self.extra.iter().cloned());
         Json::obj(fields)
@@ -183,14 +240,17 @@ where
     F: Fn(&mut Comm) -> Vec<f64> + Sync,
 {
     let spec = metablade().with_nodes(ranks);
+    let repeats = if ranks >= 128 { 1 } else { repeats.max(1) };
     let mut wall_s = BTreeMap::new();
+    let mut events_per_sec = BTreeMap::new();
     let mut fingerprints = BTreeMap::new();
     let mut makespan = 0.0;
     for policy in policies() {
         let cluster = Cluster::new(spec.clone()).with_exec(policy);
         let mut best = f64::INFINITY;
         let mut fp = 0u64;
-        for _ in 0..repeats.max(1) {
+        let mut events = 0u64;
+        for _ in 0..repeats {
             let t = Instant::now();
             let out = cluster.run(&job);
             best = best.min(t.elapsed().as_secs_f64());
@@ -206,8 +266,10 @@ where
             hash_stats(&mut h, &out.stats);
             fp = h.finish();
             makespan = out.makespan_s();
+            events = out.stats.iter().map(|s| s.sends + s.recvs).sum();
         }
         wall_s.insert(policy.label(), best);
+        events_per_sec.insert(policy.label(), events as f64 / best.max(1e-12));
         fingerprints.insert(policy.label(), fp);
     }
     let identical = {
@@ -221,6 +283,7 @@ where
         virtual_makespan_s: makespan,
         fingerprints,
         wall_s,
+        events_per_sec,
         identical,
         extra: Vec::new(),
     }
@@ -229,9 +292,9 @@ where
 /// The cluster suite: collective, point-to-point and imbalanced-compute
 /// microbenchmarks swept over rank counts and executor policies.
 pub fn cluster_baseline(cfg: &SweepConfig) -> Json {
-    let rounds = cfg.rounds.max(1);
     let mut benches = Vec::new();
     for &ranks in &cfg.rank_counts {
+        let rounds = rounds_for(cfg.rounds, ranks);
         benches.push(run_case(
             &format!("allreduce_32x{rounds}"),
             ranks,
@@ -294,7 +357,7 @@ pub fn cluster_baseline(cfg: &SweepConfig) -> Json {
     }
     document(
         "cluster",
-        vec![("rounds", Json::Num(rounds as f64))],
+        vec![("rounds", Json::Num(cfg.rounds.max(1) as f64))],
         &benches,
     )
 }
@@ -306,9 +369,10 @@ pub fn treecode_baseline(cfg: &SweepConfig) -> Json {
     let bodies = plummer(cfg.n_bodies, 1999);
     let tree_cfg = DistributedConfig::default();
     let mut benches = Vec::new();
-    for &ranks in &cfg.rank_counts {
+    for &ranks in &cfg.treecode_rank_counts {
         let spec = metablade().with_nodes(ranks);
         let mut wall_s = BTreeMap::new();
+        let mut events_per_sec = BTreeMap::new();
         let mut fingerprints = BTreeMap::new();
         let mut makespan = 0.0;
         let mut gflops = 0.0;
@@ -316,7 +380,10 @@ pub fn treecode_baseline(cfg: &SweepConfig) -> Json {
             let cluster = Cluster::new(spec.clone()).with_exec(policy);
             let t = Instant::now();
             let report = distributed_step(&cluster, &bodies, &tree_cfg);
-            wall_s.insert(policy.label(), t.elapsed().as_secs_f64());
+            let wall = t.elapsed().as_secs_f64();
+            wall_s.insert(policy.label(), wall);
+            let events: u64 = report.comm.iter().map(|s| s.sends + s.recvs).sum();
+            events_per_sec.insert(policy.label(), events as f64 / wall.max(1e-12));
             let mut h = Fnv::new();
             h.write_f64(report.makespan_s);
             for a in &report.acc {
@@ -343,6 +410,7 @@ pub fn treecode_baseline(cfg: &SweepConfig) -> Json {
             virtual_makespan_s: makespan,
             fingerprints,
             wall_s,
+            events_per_sec,
             identical,
             extra: vec![("gflops", Json::Num(gflops))],
         });
@@ -364,6 +432,7 @@ mod tests {
     fn tiny() -> SweepConfig {
         SweepConfig {
             rank_counts: vec![1, 4],
+            treecode_rank_counts: vec![1, 4],
             rounds: 4,
             n_bodies: 400,
             repeats: 1,
@@ -381,14 +450,31 @@ mod tests {
                 b.get("name")
             );
             let walls = b.get("wall_s").expect("wall_s");
+            let events = b.get("events_per_sec").expect("events_per_sec");
             for p in policies() {
                 assert!(
                     walls.get(&p.label()).and_then(Json::as_f64).is_some(),
                     "missing wall for {}",
                     p.label()
                 );
+                let eps = events.get(&p.label()).and_then(Json::as_f64);
+                assert!(
+                    eps.is_some_and(|v| v >= 0.0),
+                    "missing events_per_sec for {}",
+                    p.label()
+                );
             }
         }
+    }
+
+    #[test]
+    fn high_rank_round_scaling_keeps_event_counts_flat() {
+        assert_eq!(rounds_for(64, 1), 64);
+        assert_eq!(rounds_for(64, 24), 64);
+        assert_eq!(rounds_for(64, 128), 8);
+        assert_eq!(rounds_for(64, 512), 2);
+        assert_eq!(rounds_for(64, 1024), 1);
+        assert_eq!(rounds_for(4, 1024), 1); // floors at one round
     }
 
     #[test]

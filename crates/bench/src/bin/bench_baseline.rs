@@ -1,12 +1,21 @@
 //! Regenerate the repo-root benchmark baselines: sweep the cluster and
 //! treecode suites over executor policies (seq / w2 / w8 / unbounded)
-//! and rank counts (1/4/8/24), verify every policy produced a
-//! bit-identical outcome, and write `BENCH_cluster.json` and
-//! `BENCH_treecode.json` (schema documented in `BENCHMARKS.md`).
+//! and rank counts (1/4/8/24/128/512/1024 for the cluster suite), verify
+//! every policy produced a bit-identical outcome, and write
+//! `BENCH_cluster.json` and `BENCH_treecode.json` (schema documented in
+//! `BENCHMARKS.md`).
 //!
-//! argv: `[n_bodies]` (default 20 000). Output directory:
-//! `$MB_BENCH_DIR`, or the current directory (the repo root keeps its
-//! committed copies there).
+//! argv: `[n_bodies] [--smoke] [--ranks R1,R2,...]`
+//!
+//! * `n_bodies` — Plummer-sphere size for the treecode step (default
+//!   20 000).
+//! * `--smoke` — the seconds-scale CI configuration
+//!   ([`SweepConfig::smoke`]): 4 rounds, 1 000 bodies, single repeats.
+//! * `--ranks` — comma-separated rank counts overriding both suites'
+//!   sweeps (e.g. `--ranks 128` for the CI scale gate).
+//!
+//! Output directory: `$MB_BENCH_DIR`, or the current directory (the repo
+//! root keeps its committed copies there).
 
 use std::path::PathBuf;
 
@@ -31,8 +40,13 @@ fn summarize(doc: &Json) {
             .and_then(|s| s.get("w8"))
             .and_then(Json::as_f64)
             .unwrap_or(f64::NAN);
+        let eps = b
+            .get("events_per_sec")
+            .and_then(|e| e.get("w8"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
         println!(
-            "  {name:<18} P={ranks:<3.0} seq {seq:>8.3}s  w8 speedup {s8:>5.2}x  identical={identical}"
+            "  {name:<18} P={ranks:<4.0} seq {seq:>8.3}s  w8 speedup {s8:>6.2}x  w8 {eps:>9.0} ev/s  identical={identical}"
         );
         assert!(
             identical,
@@ -41,22 +55,51 @@ fn summarize(doc: &Json) {
     }
 }
 
+fn parse_args() -> SweepConfig {
+    let mut cfg = SweepConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => {
+                cfg = SweepConfig {
+                    n_bodies: cfg.n_bodies.min(SweepConfig::smoke().n_bodies),
+                    ..SweepConfig::smoke()
+                };
+            }
+            "--ranks" => {
+                let list = args.next().unwrap_or_default();
+                let ranks: Vec<usize> = list
+                    .split(',')
+                    .filter_map(|r| r.trim().parse().ok())
+                    .filter(|&r| r > 0)
+                    .collect();
+                assert!(!ranks.is_empty(), "--ranks needs a comma-separated list");
+                cfg = cfg.with_ranks(ranks);
+            }
+            n => {
+                if let Ok(n_bodies) = n.parse::<usize>() {
+                    cfg.n_bodies = n_bodies;
+                } else {
+                    panic!(
+                        "unknown argument {n:?}; usage: [n_bodies] [--smoke] [--ranks R1,R2,...]"
+                    );
+                }
+            }
+        }
+    }
+    cfg
+}
+
 fn main() {
-    let n_bodies = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000);
-    let cfg = SweepConfig {
-        n_bodies,
-        ..SweepConfig::default()
-    };
+    let cfg = parse_args();
     let dir = std::env::var_os("MB_BENCH_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
     println!(
-        "benchmark baseline: host_threads = {}, ranks {:?}, N = {}\n",
+        "benchmark baseline: host_threads = {}, cluster ranks {:?}, treecode ranks {:?}, N = {}\n",
         host_threads(),
         cfg.rank_counts,
+        cfg.treecode_rank_counts,
         cfg.n_bodies
     );
 

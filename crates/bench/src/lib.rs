@@ -8,10 +8,12 @@
 //! ```
 //! use mb_bench::baseline::{policies, SweepConfig};
 //!
-//! // The default baseline sweep: the paper's rank counts under every
-//! // executor policy (labels are the BENCH_*.json keys).
+//! // The default baseline sweep: the paper's rank counts plus the
+//! // executor-scaling points, under every executor policy (labels are
+//! // the BENCH_*.json keys).
 //! let cfg = SweepConfig::default();
-//! assert_eq!(cfg.rank_counts, vec![1, 4, 8, 24]);
+//! assert_eq!(cfg.rank_counts, vec![1, 4, 8, 24, 128, 512, 1024]);
+//! assert_eq!(cfg.treecode_rank_counts, vec![1, 4, 8, 24, 128]);
 //! let labels: Vec<String> = policies().iter().map(|p| p.label()).collect();
 //! assert_eq!(labels, ["seq", "w2", "w8", "unbounded"]);
 //! ```

@@ -4,7 +4,7 @@
 //! *virtual*: `compute` charges CPU seconds at the node's sustained rate,
 //! `send`/`recv` charge the LogGP costs of [`crate::network::NetworkModel`],
 //! and a receive waits (in virtual time) until the message's delivery
-//! timestamp. Message transport between threads uses crossbeam channels;
+//! timestamp. Message transport between threads uses std mpsc channels;
 //! because every receive names its source rank and all collectives use
 //! fixed deterministic patterns, the virtual clocks are bit-reproducible
 //! regardless of host thread scheduling — and therefore regardless of the
@@ -28,10 +28,10 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use mb_telemetry::trace::{SpanEvent, SpanKind, TraceSink};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 
-use crate::exec::Scheduler;
+use crate::exec::Admission;
 use crate::network::NetworkModel;
 
 /// A message in flight.
@@ -111,7 +111,7 @@ pub struct Comm {
     pending: Vec<Msg>,
     coll_seq: u32,
     sink: Option<Box<dyn TraceSink + Send>>,
-    sched: Option<Arc<Scheduler>>,
+    sched: Option<Arc<dyn Admission>>,
     phases: Vec<(&'static str, f64)>,
     /// Running statistics.
     pub stats: CommStats,
@@ -177,7 +177,7 @@ impl Comm {
     /// modes): from now on a receive that would block the host thread
     /// releases its execution slot while waiting and re-applies for one —
     /// at this rank's current virtual clock — once the message arrives.
-    pub(crate) fn attach_scheduler(&mut self, sched: Arc<Scheduler>) {
+    pub(crate) fn attach_scheduler(&mut self, sched: Arc<dyn Admission>) {
         self.sched = Some(sched);
     }
 

@@ -1,0 +1,510 @@
+//! The event-driven executor core: lookahead scheduling over a worker
+//! pool.
+//!
+//! This replaces the legacy global-min-barrier admission of
+//! [`crate::exec::Scheduler`] for the parallel [`crate::exec::ExecPolicy`]
+//! modes. Each rank execution is a resumable task: its OS thread parks on
+//! a **per-rank gate** whenever the task is not admitted, and the core
+//! multiplexes the admitted tasks over a fixed number of execution slots
+//! (the worker pool). Three structures drive admission:
+//!
+//! * a **ready queue** — a binary min-heap ordered by
+//!   `(virtual clock, rank)`, so selecting the next task is `O(log n)`
+//!   instead of the legacy `O(n)` scan over every rank;
+//! * a **running heap** — the admitted tasks' admission-time clocks,
+//!   giving the scheduler a conservative lower bound on the slowest
+//!   in-flight rank in `O(log n)` (entries are lazily invalidated, never
+//!   searched);
+//! * a **lookahead horizon** — instead of only admitting the globally
+//!   minimal clock (the legacy barrier), any ready task within
+//!   `min_running_clock + L` is admissible, where `L` is the network
+//!   model's [`crate::network::NetworkModel::min_delivery_delay`]
+//!   (overridable via the `MB_LOOKAHEAD` environment variable, seconds).
+//!
+//! **Why the lookahead is safe.** Simulated outcomes do not depend on
+//! admission order at all: receives name their source rank and are FIFO
+//! per `(source, tag)`, so every rank's virtual clock is a pure function
+//! of its own event sequence and its senders' timestamps (see
+//! [`crate::exec`]). Admission policy affects only *wall-clock* time and
+//! host memory. The horizon exists to bound virtual-clock skew — and with
+//! it the pending-message buffers — and `L` is the natural bound: a rank
+//! less than `L` ahead of the slowest admitted rank cannot yet observe
+//! any message that rank has still to send, so running it early cannot
+//! even reorder message arrival interleavings. Wake-ups use one `Condvar`
+//! per rank (`notify_one` direct handoff), eliminating the legacy
+//! `notify_all` thundering herd that made every admission cost `O(k·n)`
+//! wake-and-rescan work at high rank counts.
+//!
+//! Deadlock freedom: when no task holds a slot the heap minimum is
+//! admitted unconditionally, and the heap minimum is always admissible
+//! whenever it is also the globally minimal active clock, so the core
+//! admits at least one task whenever any task is ready.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+use crate::exec::Admission;
+
+/// Order-preserving map from `f64` to `u64` (IEEE-754 total order trick)
+/// so clocks can live in integer-keyed heaps.
+fn clock_key(c: f64) -> u64 {
+    let b = c.to_bits();
+    if b >> 63 == 0 {
+        b | (1 << 63)
+    } else {
+        !b
+    }
+}
+
+/// Scheduling state of one rank's task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TaskState {
+    /// In the ready queue at this clock, waiting for admission.
+    Ready(f64),
+    /// Holds an execution slot; clock is the admission-time lower bound.
+    Running(f64),
+    /// Blocked on a message or finished: holds no slot, wants none.
+    Blocked,
+}
+
+/// Counters and distribution sketches the core maintains under its lock.
+/// Powers-of-two bucket histograms keep sampling O(1) and allocation-free.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutorReport {
+    /// Execution slots in the pool (`nranks` when unbounded).
+    pub workers: usize,
+    /// Simulated ranks served.
+    pub nranks: usize,
+    /// Lookahead horizon `L`, seconds.
+    pub lookahead_s: f64,
+    /// Total task admissions (initial + every recv re-admission).
+    pub admissions: u64,
+    /// Admissions the legacy min-clock barrier would have delayed: the
+    /// admitted task's clock was strictly ahead of the slowest admitted
+    /// rank's known clock.
+    pub lookahead_grants: u64,
+    /// Dispatch attempts stopped by the horizon: slots were free and a
+    /// task was ready, but it was more than `L` ahead of the slowest
+    /// running rank.
+    pub horizon_waits: u64,
+    /// Ready-queue depth sampled at each dispatch, as `2^i`-bucketed
+    /// counts (`depth_hist[i]` counts samples with depth in
+    /// `[2^i, 2^(i+1))`; index 0 counts depth 0 and 1).
+    pub depth_hist: [u64; 16],
+    /// Occupied-slot count sampled at each admission, same bucketing.
+    pub occupancy_hist: [u64; 16],
+    /// Peak ready-queue depth.
+    pub max_ready_depth: usize,
+    /// Peak simultaneously admitted tasks.
+    pub max_occupancy: usize,
+}
+
+impl ExecutorReport {
+    fn bucket(v: usize) -> usize {
+        (usize::BITS - v.max(1).leading_zeros() - 1).min(15) as usize
+    }
+
+    fn sample_depth(&mut self, depth: usize) {
+        self.depth_hist[Self::bucket(depth)] += 1;
+        self.max_ready_depth = self.max_ready_depth.max(depth);
+    }
+
+    fn sample_occupancy(&mut self, running: usize) {
+        self.occupancy_hist[Self::bucket(running)] += 1;
+        self.max_occupancy = self.max_occupancy.max(running);
+    }
+
+    /// Mean ready-queue depth over dispatch samples, from the bucketed
+    /// histogram (bucket midpoint approximation).
+    pub fn mean_ready_depth(&self) -> f64 {
+        let (mut n, mut sum) = (0u64, 0.0);
+        for (i, &c) in self.depth_hist.iter().enumerate() {
+            n += c;
+            let mid = if i == 0 {
+                0.5
+            } else {
+                1.5 * (1u64 << i) as f64
+            };
+            sum += c as f64 * mid;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Publish the report into a telemetry registry under `executor/*`
+    /// metric names, labelled by `label` (normally the policy label).
+    pub fn record_into(&self, reg: &mut mb_telemetry::metrics::Registry, label: &str) {
+        reg.count("executor/admissions", label, self.admissions);
+        reg.count("executor/lookahead_grants", label, self.lookahead_grants);
+        reg.count("executor/horizon_waits", label, self.horizon_waits);
+        reg.record_gauge("executor/workers", label, self.workers as f64);
+        reg.record_gauge("executor/lookahead_s", label, self.lookahead_s);
+        reg.record_gauge(
+            "executor/max_ready_depth",
+            label,
+            self.max_ready_depth as f64,
+        );
+        reg.record_gauge("executor/max_occupancy", label, self.max_occupancy as f64);
+        // Replay each power-of-two bucket as capped representative
+        // observations: the histogram keeps its shape and extremes
+        // without the registry payload scaling with admission count.
+        let bounds: Vec<f64> = (0..16).map(|i| (1u64 << i) as f64).collect();
+        for (metric, hist) in [
+            ("executor/ready_depth", &self.depth_hist),
+            ("executor/occupancy", &self.occupancy_hist),
+        ] {
+            let h = reg.histogram(metric, label, &bounds);
+            for (i, &c) in hist.iter().enumerate() {
+                for _ in 0..c.min(64) {
+                    reg.observe(h, if i == 0 { 0.0 } else { (1u64 << i) as f64 });
+                }
+            }
+        }
+    }
+}
+
+/// One rank's parking spot: the flag is "admitted", flipped by the
+/// dispatcher under the gate lock, then signalled with `notify_one`.
+struct Gate {
+    admitted: Mutex<bool>,
+    cv: Condvar,
+}
+
+struct CoreState {
+    running: usize,
+    ready: usize,
+    tasks: Vec<TaskState>,
+    /// Min-heap of `(clock_key, rank)` over Ready tasks; entries are
+    /// lazily invalidated (valid iff the rank is still Ready at that
+    /// exact clock).
+    ready_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Min-heap of `(clock_key, rank)` over Running tasks' admission
+    /// clocks; same lazy invalidation.
+    running_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    report: ExecutorReport,
+}
+
+impl CoreState {
+    /// Clock of the slowest admitted task, if any (lower bound: running
+    /// tasks only ever advance past their admission clock).
+    fn min_running(&mut self) -> Option<f64> {
+        while let Some(&Reverse((key, rank))) = self.running_heap.peek() {
+            match self.tasks[rank] {
+                TaskState::Running(c) if clock_key(c) == key => return Some(c),
+                _ => {
+                    self.running_heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Pop the valid ready minimum, if any.
+    fn peek_ready(&mut self) -> Option<(f64, usize)> {
+        while let Some(&Reverse((key, rank))) = self.ready_heap.peek() {
+            match self.tasks[rank] {
+                TaskState::Ready(c) if clock_key(c) == key => return Some((c, rank)),
+                _ => {
+                    self.ready_heap.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The event-driven executor core. Implements [`Admission`] so the
+/// communicator's slot-handoff protocol (release before a blocking recv,
+/// re-acquire after) is unchanged from the legacy scheduler.
+pub struct EventCore {
+    workers: usize,
+    lookahead_s: f64,
+    state: Mutex<CoreState>,
+    gates: Vec<Gate>,
+}
+
+impl EventCore {
+    /// A core with `workers` execution slots serving `nranks` tasks and a
+    /// lookahead horizon of `lookahead_s` virtual seconds.
+    pub fn new(workers: usize, nranks: usize, lookahead_s: f64) -> Self {
+        let workers = workers.max(1);
+        EventCore {
+            workers,
+            lookahead_s,
+            state: Mutex::new(CoreState {
+                running: 0,
+                ready: 0,
+                tasks: vec![TaskState::Blocked; nranks],
+                ready_heap: BinaryHeap::with_capacity(nranks),
+                running_heap: BinaryHeap::with_capacity(nranks),
+                report: ExecutorReport {
+                    workers,
+                    nranks,
+                    lookahead_s,
+                    ..ExecutorReport::default()
+                },
+            }),
+            gates: (0..nranks)
+                .map(|_| Gate {
+                    admitted: Mutex::new(false),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The lookahead horizon, from `MB_LOOKAHEAD` (seconds) when set and
+    /// parsable, else `default_s` (normally the network model's minimum
+    /// delivery delay).
+    pub fn lookahead_from_env(default_s: f64) -> f64 {
+        match std::env::var("MB_LOOKAHEAD") {
+            Ok(v) => v
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|l| *l >= 0.0)
+                .unwrap_or(default_s),
+            Err(_) => default_s,
+        }
+    }
+
+    /// Execution slots in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Snapshot of the executor counters.
+    pub fn report(&self) -> ExecutorReport {
+        self.state.lock().expect("event core lock").report.clone()
+    }
+
+    /// Admit every admissible ready task while slots are free. Called
+    /// with the state lock held, on every arrival and release.
+    fn dispatch(&self, st: &mut CoreState) {
+        let depth = st.ready;
+        st.report.sample_depth(depth);
+        while st.running < self.workers {
+            let Some((clock, rank)) = st.peek_ready() else {
+                break;
+            };
+            let min_running = st.min_running();
+            match min_running {
+                Some(floor) if clock > floor + self.lookahead_s => {
+                    // Beyond the horizon: running it now is still *legal*
+                    // (results are admission-order independent) but would
+                    // let virtual-clock skew — and pending-message memory
+                    // — grow unboundedly. Wait for the floor to advance.
+                    st.report.horizon_waits += 1;
+                    break;
+                }
+                _ => {}
+            }
+            st.ready_heap.pop();
+            st.ready -= 1;
+            st.tasks[rank] = TaskState::Running(clock);
+            st.running_heap.push(Reverse((clock_key(clock), rank)));
+            st.running += 1;
+            st.report.admissions += 1;
+            if matches!(min_running, Some(floor) if clock > floor) {
+                st.report.lookahead_grants += 1;
+            }
+            st.report.sample_occupancy(st.running);
+            let mut admitted = self.gates[rank].admitted.lock().expect("gate lock");
+            *admitted = true;
+            self.gates[rank].cv.notify_one();
+        }
+    }
+}
+
+impl Admission for EventCore {
+    /// Block until `rank` (at virtual time `clock`) is admitted.
+    fn acquire(&self, rank: usize, clock: f64) {
+        {
+            let mut st = self.state.lock().expect("event core lock");
+            debug_assert!(
+                !matches!(st.tasks[rank], TaskState::Running(_)),
+                "acquire while running"
+            );
+            st.tasks[rank] = TaskState::Ready(clock);
+            st.ready_heap.push(Reverse((clock_key(clock), rank)));
+            st.ready += 1;
+            self.dispatch(&mut st);
+        }
+        let mut admitted = self.gates[rank].admitted.lock().expect("gate lock");
+        while !*admitted {
+            admitted = self.gates[rank].cv.wait(admitted).expect("gate wait");
+        }
+        *admitted = false;
+    }
+
+    /// Give up `rank`'s slot (about to block on a message, or finished).
+    fn release(&self, rank: usize) {
+        let mut st = self.state.lock().expect("event core lock");
+        debug_assert!(
+            matches!(st.tasks[rank], TaskState::Running(_)),
+            "release without slot"
+        );
+        st.tasks[rank] = TaskState::Blocked;
+        st.running -= 1;
+        self.dispatch(&mut st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn clock_key_preserves_order() {
+        let vals = [-2.0, -0.5, -0.0, 0.0, 1e-12, 85e-6, 1.0, 1e9];
+        for w in vals.windows(2) {
+            assert!(clock_key(w[0]) <= clock_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        assert!(clock_key(-1.0) < clock_key(1.0));
+    }
+
+    #[test]
+    fn core_never_exceeds_worker_count() {
+        let nranks = 12;
+        for workers in [1usize, 3] {
+            let core = Arc::new(EventCore::new(workers, nranks, 1.0));
+            let running = Arc::new(AtomicUsize::new(0));
+            let peak = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|scope| {
+                for rank in 0..nranks {
+                    let core = Arc::clone(&core);
+                    let running = Arc::clone(&running);
+                    let peak = Arc::clone(&peak);
+                    scope.spawn(move || {
+                        for round in 0..16 {
+                            core.acquire(rank, round as f64 + rank as f64 / 100.0);
+                            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            std::thread::yield_now();
+                            running.fetch_sub(1, Ordering::SeqCst);
+                            core.release(rank);
+                        }
+                    });
+                }
+            });
+            assert!(
+                peak.load(Ordering::SeqCst) <= workers,
+                "peak concurrency {} exceeded {workers} workers",
+                peak.load(Ordering::SeqCst)
+            );
+            let rep = core.report();
+            assert_eq!(rep.admissions, (nranks * 16) as u64);
+            assert!(rep.max_occupancy <= workers);
+        }
+    }
+
+    #[test]
+    fn single_slot_admission_is_lowest_clock_first() {
+        // With one slot and all tasks queued before any admission, the
+        // heap hands out slots in (clock, rank) order — same contract the
+        // legacy scheduler's admission test pins down.
+        let nranks = 6;
+        let core = Arc::new(EventCore::new(1, nranks, 0.0));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        core.acquire(0, -1.0);
+        std::thread::scope(|scope| {
+            for rank in 1..nranks {
+                let core = Arc::clone(&core);
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    core.acquire(rank, (nranks - rank) as f64);
+                    order.lock().unwrap().push(rank);
+                    core.release(rank);
+                });
+            }
+            while core.state.lock().unwrap().ready < nranks - 1 {
+                std::thread::yield_now();
+            }
+            core.release(0);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn horizon_defers_far_future_tasks_while_one_runs() {
+        // Rank 0 holds a slot at clock 0; a task 10 s ahead must wait
+        // even though a second slot is free, and a task inside the
+        // horizon must be admitted through it.
+        let core = EventCore::new(2, 3, 1.0);
+        core.acquire(0, 0.0);
+        let near_admitted = Arc::new(AtomicUsize::new(0));
+        let far_admitted = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            {
+                let core = &core;
+                let far_admitted = Arc::clone(&far_admitted);
+                scope.spawn(move || {
+                    core.acquire(1, 10.0);
+                    far_admitted.store(1, Ordering::SeqCst);
+                    core.release(1);
+                });
+            }
+            // Give the far task a chance to (wrongly) get in.
+            while core.state.lock().unwrap().ready < 1 {
+                std::thread::yield_now();
+            }
+            std::thread::yield_now();
+            assert_eq!(
+                far_admitted.load(Ordering::SeqCst),
+                0,
+                "10 s > 0 + 1 s horizon"
+            );
+            {
+                let core = &core;
+                let near_admitted = Arc::clone(&near_admitted);
+                scope.spawn(move || {
+                    core.acquire(2, 0.5);
+                    near_admitted.store(1, Ordering::SeqCst);
+                    core.release(2);
+                });
+            }
+            // The near task (0.5 ≤ 0 + 1.0) rides through the horizon
+            // while rank 0 still runs: a lookahead grant.
+            while near_admitted.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            // Far task still parked until rank 0 releases and the floor
+            // becomes 10.0's own clock.
+            assert_eq!(far_admitted.load(Ordering::SeqCst), 0);
+            core.release(0);
+        });
+        assert_eq!(far_admitted.load(Ordering::SeqCst), 1);
+        let rep = core.report();
+        assert!(rep.horizon_waits >= 1, "far task deferred: {rep:?}");
+        assert!(rep.lookahead_grants >= 1, "near task granted: {rep:?}");
+    }
+
+    #[test]
+    fn lookahead_env_override_parses() {
+        assert_eq!(EventCore::lookahead_from_env(85e-6), 85e-6);
+        // Parsing itself (env mutation is process-global, so exercise the
+        // parser through the documented contract only).
+        assert_eq!("0.25".trim().parse::<f64>().ok(), Some(0.25));
+    }
+
+    #[test]
+    fn report_histograms_bucket_by_powers_of_two() {
+        let mut r = ExecutorReport::default();
+        r.sample_depth(0);
+        r.sample_depth(1);
+        r.sample_depth(2);
+        r.sample_depth(3);
+        r.sample_depth(1024);
+        assert_eq!(r.depth_hist[0], 2);
+        assert_eq!(r.depth_hist[1], 2);
+        assert_eq!(r.depth_hist[10], 1);
+        assert_eq!(r.max_ready_depth, 1024);
+        assert!(r.mean_ready_depth() > 0.0);
+    }
+}

@@ -3,34 +3,38 @@
 //!
 //! Every rank always runs on its own scoped thread (a blocked `recv` must
 //! be able to suspend mid-closure), but *how many ranks make host
-//! progress at once* is an [`ExecPolicy`]:
+//! progress at once* is an [`ExecPolicy`], and *which engine admits
+//! them* follows from the policy:
 //!
-//! * [`ExecPolicy::Unbounded`] — every rank runs whenever the OS lets it
-//!   (one runnable thread per rank). This is the fastest mode on a
-//!   multi-core host and the default.
+//! * [`ExecPolicy::Sequential`] — exactly one rank runs at a time,
+//!   admitted by the legacy conservative [`Scheduler`] in this module:
+//!   the reference engine benchmarks compare against.
 //! * [`ExecPolicy::Parallel`] — at most `workers` ranks hold an
-//!   *execution slot* at any instant; the rest are parked. This bounds
-//!   host CPU/memory pressure for big sweeps (24 simulated ranks on an
-//!   8-core box) without changing any simulated result.
-//! * [`ExecPolicy::Sequential`] — exactly one rank runs at a time (the
-//!   `workers == 1` special case): the reference engine benchmarks
-//!   compare against.
+//!   *execution slot* at any instant, admitted by the event-driven
+//!   [`crate::event::EventCore`] (heap-ordered ready queue, per-rank
+//!   lookahead, per-rank wakeups). This bounds host CPU/memory pressure
+//!   for big sweeps without changing any simulated result.
+//! * [`ExecPolicy::Unbounded`] — every rank is admissible at all times:
+//!   the `workers == nranks` special case of the event core. The default.
 //!
 //! **The conservative-scheduler invariant.** When slots are scarce the
-//! [`Scheduler`] always admits the waiting rank with the *lowest virtual
-//! clock* (ties broken by rank id). A rank at the globally minimal
-//! virtual time can never be affected by a virtual-time-earlier message
-//! that does not exist yet — every message it will ever receive carries a
-//! delivery timestamp at or after some sender's current clock — so
-//! advancing it is always safe, and the policy also bounds virtual-clock
-//! skew between ranks (which bounds the pending-message buffers).
+//! legacy [`Scheduler`] always admits the waiting rank with the *lowest
+//! virtual clock* (ties broken by rank id). A rank at the globally
+//! minimal virtual time can never be affected by a virtual-time-earlier
+//! message that does not exist yet — every message it will ever receive
+//! carries a delivery timestamp at or after some sender's current clock —
+//! so advancing it is always safe, and the policy also bounds
+//! virtual-clock skew between ranks (which bounds the pending-message
+//! buffers). The event core relaxes this global-minimum barrier into a
+//! per-rank lookahead window derived from the network model — see
+//! [`crate::event`] for why that is equally safe.
 //! Determinism itself does not *depend* on the admission order: the
 //! communicator's receives name their source rank and are FIFO per
 //! (source, tag), so a rank's virtual clock is a pure function of its own
 //! event sequence and its senders' timestamps. The scheduler therefore
 //! only decides *wall-clock* behaviour; `SpmdOutcome`s are bit-identical
-//! under every policy (test-enforced at 1/4/8/24 ranks, and regressed
-//! end-to-end by `tests/determinism.rs` on the 24-rank treecode step).
+//! under every policy and both engines (test-enforced at 1/4/8/24/256
+//! ranks, and regressed end-to-end by `tests/determinism.rs`).
 //!
 //! A rank releases its slot whenever it would block the host thread
 //! waiting for a message, and re-applies for one (at its current virtual
@@ -46,7 +50,7 @@ use std::sync::{Condvar, Mutex};
 /// The default comes from the `MB_PARALLEL` environment variable:
 /// unset/empty → `Unbounded`, `0`/`seq`/`sequential` → `Sequential`,
 /// `N` → `Parallel { workers: N }`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecPolicy {
     /// One rank makes progress at a time (reference engine).
     Sequential,
@@ -100,6 +104,20 @@ impl ExecPolicy {
             None => "unbounded".into(),
         }
     }
+}
+
+/// The slot-handoff protocol between rank tasks and an executor engine:
+/// a rank blocks in [`Admission::acquire`] until it may make host
+/// progress, and calls [`Admission::release`] whenever it is about to
+/// block on a message (or has finished). Implemented by the legacy
+/// [`Scheduler`] (the sequential reference engine) and by the
+/// event-driven [`crate::event::EventCore`] that backs the parallel
+/// policies.
+pub trait Admission: Send + Sync {
+    /// Block until `rank` (at virtual time `clock`) is admitted to run.
+    fn acquire(&self, rank: usize, clock: f64);
+    /// Give up `rank`'s slot (about to block on a message, or finished).
+    fn release(&self, rank: usize);
 }
 
 /// Per-rank scheduling state.
@@ -176,6 +194,16 @@ impl Scheduler {
         st.ranks[rank] = RankState::Detached;
         st.running -= 1;
         self.cv.notify_all();
+    }
+}
+
+impl Admission for Scheduler {
+    fn acquire(&self, rank: usize, clock: f64) {
+        Scheduler::acquire(self, rank, clock);
+    }
+
+    fn release(&self, rank: usize) {
+        Scheduler::release(self, rank);
     }
 }
 

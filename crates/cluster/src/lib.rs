@@ -62,6 +62,7 @@
 
 pub mod checkpoint;
 pub mod comm;
+pub mod event;
 pub mod exec;
 pub mod machine;
 pub mod network;
@@ -73,6 +74,7 @@ pub mod thermal;
 pub mod trace;
 
 pub use comm::{Comm, CommStats, PeerTraffic};
+pub use event::{EventCore, ExecutorReport};
 pub use exec::ExecPolicy;
 pub use machine::{Cluster, SpmdOutcome};
 pub use network::NetworkModel;

@@ -13,12 +13,13 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::unbounded;
 use mb_telemetry::summary::{RankTime, RunSummary};
 use mb_telemetry::trace::{MemorySink, RunTrace};
+use std::sync::mpsc::channel;
 
 use crate::comm::{Comm, CommStats, Msg};
-use crate::exec::{ExecPolicy, Scheduler};
+use crate::event::{EventCore, ExecutorReport};
+use crate::exec::{Admission, ExecPolicy, Scheduler};
 use crate::network::NetworkModel;
 use crate::spec::ClusterSpec;
 
@@ -31,6 +32,11 @@ pub struct SpmdOutcome<R> {
     pub clocks: Vec<f64>,
     /// Per-rank communication/computation statistics.
     pub stats: Vec<CommStats>,
+    /// Executor-core counters for the run (empty/default under the
+    /// legacy sequential reference engine). Wall-clock-side observability
+    /// only: never part of outcome fingerprints, which cover `results`,
+    /// `clocks` and `stats` — the simulated quantities.
+    pub exec_report: ExecutorReport,
 }
 
 impl<R> SpmdOutcome<R> {
@@ -173,7 +179,7 @@ impl Cluster {
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<Msg>();
+            let (tx, rx) = channel::<Msg>();
             txs.push(tx);
             rxs.push(rx);
         }
@@ -185,8 +191,27 @@ impl Cluster {
         // Drop the original senders so channels close when ranks finish.
         drop(txs);
 
-        // Bounded policies share one slot scheduler; unbounded runs free.
-        let sched = self.exec.workers().map(|w| Arc::new(Scheduler::new(w, n)));
+        // Engine selection: the sequential reference policy keeps the
+        // legacy conservative scheduler (the baseline benchmarks compare
+        // against); every parallel policy runs on the event-driven core,
+        // with `Unbounded` as the workers == nranks special case so even
+        // free-running jobs get lookahead skew bounding and executor
+        // telemetry. Results are bit-identical either way (test-enforced).
+        let lookahead = EventCore::lookahead_from_env(net.min_delivery_delay());
+        let mut core: Option<Arc<EventCore>> = None;
+        let sched: Option<Arc<dyn Admission>> = match self.exec {
+            ExecPolicy::Sequential => Some(Arc::new(Scheduler::new(1, n))),
+            ExecPolicy::Parallel { workers } => {
+                let c = Arc::new(EventCore::new(workers, n, lookahead));
+                core = Some(Arc::clone(&c));
+                Some(c)
+            }
+            ExecPolicy::Unbounded => {
+                let c = Arc::new(EventCore::new(n, n, lookahead));
+                core = Some(Arc::clone(&c));
+                Some(c)
+            }
+        };
         let f = &f;
         type RankOut<R> = (R, f64, CommStats, Vec<mb_telemetry::trace::SpanEvent>);
         let mut results: Vec<Option<RankOut<R>>> = (0..n).map(|_| None).collect();
@@ -237,6 +262,7 @@ impl Cluster {
                 results: vals,
                 clocks,
                 stats,
+                exec_report: core.map(|c| c.report()).unwrap_or_default(),
             },
             RunTrace { ranks },
         )

@@ -14,7 +14,7 @@ use crate::comm::Comm;
 use crate::machine::{Cluster, SpmdOutcome};
 
 /// A sorted, duplicate-free set of node ids within a cluster.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NodeSet {
     ids: Vec<usize>,
 }

@@ -10,13 +10,12 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Hours per year.
 const HOURS_PER_YEAR: f64 = 8760.0;
 
 /// The temperature-dependent failure law.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FailureLaw {
     /// Failure rate at the reference temperature, failures per node-year.
     pub base_rate_per_year: f64,
@@ -61,7 +60,7 @@ impl FailureLaw {
 }
 
 /// One sampled failure event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureEvent {
     /// Hours since start.
     pub at_hours: f64,

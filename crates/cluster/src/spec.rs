@@ -1,12 +1,10 @@
 //! Machine specifications and the catalog of the paper's clusters.
 
-use serde::{Deserialize, Serialize};
-
 /// A CPU as the cluster simulator sees it: a clock, an *effective
 /// application floating-point rate* (what the treecode actually sustains
 /// per processor — derivable from the `mb-crusoe` models and cross-checked
 /// against the paper's Table 4), and electrical characteristics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuSpec {
     /// Display name.
     pub name: String,
@@ -23,7 +21,7 @@ pub struct CpuSpec {
 }
 
 /// A compute node: CPU plus memory, disk and NIC.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeSpec {
     /// The processor.
     pub cpu: CpuSpec,
@@ -42,7 +40,7 @@ pub struct NodeSpec {
 
 /// The interconnect: a switched star (every node has one link to the
 /// switch), parameterized LogGP-style.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NetworkSpec {
     /// One-way small-message latency (software + wire + switch), seconds.
     pub latency_s: f64,
@@ -77,7 +75,7 @@ impl NetworkSpec {
 }
 
 /// How the cluster is packaged (feeds space/cooling models).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PackagingKind {
     /// Commodity towers / rack servers with fans and machine-room cooling.
     Traditional,
@@ -86,7 +84,7 @@ pub enum PackagingKind {
 }
 
 /// A whole cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// Display name.
     pub name: String,

@@ -9,15 +9,13 @@
 //! run cooler *despite* warmer ambient because each node dissipates so
 //! little.
 
-use serde::{Deserialize, Serialize};
-
 /// Convert Fahrenheit to Celsius (the paper quotes ambients in °F).
 pub fn f_to_c(f: f64) -> f64 {
     (f - 32.0) * 5.0 / 9.0
 }
 
 /// Steady-state thermal model of one node.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ThermalModel {
     /// Ambient temperature, °C.
     pub ambient_c: f64,

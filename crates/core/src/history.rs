@@ -8,10 +8,8 @@
 //! this reproduction (CMS-simulated per-CPU rate × cluster efficiency)
 //! and cross-checked against the paper's 2.1 / 3.3 Gflops.
 
-use serde::{Deserialize, Serialize};
-
 /// Where a row's numbers come from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Provenance {
     /// Published historical measurement (machine no longer exists).
     Recorded,
@@ -20,7 +18,7 @@ pub enum Provenance {
 }
 
 /// One Table 4 row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreecodeRecord {
     /// Machine name as the paper prints it.
     pub machine: String,

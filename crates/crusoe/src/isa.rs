@@ -16,24 +16,22 @@
 //! execution, and by the hardware CPU models — timing differs, values never
 //! do. That invariant is what the cross-engine tests check.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of integer registers.
 pub const NUM_REGS: usize = 16;
 /// Number of floating-point registers.
 pub const NUM_FREGS: usize = 16;
 
 /// An integer register, `R0..R15`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Reg(pub u8);
 
 /// A floating-point register, `F0..F15`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FReg(pub u8);
 
 /// Branch conditions, evaluated against the flags set by the last
 /// `Cmp`/`CmpImm`/`FCmp`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// Equal.
     Eq,
@@ -50,7 +48,7 @@ pub enum Cond {
 }
 
 /// A memory operand: `[base + index·2^scale + disp]`, in 64-bit words.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Addr {
     /// Base register (`None` for absolute addressing).
     pub base: Option<Reg>,
@@ -99,7 +97,7 @@ impl Addr {
 ///
 /// Branch targets are absolute instruction indices (the
 /// [`ProgramBuilder`](crate::program::ProgramBuilder) resolves labels).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Insn {
     // ---- integer ----
     /// `dst ← imm`.

@@ -6,11 +6,9 @@
 //! are executed in parallel. The format of the molecule directly determines
 //! how atoms get routed to functional units" (§2.1).
 
-use serde::{Deserialize, Serialize};
-
 /// The operation performed by one atom. Latency and functional-unit
 /// routing are properties of the *target core*, not of the atom itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Simple integer ALU op (add/sub/logic/shift/compare/move).
     IntAlu,
@@ -82,7 +80,7 @@ impl OpKind {
 /// Functional-unit classes of the Crusoe VLIW engine (§2.1: "two integer
 /// units, a floating-point unit, a memory (load/store) unit, and a branch
 /// unit").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FuClass {
     /// Integer ALU (Crusoe has two; each is a 7-stage pipeline).
     Alu,
@@ -116,7 +114,7 @@ impl FuClass {
 /// A molecule holding one or two atoms is encoded in the short 64-bit
 /// format; three or four atoms use the 128-bit format. This matters for
 /// code size in the translation cache.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Molecule {
     /// Indices (into the block's atom list) of the atoms in this molecule.
     pub atoms: Vec<usize>,

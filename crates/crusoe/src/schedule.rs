@@ -477,26 +477,33 @@ mod schedule_properties {
     use super::*;
     use crate::atoms::Atom;
     use crate::molecule::{FuClass, OpKind};
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_atom() -> impl Strategy<Value = Atom> {
-        let kind = prop_oneof![
-            Just(OpKind::IntAlu),
-            Just(OpKind::IntMul),
-            Just(OpKind::FpAdd),
-            Just(OpKind::FpMul),
-            Just(OpKind::FpDiv),
-            Just(OpKind::FpMov),
-            Just(OpKind::Load),
-            Just(OpKind::Store),
+    fn random_atom(rng: &mut StdRng) -> Atom {
+        const KINDS: [OpKind; 8] = [
+            OpKind::IntAlu,
+            OpKind::IntMul,
+            OpKind::FpAdd,
+            OpKind::FpMul,
+            OpKind::FpDiv,
+            OpKind::FpMov,
+            OpKind::Load,
+            OpKind::Store,
         ];
-        (kind, proptest::collection::vec(0u16..24, 0..3), 0u16..24).prop_map(
-            |(kind, reads, write)| Atom {
-                kind,
-                reads,
-                writes: vec![write],
-            },
-        )
+        let kind = KINDS[rng.random_range(0..KINDS.len())];
+        let n_reads = rng.random_range(0..3usize);
+        let reads = (0..n_reads).map(|_| rng.random_range(0..24u16)).collect();
+        Atom {
+            kind,
+            reads,
+            writes: vec![rng.random_range(0..24u16)],
+        }
+    }
+
+    fn random_block(rng: &mut StdRng) -> Vec<Atom> {
+        let n = rng.random_range(1..40usize);
+        (0..n).map(|_| random_atom(rng)).collect()
     }
 
     fn cores() -> Vec<CoreParams> {
@@ -507,13 +514,13 @@ mod schedule_properties {
         vec![CoreParams::tm5600_vliw(), in_order, windowed]
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Every atom is scheduled exactly once; per-cycle functional-unit
-        /// and issue-width limits hold; RAW dependences respect latency.
-        #[test]
-        fn schedules_are_valid(atoms in proptest::collection::vec(arb_atom(), 1..40)) {
+    /// Every atom is scheduled exactly once; per-cycle functional-unit
+    /// and issue-width limits hold; RAW dependences respect latency.
+    #[test]
+    fn schedules_are_valid() {
+        let mut rng = StdRng::seed_from_u64(0xC001);
+        for case in 0..64 {
+            let atoms = random_block(&mut rng);
             for core in cores() {
                 let s = schedule_block(&atoms, &core);
                 // Coverage: each atom appears in exactly one molecule.
@@ -523,20 +530,24 @@ mod schedule_properties {
                         seen[ai] += 1;
                     }
                 }
-                prop_assert!(seen.iter().all(|&c| c == 1), "{}: coverage {:?}", core.name, seen);
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "case {case} {}: coverage {seen:?}",
+                    core.name
+                );
                 // Per-cycle limits.
                 let mut issue_cycle = vec![0u64; atoms.len()];
                 for (cycle, m) in s.molecules.iter().enumerate() {
-                    prop_assert!(m.atoms.len() <= core.issue_width);
+                    assert!(m.atoms.len() <= core.issue_width);
                     let mut per = [0usize; 4];
                     for &ai in &m.atoms {
                         issue_cycle[ai] = cycle as u64;
                         per[FuClass::for_op(atoms[ai].kind) as usize] += 1;
                     }
-                    prop_assert!(per[FuClass::Alu as usize] <= core.slots.alu);
-                    prop_assert!(per[FuClass::Fpu as usize] <= core.slots.fpu);
-                    prop_assert!(per[FuClass::Mem as usize] <= core.slots.mem);
-                    prop_assert!(per[FuClass::Branch as usize] <= core.slots.branch);
+                    assert!(per[FuClass::Alu as usize] <= core.slots.alu);
+                    assert!(per[FuClass::Fpu as usize] <= core.slots.fpu);
+                    assert!(per[FuClass::Mem as usize] <= core.slots.mem);
+                    assert!(per[FuClass::Branch as usize] <= core.slots.branch);
                 }
                 // RAW: a reader issues no earlier than the most recent
                 // prior writer's completion.
@@ -545,30 +556,35 @@ mod schedule_properties {
                         let producer = (0..j).rev().find(|&i| atoms[i].writes.contains(&r));
                         if let Some(i) = producer {
                             let ready = issue_cycle[i] + core.lat.of(atoms[i].kind) as u64;
-                            prop_assert!(
+                            assert!(
                                 issue_cycle[j] >= ready,
-                                "{}: atom {j} reads {r} at {} before atom {i} completes at {ready}",
-                                core.name, issue_cycle[j]
+                                "case {case} {}: atom {j} reads {r} at {} before atom {i} completes at {ready}",
+                                core.name,
+                                issue_cycle[j]
                             );
                         }
                     }
                 }
                 // Makespan is at least the last issue cycle.
                 let last = issue_cycle.iter().max().copied().unwrap_or(0);
-                prop_assert!(s.cycles >= last);
+                assert!(s.cycles >= last);
             }
         }
+    }
 
-        /// The translator (infinite window) never does worse than strict
-        /// in-order issue.
-        #[test]
-        fn reordering_never_hurts(atoms in proptest::collection::vec(arb_atom(), 1..40)) {
+    /// The translator (infinite window) never does worse than strict
+    /// in-order issue.
+    #[test]
+    fn reordering_never_hurts() {
+        let mut rng = StdRng::seed_from_u64(0xC002);
+        for case in 0..64 {
+            let atoms = random_block(&mut rng);
             let translator = CoreParams::tm5600_vliw();
             let mut in_order = CoreParams::tm5600_vliw();
             in_order.window = 0;
             let a = schedule_block(&atoms, &translator).cycles;
             let b = schedule_block(&atoms, &in_order).cycles;
-            prop_assert!(a <= b, "translator {a} > in-order {b}");
+            assert!(a <= b, "case {case}: translator {a} > in-order {b}");
         }
     }
 }

@@ -8,12 +8,10 @@
 //! the blade node is 21.7 W at the wall (6-W TM5600 CPU + memory/disk/NIC +
 //! chassis share), matching the 0.52-kW cluster figure used in Table 7.
 
-use serde::{Deserialize, Serialize};
-
 use crate::tco::{DowntimeModel, SysAdminModel, TcoInputs};
 
 /// The five cluster families of Table 5, in the paper's column order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClusterFamily {
     /// 24 × 533-MHz Compaq/DEC Alpha (EV56-class) nodes.
     Alpha,
@@ -57,7 +55,7 @@ impl ClusterFamily {
 
 /// Cost profile for one cluster family, plus the paper's published Table 5
 /// row (in thousands of dollars, as printed) for regression checking.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterCostProfile {
     /// Which family this is.
     pub family: ClusterFamily,

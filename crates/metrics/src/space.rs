@@ -5,10 +5,8 @@
 //! Beowulf's cost would increase ten-fold to $80,000, i.e., 33 times more
 //! expensive!").
 
-use serde::{Deserialize, Serialize};
-
 /// How a cluster is physically packaged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Packaging {
     /// Traditional Beowulf: commodity mini-towers / 1U-2U rack servers on
     /// shelves. The paper's 24-node clusters occupy 20 ft².
@@ -19,7 +17,7 @@ pub enum Packaging {
 }
 
 /// Footprint model for a cluster of `n` nodes.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FootprintModel {
     /// Packaging style.
     pub packaging: Packaging,

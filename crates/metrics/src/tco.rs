@@ -5,13 +5,11 @@
 //! (four-year operational lifetime, $0.10/kWh, $100/ft²/yr, $5/CPU-hour
 //! downtime, 1.5× power for cooling on actively-cooled clusters).
 
-use serde::{Deserialize, Serialize};
-
 /// Hours in a (non-leap) year, as the paper uses: 8760.
 pub const HOURS_PER_YEAR: f64 = 8760.0;
 
 /// Site- and study-wide cost constants (the paper's §4.1 assumptions).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostConstants {
     /// Operational lifetime over which TCO is accumulated (paper: 4 years).
     pub lifetime_years: f64,
@@ -46,7 +44,7 @@ impl Default for CostConstants {
 /// Traditional Beowulfs in the paper's experience cost ~$15K/year in labor
 /// and materials; the Bladed Beowulf cost a one-time 2.5-hour setup plus a
 /// budgeted one repair per year.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SysAdminModel {
     /// One-time setup labor, in hours (blade: 2.5 h; traditional: folded
     /// into the annual figure).
@@ -94,7 +92,7 @@ impl SysAdminModel {
 /// The key structural difference the paper leans on: on a traditional
 /// Beowulf "a single failure causes the entire cluster to go down", while a
 /// blade failure is hot-swapped and idles only the failed node.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DowntimeModel {
     /// Outage events per year.
     pub outages_per_year: f64,
@@ -161,7 +159,7 @@ impl DowntimeModel {
 /// let tco = blade.evaluate(&CostConstants::default());
 /// assert!((tco.total() / 1000.0 - 35.3).abs() < 1.0); // the paper's $35K
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TcoInputs {
     /// Human-readable name (e.g. "TM5600").
     pub name: String,
@@ -187,7 +185,7 @@ pub struct TcoInputs {
 }
 
 /// The evaluated TCO, broken down exactly as the paper's Table 5 rows.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcoBreakdown {
     /// AC = HWC + SWC.
     pub acquisition: f64,

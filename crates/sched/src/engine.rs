@@ -4,8 +4,9 @@
 //! policy: a discrete-event loop over arrivals, completions, node
 //! failures (from [`mb_cluster::reliability::sample_failures`]) and
 //! repairs. Job service times come from a [`ServiceModel`] that lowers
-//! each distinct `(step pattern, width)` pair onto the simulated
-//! cluster exactly once via [`Cluster::run_on`]; checkpoint/restart
+//! each distinct `(executor policy, node set, step pattern)` triple onto
+//! the simulated cluster exactly once via [`Cluster::run_on`];
+//! checkpoint/restart
 //! overhead and failure rework follow the Young/Daly
 //! [`CheckpointModel`]. Everything is a pure function of its inputs —
 //! the run fingerprint is bit-identical under every `MB_PARALLEL`
@@ -17,7 +18,7 @@ use std::collections::HashMap;
 
 use mb_cluster::checkpoint::CheckpointModel;
 use mb_cluster::reliability::{sample_failures, FailureLaw};
-use mb_cluster::{Cluster, NodeSet};
+use mb_cluster::{Cluster, ExecPolicy, NodeSet};
 use mb_telemetry::{Fnv, Registry};
 
 use crate::job::{JobRecord, JobSpec, WorkModel};
@@ -136,17 +137,27 @@ impl CkptCharge {
 
 /// Memoizing service-time oracle: lowers one step of a work pattern
 /// onto a node subset of the cluster (via [`Cluster::run_on`]) and
-/// caches the resulting virtual makespan per `(step pattern, width)`.
-/// Quantized workload parameters keep the cache small, so a 200-job
-/// stream costs a few dozen SPMD step simulations, not thousands.
+/// caches the resulting virtual makespan per
+/// `(executor policy, node set, step pattern)`. Quantized workload
+/// parameters keep the cache small, so a 200-job stream costs a few
+/// dozen SPMD step simulations, not thousands.
 pub struct ServiceModel<'a> {
     cluster: &'a Cluster,
     memo: RefCell<HashMap<ServiceKey, f64>>,
 }
 
-/// Cache key for [`ServiceModel`]: a work model's quantized step
-/// pattern ([`WorkModel::step_key`]) plus the rank width it runs at.
-type ServiceKey = ((u8, u64, u64, u64), usize);
+/// Cache key for [`ServiceModel`]: the executor policy the step was
+/// simulated under, the exact node set it ran on, and the work model's
+/// quantized step pattern ([`WorkModel::step_key`]).
+///
+/// Keying on width alone was a latent bug: it silently conflated
+/// simulations from different executor policies (one `ServiceModel` per
+/// cluster, but clusters are `Clone` and callers can re-run a stream
+/// under several policies against one shared cache) and from different
+/// node subsets of equal size — harmless only as long as every machine
+/// in the catalog is homogeneous. The full key makes cache hits
+/// structurally equal simulations instead of coincidentally equal ones.
+type ServiceKey = (ExecPolicy, NodeSet, (u8, u64, u64, u64));
 
 impl<'a> ServiceModel<'a> {
     /// Wrap a cluster.
@@ -162,23 +173,36 @@ impl<'a> ServiceModel<'a> {
         self.cluster
     }
 
-    /// Virtual seconds for one step of `work` on `width` nodes.
-    pub fn step_s(&self, work: &WorkModel, width: usize) -> f64 {
-        assert!(width >= 1, "width must be at least 1");
-        let key = (work.step_key(), width);
+    /// Virtual seconds for one step of `work` on the given nodes.
+    pub fn step_on(&self, work: &WorkModel, nodes: &NodeSet) -> f64 {
+        assert!(!nodes.is_empty(), "step needs at least one node");
+        let key = (self.cluster.exec(), nodes.clone(), work.step_key());
         if let Some(&s) = self.memo.borrow().get(&key) {
             return s;
         }
-        let nodes = NodeSet::new((0..width).collect());
-        let outcome = self.cluster.run_on(&nodes, |comm| work.run_step(comm));
+        let outcome = self.cluster.run_on(nodes, |comm| work.run_step(comm));
         let s = outcome.makespan_s();
         self.memo.borrow_mut().insert(key, s);
         s
     }
 
+    /// Virtual seconds for one step of `work` on `width` nodes (the
+    /// lowest-numbered ones; see [`ServiceModel::step_on`] for an exact
+    /// placement).
+    pub fn step_s(&self, work: &WorkModel, width: usize) -> f64 {
+        assert!(width >= 1, "width must be at least 1");
+        self.step_on(work, &NodeSet::new((0..width).collect()))
+    }
+
     /// Virtual seconds of useful work for the whole job at `width`.
     pub fn work_s(&self, work: &WorkModel, width: usize) -> f64 {
         self.step_s(work, width) * f64::from(work.steps())
+    }
+
+    /// Distinct `(policy, node set, step pattern)` simulations cached so
+    /// far — the number of real SPMD runs this oracle has paid for.
+    pub fn cached_steps(&self) -> usize {
+        self.memo.borrow().len()
     }
 }
 
@@ -713,5 +737,39 @@ mod tests {
         assert_eq!(service.step_s(&long, 4), s);
         assert!((service.work_s(&long, 4) - 1000.0 * s).abs() < 1e-9);
         assert_ne!(service.step_s(&long, 8), s);
+    }
+
+    #[test]
+    fn service_model_keys_on_policy_and_node_set() {
+        let work = WorkModel::Treecode {
+            bodies_per_rank: 1200,
+            steps: 10,
+        };
+        let cluster = Cluster::new(mb_cluster::spec::metablade()).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let low = NodeSet::new(vec![0, 1, 2, 3]);
+        let high = NodeSet::new(vec![20, 21, 22, 23]);
+        let s_low = service.step_on(&work, &low);
+        assert_eq!(service.cached_steps(), 1);
+        // Same width, different placement: a distinct cache entry (the
+        // catalog is homogeneous today, so times still agree — but the
+        // hit must not be a width coincidence).
+        let s_high = service.step_on(&work, &high);
+        assert_eq!(service.cached_steps(), 2);
+        assert_eq!(s_low, s_high);
+        // Repeats are cache hits, not new simulations.
+        service.step_on(&work, &low);
+        assert_eq!(service.cached_steps(), 2);
+        // Same work and nodes under another executor policy: its own
+        // entry, and — the determinism contract — the same makespan bits.
+        let unb = Cluster::new(mb_cluster::spec::metablade()).with_exec(ExecPolicy::Unbounded);
+        let service_unb = ServiceModel::new(&unb);
+        assert_eq!(service_unb.step_on(&work, &low), s_low);
+        assert_eq!(service_unb.cached_steps(), 1);
+        assert_ne!(
+            (unb.exec(), low.clone(), work.step_key()),
+            (cluster.exec(), low, work.step_key()),
+            "distinct keys for distinct policies"
+        );
     }
 }

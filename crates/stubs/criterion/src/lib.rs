@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crate registry, so the workspace vendors
+//! the API subset its benches use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], `bench_function`/`bench_with_input`,
+//! [`BenchmarkId`] and [`Bencher::iter`]. Instead of criterion's
+//! statistical machinery, each benchmark runs a short warmup then
+//! `sample_size` timed batches and reports min/median wall time — enough
+//! to compare executor policies and catch order-of-magnitude
+//! regressions, with zero external dependencies.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion's `black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one parameterized benchmark case.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion's.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure given to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, `samples` times, recording each run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Short warmup so first-touch costs don't dominate.
+        std_black_box(f());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std_black_box(f());
+            self.results.push(t.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    out: &'a mut Vec<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (criterion default is 100; ours is 10 to
+    /// keep `cargo bench` fast on the 1-core container).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_case(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        let mut r = b.results;
+        r.sort();
+        let (min, med) = if r.is_empty() {
+            (Duration::ZERO, Duration::ZERO)
+        } else {
+            (r[0], r[r.len() / 2])
+        };
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{}/{id:<40} min {:>12.3?}  median {:>12.3?}  (n={})",
+            self.name,
+            min,
+            med,
+            r.len()
+        );
+        println!("{line}");
+        self.out.push(line);
+    }
+
+    /// Benchmark a closure under a plain string id.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_case(id.to_string(), f);
+        self
+    }
+
+    /// Benchmark a closure that also receives `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run_case(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (matches criterion's API; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    report: Vec<String>,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            out: &mut self.report,
+        }
+    }
+}
+
+/// Collect bench functions into a runnable group (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn groups_run_and_record() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.report.len(), 2);
+        assert!(c.report[0].contains("g/plain"));
+        assert!(c.report[1].contains("g/with_input/7"));
+    }
+}

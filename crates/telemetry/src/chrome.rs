@@ -3,12 +3,17 @@
 //! Emits the JSON Array Format understood by `chrome://tracing` and
 //! Perfetto: one complete (`"ph":"X"`) event per span with microsecond
 //! timestamps, one thread per rank (pid 0, tid = rank), plus metadata
-//! events naming each track `rank N`. [`validate`] parses a document
-//! back and checks the structural invariants tests rely on: every event
-//! well-formed, timestamps monotonic per track, and nesting well-formed
-//! (spans on one track must stack, never partially overlap).
+//! events naming each track `rank N`. [`export_with_metrics`]
+//! additionally renders a metrics [`Registry`] as counter (`"ph":"C"`)
+//! tracks — executor ready-queue depth, worker occupancy, lookahead
+//! grants and the like land next to the spans in the same viewer.
+//! [`validate`] parses a document back and checks the structural
+//! invariants tests rely on: every event well-formed, timestamps
+//! monotonic per track, and nesting well-formed (spans on one track
+//! must stack, never partially overlap).
 
 use crate::json::{parse, Json};
+use crate::metrics::{MetricValue, Registry};
 use crate::trace::{RunTrace, SpanEvent};
 
 /// Virtual seconds → trace microseconds.
@@ -52,10 +57,7 @@ fn thread_name(rank: usize) -> Json {
     ])
 }
 
-/// Render a whole-run trace as a Chrome trace_event JSON array. Spans
-/// within a rank are sorted by start time (ties: longer span first, so
-/// enclosing spans precede their children, as the viewer expects).
-pub fn export(trace: &RunTrace) -> String {
+fn span_events(trace: &RunTrace) -> Vec<Json> {
     let mut events: Vec<Json> = Vec::new();
     for (rank, spans) in trace.ranks.iter().enumerate() {
         events.push(thread_name(rank));
@@ -63,6 +65,77 @@ pub fn export(trace: &RunTrace) -> String {
         sorted.sort_by(|a, b| a.t0.total_cmp(&b.t0).then(b.t1.total_cmp(&a.t1)));
         for ev in sorted {
             events.push(span_to_json(rank, ev));
+        }
+    }
+    events
+}
+
+/// Render a whole-run trace as a Chrome trace_event JSON array. Spans
+/// within a rank are sorted by start time (ties: longer span first, so
+/// enclosing spans precede their children, as the viewer expects).
+pub fn export(trace: &RunTrace) -> String {
+    Json::Arr(span_events(trace)).to_string()
+}
+
+fn counter_event(name: &str, ts_us: f64, args: Vec<(String, f64)>) -> Json {
+    let mut map = std::collections::BTreeMap::new();
+    for (k, v) in args {
+        map.insert(k, Json::Num(v));
+    }
+    Json::obj([
+        ("name", Json::str(name)),
+        ("ph", Json::str("C")),
+        ("pid", Json::Num(0.0)),
+        ("ts", Json::Num(ts_us)),
+        ("args", Json::Obj(map)),
+    ])
+}
+
+fn series_key(label: &str) -> String {
+    if label.is_empty() {
+        "value".to_string()
+    } else {
+        label.to_string()
+    }
+}
+
+/// [`export`] plus the contents of a metrics [`Registry`] as counter
+/// (`"ph":"C"`) tracks. Counters and gauges become one sample at the
+/// trace's end time; sampled series keep their own virtual timestamps;
+/// histograms surface as their running mean and observation count. The
+/// metric label is the stacked-series key within the named track, so
+/// e.g. every `executor/ready_depth` label shares one counter plot.
+pub fn export_with_metrics(trace: &RunTrace, metrics: &Registry) -> String {
+    let mut events = span_events(trace);
+    let end = us(trace.end_s());
+    for (name, label, value) in metrics.iter() {
+        match value {
+            MetricValue::Counter(c) => {
+                events.push(counter_event(
+                    name,
+                    end,
+                    vec![(series_key(label), *c as f64)],
+                ));
+            }
+            MetricValue::Gauge(g) => {
+                events.push(counter_event(name, end, vec![(series_key(label), *g)]));
+            }
+            MetricValue::Series(points) => {
+                for &(t, v) in points {
+                    events.push(counter_event(name, us(t), vec![(series_key(label), v)]));
+                }
+            }
+            MetricValue::Histogram(h) => {
+                let key = series_key(label);
+                events.push(counter_event(
+                    name,
+                    end,
+                    vec![
+                        (format!("{key} mean"), h.mean()),
+                        (format!("{key} n"), h.n as f64),
+                    ],
+                ));
+            }
         }
     }
     Json::Arr(events).to_string()
@@ -73,6 +146,8 @@ pub fn export(trace: &RunTrace) -> String {
 pub struct ChromeSummary {
     /// Number of `"X"` duration events.
     pub events: usize,
+    /// Number of `"C"` counter samples.
+    pub counters: usize,
     /// Distinct tids (tracks), ascending.
     pub tracks: Vec<usize>,
     /// Latest event end, microseconds.
@@ -84,6 +159,8 @@ pub struct ChromeSummary {
 /// * the document is a JSON array of objects;
 /// * every `"X"` event carries finite `ts >= 0` and `dur >= 0` plus
 ///   integer `pid`/`tid`;
+/// * every `"C"` counter event carries a name, a finite `ts >= 0` and a
+///   non-empty `args` object of finite numeric samples;
 /// * per track, events sorted by `ts` nest properly — a span starting
 ///   inside an earlier span must also end inside it (no partial
 ///   overlap), which is what makes begin/end pairing well-defined;
@@ -94,6 +171,7 @@ pub fn validate(text: &str) -> Result<ChromeSummary, String> {
     let mut per_track: std::collections::BTreeMap<usize, Vec<(f64, f64)>> =
         std::collections::BTreeMap::new();
     let mut events = 0usize;
+    let mut counters = 0usize;
     let mut end_us = 0.0f64;
     for (i, item) in items.iter().enumerate() {
         let ph = item
@@ -101,6 +179,33 @@ pub fn validate(text: &str) -> Result<ChromeSummary, String> {
             .and_then(Json::as_str)
             .ok_or(format!("event {i}: missing ph"))?;
         if ph == "M" {
+            continue;
+        }
+        if ph == "C" {
+            item.get("name")
+                .and_then(Json::as_str)
+                .ok_or(format!("counter {i}: missing name"))?;
+            let ts = item
+                .get("ts")
+                .and_then(Json::as_f64)
+                .ok_or(format!("counter {i}: missing ts"))?;
+            if !ts.is_finite() || ts < 0.0 {
+                return Err(format!("counter {i}: bad ts {ts}"));
+            }
+            let args = item
+                .get("args")
+                .and_then(|a| match a {
+                    Json::Obj(m) if !m.is_empty() => Some(m),
+                    _ => None,
+                })
+                .ok_or(format!("counter {i}: args must be a non-empty object"))?;
+            for (k, v) in args {
+                match v.as_f64() {
+                    Some(x) if x.is_finite() => {}
+                    _ => return Err(format!("counter {i}: sample {k:?} is not finite")),
+                }
+            }
+            counters += 1;
             continue;
         }
         if ph != "X" {
@@ -166,6 +271,7 @@ pub fn validate(text: &str) -> Result<ChromeSummary, String> {
     }
     Ok(ChromeSummary {
         events,
+        counters,
         tracks: per_track.keys().copied().collect(),
         end_us,
     })
@@ -242,6 +348,56 @@ mod tests {
             .map(|e| e.get("name").unwrap().as_str().unwrap())
             .collect();
         assert_eq!(names, vec!["step", "send", "compute"]);
+    }
+
+    #[test]
+    fn metrics_export_emits_counter_tracks() {
+        let mut reg = Registry::new();
+        reg.count("executor/admissions", "w8", 42);
+        reg.record_gauge("executor/max_ready_depth", "w8", 7.0);
+        let s = reg.series("power", "cluster");
+        reg.sample(s, 1e-6, 90.0);
+        reg.sample(s, 2e-6, 110.0);
+        let h = reg.histogram("executor/ready_depth", "w8", &[1.0, 2.0]);
+        reg.observe(h, 0.5);
+        reg.observe(h, 3.0);
+
+        let text = export_with_metrics(&sample_trace(), &reg);
+        let summary = validate(&text).unwrap();
+        // Same spans as plain export, plus counter + gauge + 2 series
+        // samples + 1 histogram summary.
+        assert_eq!(summary.events, 4);
+        assert_eq!(summary.counters, 5);
+
+        let doc = parse(&text).unwrap();
+        let admissions = doc
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("executor/admissions"))
+            .expect("admissions counter present");
+        assert_eq!(admissions.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(
+            admissions
+                .get("args")
+                .and_then(|a| a.get("w8"))
+                .and_then(Json::as_f64),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn plain_export_has_no_counters_and_counts_stay_zero() {
+        let summary = validate(&export(&sample_trace())).unwrap();
+        assert_eq!(summary.counters, 0);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_counter() {
+        let bad = r#"[{"name":"c","ph":"C","pid":0,"ts":0,"args":{}}]"#;
+        assert!(validate(bad).unwrap_err().contains("non-empty object"));
+        let bad = r#"[{"name":"c","ph":"C","pid":0,"ts":-1,"args":{"v":1}}]"#;
+        assert!(validate(bad).unwrap_err().contains("bad ts"));
     }
 
     #[test]

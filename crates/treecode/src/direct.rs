@@ -1,8 +1,6 @@
 //! O(N²) direct summation — the accuracy baseline every treecode result
 //! is validated against, and the Gordon-Bell-era comparison algorithm.
 
-use rayon::prelude::*;
-
 use crate::body::Bodies;
 use crate::flops::{InteractionCounts, FLOPS_PP};
 
@@ -14,7 +12,6 @@ pub fn direct_forces(bodies: &mut Bodies, eps2: f64) -> InteractionCounts {
     let pos = &bodies.pos;
     let mass = &bodies.mass;
     let results: Vec<([f64; 3], f64)> = (0..n)
-        .into_par_iter()
         .map(|i| {
             let mut acc = [0.0; 3];
             let mut pot = 0.0;

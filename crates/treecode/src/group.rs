@@ -10,8 +10,6 @@
 //! the group-level MAC is *conservative*: a cell accepted against the
 //! whole group box is accepted for each member.
 
-use rayon::prelude::*;
-
 use crate::body::Bodies;
 use crate::flops::InteractionCounts;
 use crate::hot::{HashedOctTree, Node, NodeKind};
@@ -69,7 +67,7 @@ fn build_list(tree: &HashedOctTree, group: &Node, mac: &Mac) -> InteractionList 
 
 /// Grouped force evaluation: fills `bodies.acc`/`pot` like
 /// [`crate::traverse::tree_forces`], with one tree walk per leaf instead
-/// of per body. Uses rayon across groups.
+/// of per body. Walks each group independently (parallelizable shape).
 pub fn tree_forces_grouped(
     bodies: &mut Bodies,
     tree: &HashedOctTree,
@@ -85,7 +83,7 @@ pub fn tree_forces_grouped(
     let shared = &*bodies;
     #[allow(clippy::type_complexity)]
     let results: Vec<(Vec<(usize, [f64; 3], f64)>, InteractionCounts)> = leaves
-        .par_iter()
+        .iter()
         .map(|group| {
             let list = build_list(tree, group, mac);
             let (gs, ge) = match group.kind {

@@ -19,7 +19,7 @@
 //! * [`build`] — tree construction from Morton-sorted bodies;
 //! * [`moments`] — monopole + traceless quadrupole moments, bottom-up;
 //! * [`mac`] — multipole acceptance criteria (Barnes–Hut opening angle);
-//! * [`traverse`] — the force walk, serial or rayon-parallel, with flop
+//! * [`traverse`] — the force walk, serial or batched, with flop
 //!   and interaction accounting;
 //! * [`direct`] — O(N²) direct summation (accuracy baseline);
 //! * [`integrate`] — leapfrog (KDK) integration and energy diagnostics;

@@ -5,10 +5,8 @@
 //! multipole when `s/d < θ`. Smaller θ opens more cells — more accuracy,
 //! more interactions (ablation A2 sweeps this trade-off).
 
-use serde::{Deserialize, Serialize};
-
 /// The opening criterion.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mac {
     /// Barnes–Hut opening angle θ.
     pub theta: f64,

@@ -8,8 +8,6 @@
 //! `key >> 3`. Keys make tree topology pure integer arithmetic, and the
 //! tree itself a hash table keyed by them.
 
-use serde::{Deserialize, Serialize};
-
 /// Bits per dimension (21 × 3 = 63 payload bits + 1 sentinel = 64).
 pub const BITS_PER_DIM: u32 = 21;
 
@@ -17,7 +15,7 @@ pub const BITS_PER_DIM: u32 = 21;
 pub const MAX_DEPTH: u32 = BITS_PER_DIM;
 
 /// A hashed-oct-tree key with sentinel bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(pub u64);
 
 impl Key {
@@ -90,7 +88,7 @@ fn undilate21(v: u64) -> u64 {
 }
 
 /// An axis-aligned bounding cube.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundingBox {
     /// Minimum corner.
     pub min: [f64; 3],

@@ -125,7 +125,7 @@ mod tests {
         let b = plummer(5000, 23);
         let img = DensityImage::project(&b, 32, 32, 0.98);
         let center = img.mass[16 * 32 + 16];
-        let corner = img.mass[1 * 32 + 1];
+        let corner = img.mass[32 + 1];
         assert!(center > 10.0 * (corner + 1e-12), "{center} vs {corner}");
     }
 

@@ -3,10 +3,8 @@
 //! For each body, walk from the root with an explicit stack: accepted
 //! cells contribute their multipole field; rejected internal cells are
 //! opened; leaves are summed directly (skipping self-interaction).
-//! Serial and rayon-parallel drivers share the same per-body walk, so
+//! Serial and batched drivers share the same per-body walk, so
 //! their results are identical.
-
-use rayon::prelude::*;
 
 use crate::body::Bodies;
 use crate::flops::InteractionCounts;
@@ -112,7 +110,7 @@ pub fn tree_forces(bodies: &mut Bodies, tree: &HashedOctTree, mac: &Mac, eps2: f
     stats
 }
 
-/// Rayon-parallel force evaluation (the shared-memory analogue of the
+/// Batched force evaluation (the shared-memory analogue of the
 /// per-node threading in the original treecode). Identical results to
 /// [`tree_forces`].
 pub fn tree_forces_parallel(
@@ -124,7 +122,6 @@ pub fn tree_forces_parallel(
     let n = bodies.len();
     let shared = &*bodies;
     let results: Vec<_> = (0..n)
-        .into_par_iter()
         .map(|i| walk_one(tree, shared, shared.pos[i], i, mac, eps2))
         .collect();
     let mut stats = WalkStats::default();

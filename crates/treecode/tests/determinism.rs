@@ -34,6 +34,7 @@ fn particle_state_hash(report: &StepReport) -> u64 {
 
 /// The comparable core of per-rank [`CommStats`] (all counters and
 /// virtual-time accumulators, bit-exact via f64 bits).
+#[allow(clippy::type_complexity)]
 fn stats_key(stats: &[CommStats]) -> Vec<(u64, u64, u64, u64, u64, u64, u64, u64)> {
     stats
         .iter()

@@ -1,0 +1,139 @@
+//! Executor-engine determinism at scale: the regression gate for the
+//! event-driven core.
+//!
+//! The legacy conservative scheduler (sequential reference engine) and
+//! the event-driven core (bounded pools and unbounded; see
+//! `mb_cluster::event`) must produce bit-identical simulated outcomes —
+//! makespan, per-rank clocks, and every `CommStats` counter and
+//! virtual-time accumulator — at 256 ranks, where lookahead grants,
+//! horizon deferrals and heap admission orderings all genuinely differ
+//! between engines. Also asserts that observability (span tracing and
+//! executor telemetry) never perturbs virtual time.
+
+use metablade::cluster::machine::Cluster;
+use metablade::cluster::spec::metablade as metablade_spec;
+use metablade::cluster::{Comm, CommStats, ExecPolicy};
+use metablade::telemetry::fnv::Fnv;
+
+/// Fingerprint the simulated quantities of one outcome bit-exactly:
+/// results, clocks, stats (never the executor report — that is
+/// wall-clock-side and legitimately differs between engines).
+fn outcome_fingerprint(results: &[Vec<f64>], clocks: &[f64], stats: &[CommStats]) -> u64 {
+    let mut h = Fnv::new();
+    for r in results {
+        for v in r {
+            h.write_f64(*v);
+        }
+    }
+    for c in clocks {
+        h.write_f64(*c);
+    }
+    for s in stats {
+        h.write_u64(s.sends);
+        h.write_u64(s.recvs);
+        h.write_u64(s.bytes_sent);
+        h.write_u64(s.bytes_recv);
+        h.write_f64(s.compute_s);
+        h.write_f64(s.wait_s);
+        h.write_f64(s.send_busy_s);
+        h.write_f64(s.recv_busy_s);
+    }
+    h.finish()
+}
+
+/// A 256-rank job that exercises collectives, point-to-point rings and
+/// skewed compute — enough structure that a scheduling bug would move
+/// clock bits somewhere.
+fn job_256(comm: &mut Comm) -> Vec<f64> {
+    let rank = comm.rank();
+    let n = comm.nranks();
+    let mut v = vec![rank as f64 + 1.0; 16];
+    for round in 0..3 {
+        v = comm.allreduce_sum(&v);
+        for x in v.iter_mut() {
+            *x = (*x / n as f64).sqrt() + 1.0;
+        }
+        comm.compute(1e5 * (1 + (rank + round) % 5) as f64);
+        let next = (rank + 1) % n;
+        let prev = (rank + n - 1) % n;
+        comm.send_f64s(next, 9, &v[..4]);
+        let got = comm.recv_f64s(prev, 9);
+        v[0] += got[0];
+        comm.barrier();
+    }
+    v.push(comm.now());
+    v
+}
+
+#[test]
+fn outcome_is_bit_identical_across_engines_at_256_ranks() {
+    let spec = metablade_spec().with_nodes(256);
+    let policies = [
+        ExecPolicy::Sequential,
+        ExecPolicy::Parallel { workers: 8 },
+        ExecPolicy::Unbounded,
+    ];
+    let mut prints = Vec::new();
+    let mut makespans = Vec::new();
+    for policy in policies {
+        let out = Cluster::new(spec.clone()).with_exec(policy).run(job_256);
+        prints.push((
+            policy.label(),
+            outcome_fingerprint(&out.results, &out.clocks, &out.stats),
+        ));
+        makespans.push(out.makespan_s().to_bits());
+        if policy != ExecPolicy::Sequential {
+            // The event core really ran: every rank was admitted at
+            // least once per blocking receive.
+            assert!(
+                out.exec_report.admissions >= 256,
+                "{}: {:?}",
+                policy.label(),
+                out.exec_report
+            );
+        }
+    }
+    let (ref_label, ref_print) = prints[0].clone();
+    for (label, print) in &prints[1..] {
+        assert_eq!(
+            *print, ref_print,
+            "{label} diverged from {ref_label} at 256 ranks"
+        );
+    }
+    assert!(
+        makespans.windows(2).all(|w| w[0] == w[1]),
+        "makespan bits differ across engines"
+    );
+}
+
+#[test]
+fn tracing_and_telemetry_do_not_perturb_virtual_time_at_256_ranks() {
+    let spec = metablade_spec().with_nodes(256);
+    let cluster = Cluster::new(spec).with_exec(ExecPolicy::Parallel { workers: 8 });
+    let plain = cluster.run(job_256);
+    let (traced, trace) = cluster.run_traced(job_256);
+    assert_eq!(
+        outcome_fingerprint(&plain.results, &plain.clocks, &plain.stats),
+        outcome_fingerprint(&traced.results, &traced.clocks, &traced.stats),
+        "attaching trace sinks changed simulated outcomes"
+    );
+    assert!(!trace.is_empty(), "traced run produced no spans");
+
+    // Executor telemetry flows into the registry and the Chrome
+    // exporter without touching the simulation.
+    let mut reg = metablade::telemetry::metrics::Registry::new();
+    traced
+        .exec_report
+        .record_into(&mut reg, &cluster.exec().label());
+    assert_eq!(
+        reg.counter_value("executor/admissions", "w8"),
+        Some(traced.exec_report.admissions),
+    );
+    let chrome = metablade::telemetry::chrome::export_with_metrics(&trace, &reg);
+    let summary = metablade::telemetry::chrome::validate(&chrome).expect("valid chrome trace");
+    assert!(summary.events > 0);
+    assert!(
+        chrome.contains("executor/admissions"),
+        "executor counters missing from Chrome export"
+    );
+}

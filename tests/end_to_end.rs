@@ -62,8 +62,8 @@ fn cluster_run_is_physical_and_within_peak() {
     }
     // Multipole approximation breaks exact pairwise antisymmetry, so
     // momentum is conserved only to the MAC's accuracy level.
-    for d in 0..3 {
-        assert!(f[d].abs() < 1e-4, "net force {d} = {}", f[d]);
+    for (d, fd) in f.iter().enumerate() {
+        assert!(fd.abs() < 1e-4, "net force {d} = {fd}");
     }
     // Machine-level sanity.
     assert!(report.gflops > 0.0);

@@ -1,7 +1,11 @@
-//! Property-based tests (proptest) on the core data structures and
-//! numerical invariants, across crates.
+//! Property-style tests on the core data structures and numerical
+//! invariants, across crates. Inputs are drawn from a seeded RNG in a
+//! fixed-trip loop (the container has no crate registry, so proptest's
+//! shrinking machinery is traded for deterministic replay: a failure
+//! prints the offending case, which can be pinned as a regression).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use metablade::cluster::checkpoint::CheckpointModel;
 use metablade::cluster::machine::Cluster;
@@ -13,106 +17,148 @@ use metablade::npb::common::NpbRng;
 use metablade::npb::is::Is;
 use metablade::treecode::{build_tree, BoundingBox, Key};
 
-proptest! {
-    /// Karp's algorithm matches the math-library reciprocal square root
-    /// over the full positive-normal range.
-    #[test]
-    fn karp_rsqrt_matches_math(mantissa in 1.0f64..2.0, exp in -300i32..300) {
+const CASES: usize = 64;
+
+/// Karp's algorithm matches the math-library reciprocal square root
+/// over the full positive-normal range.
+#[test]
+fn karp_rsqrt_matches_math() {
+    let mut rng = StdRng::seed_from_u64(0xA001);
+    for _ in 0..CASES {
+        let mantissa = 1.0 + rng.random::<f64>();
+        let exp = rng.random_range(0..600u32) as i32 - 300;
         let x = mantissa * 2f64.powi(exp);
         let karp = rsqrt_karp(x);
         let math = rsqrt_math(x);
         let rel = ((karp - math) / math).abs();
-        prop_assert!(rel < 1e-14, "x = {x}: {karp} vs {math}");
+        assert!(rel < 1e-14, "x = {x}: {karp} vs {math}");
     }
+}
 
-    /// Morton keys respect spatial containment: a point's full-depth key
-    /// descends from the key of any enclosing cell.
-    #[test]
-    fn morton_ancestors_contain_points(
-        x in 0.0f64..1.0, y in 0.0f64..1.0, z in 0.0f64..1.0, level in 0u32..20
-    ) {
-        let bb = BoundingBox { min: [0.0; 3], size: 1.0 };
+/// Morton keys respect spatial containment: a point's full-depth key
+/// descends from the key of any enclosing cell.
+#[test]
+fn morton_ancestors_contain_points() {
+    let mut rng = StdRng::seed_from_u64(0xA002);
+    for _ in 0..CASES {
+        let (x, y, z) = (
+            rng.random::<f64>(),
+            rng.random::<f64>(),
+            rng.random::<f64>(),
+        );
+        let level = rng.random_range(0..20u32);
+        let bb = BoundingBox {
+            min: [0.0; 3],
+            size: 1.0,
+        };
         let key = bb.key_of([x, y, z]);
         let cell = key.ancestor_at(level);
-        prop_assert!(cell.contains(key));
+        assert!(cell.contains(key), "({x},{y},{z}) level {level}");
         // And the cell's geometric box really contains the point.
         let c = bb.cell_center(cell);
         let half = bb.cell_size(level) / 2.0 * (1.0 + 1e-9);
-        prop_assert!((x - c[0]).abs() <= half);
-        prop_assert!((y - c[1]).abs() <= half);
-        prop_assert!((z - c[2]).abs() <= half);
+        assert!((x - c[0]).abs() <= half);
+        assert!((y - c[1]).abs() <= half);
+        assert!((z - c[2]).abs() <= half);
     }
+}
 
-    /// Key arithmetic: child/parent/daughter are mutually consistent.
-    #[test]
-    fn key_child_parent_roundtrip(bits in 1u64..(1u64 << 60), d in 0u8..8) {
+/// Key arithmetic: child/parent/daughter are mutually consistent.
+#[test]
+fn key_child_parent_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xA003);
+    for _ in 0..CASES {
+        let bits = rng.random_range(1..(1u64 << 60));
+        let d = rng.random_range(0..8u64) as u8;
         let key = Key(bits);
         let child = key.child(d);
-        prop_assert_eq!(child.parent(), key);
-        prop_assert_eq!(child.daughter_index(), d);
-        prop_assert_eq!(child.level(), key.level() + 1);
+        assert_eq!(child.parent(), key, "bits {bits:#x} d {d}");
+        assert_eq!(child.daughter_index(), d);
+        assert_eq!(child.level(), key.level() + 1);
     }
+}
 
-    /// Tree construction conserves mass and center of mass for arbitrary
-    /// body sets.
-    #[test]
-    fn tree_conserves_moments(
-        seed in 0u64..1000, n in 2usize..120, leaf_cap in 1usize..16
-    ) {
+/// Tree construction conserves mass and center of mass for arbitrary
+/// body sets.
+#[test]
+fn tree_conserves_moments() {
+    let mut rng = StdRng::seed_from_u64(0xA004);
+    for _ in 0..CASES {
+        let seed = rng.random_range(0..1000u64);
+        let n = rng.random_range(2..120usize);
+        let leaf_cap = rng.random_range(1..16usize);
         let bodies_src = metablade::treecode::uniform_cube(n, 2.0, seed);
         let mut bodies = bodies_src.clone();
         let bb = BoundingBox::containing(&bodies.pos);
         let tree = build_tree(&mut bodies, bb, leaf_cap);
         let root = tree.root();
-        prop_assert_eq!(root.count as usize, n);
-        prop_assert!((root.mass - bodies_src.total_mass()).abs() < 1e-12);
+        assert_eq!(root.count as usize, n, "seed {seed} n {n} cap {leaf_cap}");
+        assert!((root.mass - bodies_src.total_mass()).abs() < 1e-12);
         let com = bodies_src.center_of_mass();
-        for dim in 0..3 {
-            prop_assert!((root.com[dim] - com[dim]).abs() < 1e-10);
+        for (rc, c) in root.com.iter().zip(&com) {
+            assert!((rc - c).abs() < 1e-10);
         }
     }
+}
 
-    /// The NPB LCG jump function equals stepping, for any distance.
-    #[test]
-    fn npb_rng_jump_equals_stepping(n in 0u64..5000, seed in 1u64..(1u64 << 40)) {
-        let seed = seed | 1; // odd for full period
+/// The NPB LCG jump function equals stepping, for any distance.
+#[test]
+fn npb_rng_jump_equals_stepping() {
+    let mut rng = StdRng::seed_from_u64(0xA005);
+    for _ in 0..CASES {
+        let n = rng.random_range(0..5000u64);
+        let seed = rng.random_range(1..(1u64 << 40)) | 1; // odd for full period
         let mut stepped = NpbRng::with_seed(seed);
         for _ in 0..n {
             stepped.next_f64();
         }
         let mut jumped = NpbRng::with_seed(seed);
         jumped.jump(n);
-        prop_assert_eq!(stepped.state, jumped.state);
+        assert_eq!(stepped.state, jumped.state, "seed {seed} n {n}");
     }
+}
 
-    /// IS ranking is always a correct stable sort, for arbitrary keys.
-    #[test]
-    fn is_ranking_always_sorts(keys in proptest::collection::vec(0u32..512, 1..200)) {
+/// IS ranking is always a correct stable sort, for arbitrary keys.
+#[test]
+fn is_ranking_always_sorts() {
+    let mut rng = StdRng::seed_from_u64(0xA006);
+    for _ in 0..CASES {
+        let len = rng.random_range(1..200usize);
+        let keys: Vec<u32> = (0..len).map(|_| rng.random_range(0..512u32)).collect();
         let ranks = Is::rank(&keys, 512);
-        prop_assert!(Is::verify(&keys, &ranks));
+        assert!(Is::verify(&keys, &ranks), "keys {keys:?}");
     }
+}
 
-    /// Guest integer arithmetic matches host semantics for arbitrary
-    /// operands (wrapping).
-    #[test]
-    fn guest_alu_matches_host(a in any::<i64>(), b in any::<i64>()) {
+/// Guest integer arithmetic matches host semantics for arbitrary
+/// operands (wrapping).
+#[test]
+fn guest_alu_matches_host() {
+    let mut rng = StdRng::seed_from_u64(0xA007);
+    for _ in 0..CASES {
+        let a = rng.random::<u64>() as i64;
+        let b = rng.random::<u64>() as i64;
         let mut st = MachineState::new(1);
         st.regs[0] = a;
         st.regs[1] = b;
         st.execute(&Insn::Add(Reg(0), Reg(1))).unwrap();
-        prop_assert_eq!(st.regs[0], a.wrapping_add(b));
+        assert_eq!(st.regs[0], a.wrapping_add(b));
         st.regs[0] = a;
         st.execute(&Insn::IMul(Reg(0), Reg(1))).unwrap();
-        prop_assert_eq!(st.regs[0], a.wrapping_mul(b));
+        assert_eq!(st.regs[0], a.wrapping_mul(b));
         st.regs[0] = a;
         st.execute(&Insn::Xor(Reg(0), Reg(1))).unwrap();
-        prop_assert_eq!(st.regs[0], a ^ b);
+        assert_eq!(st.regs[0], a ^ b);
     }
+}
 
-    /// Guest loops compute the same sums as host loops for arbitrary
-    /// trip counts (program semantics don't depend on the engine).
-    #[test]
-    fn guest_loop_sums_match_host(n in 1i64..500) {
+/// Guest loops compute the same sums as host loops for arbitrary
+/// trip counts (program semantics don't depend on the engine).
+#[test]
+fn guest_loop_sums_match_host() {
+    let mut rng = StdRng::seed_from_u64(0xA008);
+    for _ in 0..CASES {
+        let n = rng.random_range(1..500u64) as i64;
         let mut b = ProgramBuilder::new();
         let top = b.label();
         b.push(Insn::MovImm(Reg(0), n));
@@ -124,22 +170,22 @@ proptest! {
         b.jcc(metablade::crusoe::isa::Cond::Gt, top);
         b.push(Insn::Halt);
         let program = b.finish();
-        let mut cms = metablade::crusoe::cms::Cms::new(
-            metablade::crusoe::cms::CmsConfig::metablade(),
-        );
+        let mut cms =
+            metablade::crusoe::cms::Cms::new(metablade::crusoe::cms::CmsConfig::metablade());
         let mut st = MachineState::new(1);
         cms.run(&program, &mut st).unwrap();
-        prop_assert_eq!(st.regs[1], n * (n + 1) / 2);
+        assert_eq!(st.regs[1], n * (n + 1) / 2, "n {n}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Virtual time is deterministic and collective results are exact,
-    /// for arbitrary small cluster sizes and payload lengths.
-    #[test]
-    fn collectives_are_exact_and_deterministic(p in 1usize..9, len in 1usize..64) {
+/// Virtual time is deterministic and collective results are exact,
+/// for arbitrary small cluster sizes and payload lengths.
+#[test]
+fn collectives_are_exact_and_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xA009);
+    for _ in 0..16 {
+        let p = rng.random_range(1..9usize);
+        let len = rng.random_range(1..64usize);
         let cluster = Cluster::new(metablade().with_nodes(p));
         let job = move |comm: &mut metablade::cluster::comm::Comm| {
             let vals = vec![(comm.rank() + 1) as f64; len];
@@ -150,25 +196,30 @@ proptest! {
         let b = cluster.run(job);
         let expect = (p * (p + 1) / 2) as f64;
         for r in 0..p {
-            prop_assert_eq!(a.results[r].0, expect);
-            prop_assert_eq!(a.results[r].1, b.results[r].1);
+            assert_eq!(a.results[r].0, expect, "p {p} len {len}");
+            assert_eq!(a.results[r].1, b.results[r].1, "p {p} len {len}");
         }
     }
+}
 
-    /// The Monte-Carlo checkpoint simulator always pays at least the
-    /// useful work, gets slower as failures become more frequent, and
-    /// its seed-averaged walltime tracks the Young/Daly analytic model.
-    /// Each MTBF level runs at its own optimal interval; sharing seeds
-    /// across levels gives common random numbers, so the monotonicity
-    /// comparison is low-variance.
-    #[test]
-    fn checkpoint_simulation_tracks_analytic_model(
-        work in 40.0f64..160.0,
-        mtbf in 150.0f64..900.0,
-        cp_h in 0.02f64..0.2,
-        base_seed in 0u64..1000,
-    ) {
-        let cp = CheckpointModel { checkpoint_h: cp_h, restart_h: 2.0 * cp_h };
+/// The Monte-Carlo checkpoint simulator always pays at least the
+/// useful work, gets slower as failures become more frequent, and
+/// its seed-averaged walltime tracks the Young/Daly analytic model.
+/// Each MTBF level runs at its own optimal interval; sharing seeds
+/// across levels gives common random numbers, so the monotonicity
+/// comparison is low-variance.
+#[test]
+fn checkpoint_simulation_tracks_analytic_model() {
+    let mut rng = StdRng::seed_from_u64(0xA00A);
+    for _ in 0..4 {
+        let work = 40.0 + 120.0 * rng.random::<f64>();
+        let mtbf = 150.0 + 750.0 * rng.random::<f64>();
+        let cp_h = 0.02 + 0.18 * rng.random::<f64>();
+        let base_seed = rng.random_range(0..1000u64);
+        let cp = CheckpointModel {
+            checkpoint_h: cp_h,
+            restart_h: 2.0 * cp_h,
+        };
         let seeds = 1024u64;
         let mean_at = |mtbf_h: f64| {
             let tau = cp.young_interval_h(mtbf_h);
@@ -183,10 +234,19 @@ proptest! {
         let flaky = mean_at(mtbf / 8.0);
         let nominal = mean_at(mtbf);
         let solid = mean_at(mtbf * 8.0);
-        prop_assert!(flaky > nominal, "8x the failure rate must cost walltime: {flaky} vs {nominal}");
-        prop_assert!(nominal > solid, "an 8x-more-reliable machine must finish sooner: {nominal} vs {solid}");
+        assert!(
+            flaky > nominal,
+            "8x the failure rate must cost walltime: {flaky} vs {nominal}"
+        );
+        assert!(
+            nominal > solid,
+            "an 8x-more-reliable machine must finish sooner: {nominal} vs {solid}"
+        );
         let analytic = cp.expected_walltime_h(work, cp.young_interval_h(mtbf), mtbf);
         let rel = (nominal - analytic).abs() / analytic;
-        prop_assert!(rel < 0.2, "MC mean {nominal} vs analytic {analytic} ({rel:.3} rel)");
+        assert!(
+            rel < 0.2,
+            "MC mean {nominal} vs analytic {analytic} ({rel:.3} rel)"
+        );
     }
 }
