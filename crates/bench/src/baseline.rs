@@ -425,6 +425,52 @@ pub fn treecode_baseline(cfg: &SweepConfig) -> Json {
     )
 }
 
+/// One host-time-profiled rerun of the imbalance microbenchmark at the
+/// sweep's largest rank count under the 8-worker pool, with the JSONL
+/// event log attached. Returns `(prometheus_text, event_jsonl)` — the
+/// `PROF_cluster.prom` / `prof_events.jsonl` artifacts `bench_baseline`
+/// writes when `MB_PROF=1`.
+///
+/// This is deliberately *outside* the timed sweep: profiling reads host
+/// clocks per admission and would bias the wall-second measurements the
+/// BENCH documents exist to track. Virtual outcomes are unaffected
+/// either way (the determinism suite proves that at 256 ranks).
+pub fn profiled_pass(cfg: &SweepConfig) -> (String, String) {
+    use std::sync::Arc;
+
+    let ranks = cfg.rank_counts.iter().copied().max().unwrap_or(8);
+    let rounds = rounds_for(cfg.rounds, ranks);
+    let log = Arc::new(mb_telemetry::eventlog::EventLog::new());
+    let cluster = Cluster::new(metablade().with_nodes(ranks))
+        .with_exec(ExecPolicy::Parallel { workers: 8 })
+        .with_prof(true)
+        .with_event_log(Arc::clone(&log));
+    let out = cluster.run(move |comm: &mut Comm| {
+        let rank = comm.rank();
+        let mut spin = 0.0f64;
+        for round in 0..rounds {
+            comm.compute(2e5 * (1 + (rank + round) % 4) as f64);
+            for i in 0..2_000u64 {
+                spin += ((i + rank as u64) as f64).sqrt();
+            }
+            comm.barrier();
+        }
+        vec![std::hint::black_box(spin), comm.now()]
+    });
+    let mut reg = mb_telemetry::metrics::Registry::new();
+    out.exec_report
+        .record_into(&mut reg, &cluster.exec().label());
+    log.emit(
+        "bench.profiled_pass",
+        &[
+            ("bench", Json::str(format!("imbalance_x{rounds}"))),
+            ("ranks", Json::Num(ranks as f64)),
+            ("admissions", Json::Num(out.exec_report.admissions as f64)),
+        ],
+    );
+    (mb_telemetry::prom::render(&reg), log.to_jsonl())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,6 +533,24 @@ mod tests {
         // The document round-trips through the dependency-free parser.
         let text = doc.to_string();
         assert_eq!(mb_telemetry::json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn profiled_pass_renders_prom_histograms_and_a_nonempty_event_log() {
+        let (prom, jsonl) = profiled_pass(&tiny());
+        assert!(
+            prom.contains("# TYPE prof_task_busy_ns histogram"),
+            "missing busy histogram:\n{prom}"
+        );
+        assert!(prom.contains("prof_gate_wake_ns_bucket"));
+        assert!(prom.contains("executor_admissions"));
+        // At least the trailing summary event; every line parses.
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            let v = mb_telemetry::json::parse(line).expect("JSONL line parses");
+            assert!(v.get("t_ns").is_some() && v.get("kind").is_some());
+        }
+        assert!(jsonl.contains("\"kind\":\"bench.profiled_pass\""));
     }
 
     #[test]

@@ -10,108 +10,21 @@
 //! * `n_bodies` — Plummer-sphere size for the treecode step (default
 //!   20 000).
 //! * `--smoke` — the seconds-scale CI configuration
-//!   ([`SweepConfig::smoke`]): 4 rounds, 1 000 bodies, single repeats.
+//!   ([`SweepConfig::smoke`](mb_bench::baseline::SweepConfig::smoke)):
+//!   4 rounds, 1 000 bodies, single repeats. Smoke documents are
+//!   written as `BENCH_cluster_smoke.json` /
+//!   `BENCH_treecode_smoke.json` so they gate against the committed
+//!   smoke baselines and never clobber the full ones.
 //! * `--ranks` — comma-separated rank counts overriding both suites'
 //!   sweeps (e.g. `--ranks 128` for the CI scale gate).
+//!
+//! With `MB_PROF=1` the harness additionally reruns the largest
+//! imbalance case host-time-profiled and writes `PROF_cluster.prom`
+//! (Prometheus text) and `prof_events.jsonl` (structured event log).
 //!
 //! Output directory: `$MB_BENCH_DIR`, or the current directory (the repo
 //! root keeps its committed copies there).
 
-use std::path::PathBuf;
-
-use mb_bench::baseline::{cluster_baseline, host_threads, treecode_baseline, SweepConfig};
-use mb_bench::write_artifact;
-use mb_telemetry::json::Json;
-
-fn summarize(doc: &Json) {
-    let suite = doc.get("suite").and_then(Json::as_str).unwrap_or("?");
-    println!("{suite} suite:");
-    for b in doc.get("benches").and_then(Json::as_arr).unwrap_or(&[]) {
-        let name = b.get("name").and_then(Json::as_str).unwrap_or("?");
-        let ranks = b.get("ranks").and_then(Json::as_f64).unwrap_or(0.0);
-        let identical = b.get("identical_across_policies") == Some(&Json::Bool(true));
-        let seq = b
-            .get("wall_s")
-            .and_then(|w| w.get("seq"))
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN);
-        let s8 = b
-            .get("speedup_vs_seq")
-            .and_then(|s| s.get("w8"))
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN);
-        let eps = b
-            .get("events_per_sec")
-            .and_then(|e| e.get("w8"))
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN);
-        println!(
-            "  {name:<18} P={ranks:<4.0} seq {seq:>8.3}s  w8 speedup {s8:>6.2}x  w8 {eps:>9.0} ev/s  identical={identical}"
-        );
-        assert!(
-            identical,
-            "{suite}/{name} outcomes diverged across policies"
-        );
-    }
-}
-
-fn parse_args() -> SweepConfig {
-    let mut cfg = SweepConfig::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => {
-                cfg = SweepConfig {
-                    n_bodies: cfg.n_bodies.min(SweepConfig::smoke().n_bodies),
-                    ..SweepConfig::smoke()
-                };
-            }
-            "--ranks" => {
-                let list = args.next().unwrap_or_default();
-                let ranks: Vec<usize> = list
-                    .split(',')
-                    .filter_map(|r| r.trim().parse().ok())
-                    .filter(|&r| r > 0)
-                    .collect();
-                assert!(!ranks.is_empty(), "--ranks needs a comma-separated list");
-                cfg = cfg.with_ranks(ranks);
-            }
-            n => {
-                if let Ok(n_bodies) = n.parse::<usize>() {
-                    cfg.n_bodies = n_bodies;
-                } else {
-                    panic!(
-                        "unknown argument {n:?}; usage: [n_bodies] [--smoke] [--ranks R1,R2,...]"
-                    );
-                }
-            }
-        }
-    }
-    cfg
-}
-
 fn main() {
-    let cfg = parse_args();
-    let dir = std::env::var_os("MB_BENCH_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    println!(
-        "benchmark baseline: host_threads = {}, cluster ranks {:?}, treecode ranks {:?}, N = {}\n",
-        host_threads(),
-        cfg.rank_counts,
-        cfg.treecode_rank_counts,
-        cfg.n_bodies
-    );
-
-    let cluster_doc = cluster_baseline(&cfg);
-    summarize(&cluster_doc);
-    let p = write_artifact(&dir, "BENCH_cluster.json", &cluster_doc.to_string())
-        .expect("write BENCH_cluster.json");
-    println!("wrote {}\n", p.display());
-
-    let tree_doc = treecode_baseline(&cfg);
-    summarize(&tree_doc);
-    let p = write_artifact(&dir, "BENCH_treecode.json", &tree_doc.to_string())
-        .expect("write BENCH_treecode.json");
-    println!("wrote {}", p.display());
+    mb_bench::cli::baseline_main()
 }

@@ -1,0 +1,27 @@
+//! `bench_gate`: diff freshly generated `BENCH_*.json` documents
+//! against the committed baselines and exit nonzero on regression
+//! (checks documented in [`mb_bench::gate`]).
+//!
+//! argv: `[--smoke] [--baseline DIR] [--fresh DIR] [--tol-events F]`
+//!
+//! * `--baseline DIR` — where the committed baselines live (default
+//!   `.`, the repo root).
+//! * `--fresh DIR` — where the fresh documents were written (default
+//!   `$MB_BENCH_DIR`, falling back to `.`). Pair this with the same
+//!   `MB_BENCH_DIR` the preceding `bench_baseline` run used.
+//! * `--smoke` — widen the wall-clock tolerance bands for the
+//!   milliseconds-scale CI smoke regime
+//!   ([`Tolerances::smoke`](mb_bench::gate::Tolerances::smoke)). Hard
+//!   checks (fingerprints, virtual makespans, cross-policy identity)
+//!   are never relaxed.
+//! * `--tol-events F` — override the allowed fractional
+//!   `events_per_sec` drop (e.g. `0.3` for 30 %).
+//!
+//! The report is printed and also written to
+//! `<fresh>/bench_gate_report.txt` for CI artifact upload.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    mb_bench::cli::gate_main()
+}

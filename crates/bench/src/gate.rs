@@ -1,0 +1,583 @@
+//! The benchmark regression gate behind `bench_gate`: diff freshly
+//! generated `BENCH_*.json` documents against the committed baselines
+//! and fail loudly when something that must never move has moved.
+//!
+//! Two classes of checks, mirroring the two classes of numbers a BENCH
+//! document carries (see [`crate::baseline`]):
+//!
+//! * **Hard checks** on simulated quantities. Outcome fingerprints,
+//!   virtual makespans and the `identical_across_policies` verdict are
+//!   results of the simulation — bit-identical on every host, in every
+//!   run, under every executor policy. Any difference from the baseline
+//!   is a regression by definition and fails the gate outright.
+//! * **Tolerance bands** on host-side measurements. `events_per_sec`
+//!   (and treecode `gflops`) depend on the machine, so the gate only
+//!   enforces them when the fresh document was produced with the same
+//!   `host_threads` as the baseline; otherwise the band degrades to a
+//!   warning. Within the same regime, a drop beyond the configured
+//!   fraction (default 15 % for `events_per_sec`) is a violation.
+//!
+//! [`compare_dirs`] scans a baseline directory for `BENCH_*.json`,
+//! pairs each with the same-named file in the fresh directory, and
+//! accumulates a [`GateReport`] — a human-readable line per finding
+//! plus pass/fail counts. The `bench_gate` binary prints the report,
+//! writes it next to the fresh documents, and exits nonzero on any
+//! violation.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use mb_telemetry::json::{parse, Json};
+
+/// Per-metric tolerance bands for host-side measurements: the largest
+/// *fractional drop* from baseline the gate accepts.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Allowed drop in `events_per_sec` per (bench, policy).
+    pub events_per_sec_drop: f64,
+    /// Allowed drop in treecode `gflops` per bench.
+    pub gflops_drop: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            events_per_sec_drop: 0.15,
+            gflops_drop: 0.20,
+        }
+    }
+}
+
+impl Tolerances {
+    /// The CI smoke regime: seconds-scale runs time individual cases in
+    /// milliseconds, where scheduler noise alone moves wall clocks by
+    /// tens of percent. The smoke gate keeps every hard check (that is
+    /// its real job) and widens the wall-clock bands to catch only
+    /// order-of-magnitude cliffs.
+    pub fn smoke() -> Self {
+        Tolerances {
+            events_per_sec_drop: 0.60,
+            gflops_drop: 0.60,
+        }
+    }
+}
+
+/// Accumulated findings of one gate run.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// One human-readable line per finding, in document order.
+    pub lines: Vec<String>,
+    /// Hard-check or tolerance-band violations (nonzero exit).
+    pub failures: usize,
+    /// Soft findings: coverage changes, cross-regime perf shifts.
+    pub warnings: usize,
+    /// Individual checks that ran and passed.
+    pub passed: usize,
+}
+
+impl GateReport {
+    /// True when no violation was recorded.
+    pub fn ok(&self) -> bool {
+        self.failures == 0
+    }
+
+    fn pass(&mut self, msg: String) {
+        self.passed += 1;
+        self.lines.push(format!("  ok   {msg}"));
+    }
+
+    fn warn(&mut self, msg: String) {
+        self.warnings += 1;
+        self.lines.push(format!("  WARN {msg}"));
+    }
+
+    fn fail(&mut self, msg: String) {
+        self.failures += 1;
+        self.lines.push(format!("  FAIL {msg}"));
+    }
+
+    fn note(&mut self, msg: String) {
+        self.lines.push(msg);
+    }
+
+    /// The full report as text: findings plus a verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("bench_gate regression report\n");
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "verdict: {} ({} checks passed, {} warnings, {} violations)\n",
+            if self.ok() { "PASS" } else { "FAIL" },
+            self.passed,
+            self.warnings,
+            self.failures,
+        ));
+        out
+    }
+}
+
+/// `(name, ranks)` — the stable identity of one bench record.
+fn record_key(rec: &Json) -> Option<(String, u64)> {
+    let name = rec.get("name")?.as_str()?.to_string();
+    let ranks = rec.get("ranks")?.as_f64()? as u64;
+    Some((name, ranks))
+}
+
+fn index_benches(doc: &Json) -> BTreeMap<(String, u64), &Json> {
+    let mut map = BTreeMap::new();
+    for rec in doc.get("benches").and_then(Json::as_arr).unwrap_or(&[]) {
+        if let Some(key) = record_key(rec) {
+            map.insert(key, rec);
+        }
+    }
+    map
+}
+
+fn obj_f64s(v: Option<&Json>) -> BTreeMap<&str, f64> {
+    match v {
+        Some(Json::Obj(m)) => m
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k.as_str(), n)))
+            .collect(),
+        _ => BTreeMap::new(),
+    }
+}
+
+fn obj_strs(v: Option<&Json>) -> BTreeMap<&str, &str> {
+    match v {
+        Some(Json::Obj(m)) => m
+            .iter()
+            .filter_map(|(k, v)| v.as_str().map(|s| (k.as_str(), s)))
+            .collect(),
+        _ => BTreeMap::new(),
+    }
+}
+
+/// Compare one fresh BENCH document against its committed baseline.
+/// `file` labels the findings; `tol` sets the wall-clock bands.
+pub fn compare_documents(
+    file: &str,
+    baseline: &Json,
+    fresh: &Json,
+    tol: &Tolerances,
+) -> GateReport {
+    let mut rep = GateReport::default();
+    rep.note(format!("{file}:"));
+
+    let base_schema = baseline.get("schema").and_then(Json::as_str).unwrap_or("");
+    let fresh_schema = fresh.get("schema").and_then(Json::as_str).unwrap_or("");
+    if base_schema != fresh_schema {
+        rep.fail(format!(
+            "schema changed: baseline {base_schema:?}, fresh {fresh_schema:?}"
+        ));
+        return rep;
+    }
+    if !base_schema.starts_with("metablade-bench/") {
+        rep.warn(format!(
+            "schema {base_schema:?} is not a bench suite; schema tag checked only"
+        ));
+        return rep;
+    }
+    rep.pass(format!("schema {base_schema}"));
+
+    // Wall-clock bands are only meaningful within one host regime.
+    let base_threads = baseline.get("host_threads").and_then(Json::as_f64);
+    let fresh_threads = fresh.get("host_threads").and_then(Json::as_f64);
+    let same_host = base_threads.is_some() && base_threads == fresh_threads;
+    if !same_host {
+        rep.warn(format!(
+            "host_threads differ (baseline {:?}, fresh {:?}): wall-clock bands degrade to warnings",
+            base_threads, fresh_threads
+        ));
+    }
+
+    let base_recs = index_benches(baseline);
+    let fresh_recs = index_benches(fresh);
+
+    for (key, base) in &base_recs {
+        let label = format!("{} @ {} ranks", key.0, key.1);
+        let Some(fresh) = fresh_recs.get(key) else {
+            rep.warn(format!("{label}: present in baseline, missing from fresh"));
+            continue;
+        };
+        compare_record(&mut rep, &label, base, fresh, tol, same_host);
+    }
+    for key in fresh_recs.keys() {
+        if !base_recs.contains_key(key) {
+            rep.warn(format!(
+                "{} @ {} ranks: new record with no committed baseline",
+                key.0, key.1
+            ));
+        }
+    }
+    rep
+}
+
+fn compare_record(
+    rep: &mut GateReport,
+    label: &str,
+    base: &Json,
+    fresh: &Json,
+    tol: &Tolerances,
+    same_host: bool,
+) {
+    // Hard: every policy must still agree with every other.
+    if fresh.get("identical_across_policies") != Some(&Json::Bool(true)) {
+        rep.fail(format!("{label}: outcomes diverged across policies"));
+    }
+
+    // Hard: the simulated outcome must be the baseline's, bit for bit.
+    let base_fps = obj_strs(base.get("outcome_fingerprints"));
+    let fresh_fps = obj_strs(fresh.get("outcome_fingerprints"));
+    let mut fp_ok = true;
+    for (policy, base_fp) in &base_fps {
+        match fresh_fps.get(policy) {
+            None => {
+                rep.warn(format!("{label}: policy {policy:?} dropped from fresh run"));
+            }
+            Some(fresh_fp) if fresh_fp != base_fp => {
+                fp_ok = false;
+                rep.fail(format!(
+                    "{label}: simulated outcome changed under {policy:?} \
+                     (fingerprint {base_fp} -> {fresh_fp})"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    if fp_ok && !base_fps.is_empty() {
+        rep.pass(format!(
+            "{label}: {} outcome fingerprints unchanged",
+            base_fps.len()
+        ));
+    }
+
+    // Hard: virtual makespan is a simulated quantity — exact equality.
+    let base_mk = base.get("virtual_makespan_s").and_then(Json::as_f64);
+    let fresh_mk = fresh.get("virtual_makespan_s").and_then(Json::as_f64);
+    if base_mk.map(f64::to_bits) != fresh_mk.map(f64::to_bits) {
+        rep.fail(format!(
+            "{label}: virtual makespan moved: baseline {base_mk:?}, fresh {fresh_mk:?}"
+        ));
+    }
+
+    // Banded: engine throughput per policy.
+    let base_eps = obj_f64s(base.get("events_per_sec"));
+    let fresh_eps = obj_f64s(fresh.get("events_per_sec"));
+    for (policy, base_v) in &base_eps {
+        if *base_v <= 0.0 {
+            continue; // nothing to regress against (e.g. 1-rank cases)
+        }
+        let Some(fresh_v) = fresh_eps.get(policy) else {
+            continue; // dropped policy already warned above
+        };
+        let drop = 1.0 - fresh_v / base_v;
+        if drop <= tol.events_per_sec_drop {
+            rep.passed += 1;
+        } else if same_host {
+            rep.fail(format!(
+                "{label}: events_per_sec[{policy}] dropped {:.0}% \
+                 ({base_v:.0} -> {fresh_v:.0}, tolerance {:.0}%)",
+                drop * 100.0,
+                tol.events_per_sec_drop * 100.0
+            ));
+        } else {
+            rep.warn(format!(
+                "{label}: events_per_sec[{policy}] dropped {:.0}% on a \
+                 different host regime ({base_v:.0} -> {fresh_v:.0})",
+                drop * 100.0
+            ));
+        }
+    }
+
+    // Banded: treecode sustained Gflops, when the record carries it.
+    if let (Some(base_g), Some(fresh_g)) = (
+        base.get("gflops").and_then(Json::as_f64),
+        fresh.get("gflops").and_then(Json::as_f64),
+    ) {
+        if base_g > 0.0 {
+            let drop = 1.0 - fresh_g / base_g;
+            if drop <= tol.gflops_drop {
+                rep.passed += 1;
+            } else if same_host {
+                rep.fail(format!(
+                    "{label}: gflops dropped {:.0}% ({base_g:.3} -> {fresh_g:.3}, \
+                     tolerance {:.0}%)",
+                    drop * 100.0,
+                    tol.gflops_drop * 100.0
+                ));
+            } else {
+                rep.warn(format!(
+                    "{label}: gflops dropped {:.0}% on a different host regime \
+                     ({base_g:.3} -> {fresh_g:.3})",
+                    drop * 100.0
+                ));
+            }
+        }
+    }
+}
+
+/// Scan `baseline_dir` for `BENCH_*.json`, pair each with the
+/// same-named file in `fresh_dir`, and gate every pair. Fresh BENCH
+/// documents without a committed baseline are warned about, never
+/// failed — they are coverage the gate cannot judge yet.
+pub fn compare_dirs(baseline_dir: &Path, fresh_dir: &Path, tol: &Tolerances) -> GateReport {
+    let mut rep = GateReport::default();
+    let mut names = Vec::new();
+    match fs::read_dir(baseline_dir) {
+        Ok(entries) => {
+            for e in entries.flatten() {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if name.starts_with("BENCH_") && name.ends_with(".json") {
+                    names.push(name);
+                }
+            }
+        }
+        Err(e) => {
+            rep.fail(format!(
+                "cannot read baseline directory {}: {e}",
+                baseline_dir.display()
+            ));
+            return rep;
+        }
+    }
+    names.sort();
+    if names.is_empty() {
+        rep.fail(format!(
+            "no BENCH_*.json baselines in {}",
+            baseline_dir.display()
+        ));
+        return rep;
+    }
+
+    for name in &names {
+        let base_path = baseline_dir.join(name);
+        let fresh_path = fresh_dir.join(name);
+        if !fresh_path.exists() {
+            rep.note(format!("{name}:"));
+            rep.warn("no fresh document (not regenerated this run)".to_string());
+            continue;
+        }
+        let sub = match (load(&base_path), load(&fresh_path)) {
+            (Ok(b), Ok(f)) => compare_documents(name, &b, &f, tol),
+            (Err(e), _) | (_, Err(e)) => {
+                rep.note(format!("{name}:"));
+                rep.fail(e);
+                continue;
+            }
+        };
+        rep.lines.extend(sub.lines);
+        rep.failures += sub.failures;
+        rep.warnings += sub.warnings;
+        rep.passed += sub.passed;
+    }
+    rep
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, ranks: f64, fp: &str, eps: f64, makespan: f64) -> Json {
+        let policies = ["seq", "unbounded", "w2", "w8"];
+        Json::obj([
+            ("name", Json::str(name.to_string())),
+            ("ranks", Json::Num(ranks)),
+            ("virtual_makespan_s", Json::Num(makespan)),
+            ("identical_across_policies", Json::Bool(true)),
+            (
+                "outcome_fingerprints",
+                Json::Obj(
+                    policies
+                        .iter()
+                        .map(|p| (p.to_string(), Json::str(fp.to_string())))
+                        .collect(),
+                ),
+            ),
+            (
+                "events_per_sec",
+                Json::Obj(
+                    policies
+                        .iter()
+                        .map(|p| (p.to_string(), Json::Num(eps)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn doc(host_threads: f64, recs: Vec<Json>) -> Json {
+        Json::obj([
+            ("schema", Json::str(crate::baseline::SCHEMA)),
+            ("suite", Json::str("cluster")),
+            ("host_threads", Json::Num(host_threads)),
+            ("benches", Json::Arr(recs)),
+        ])
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(8.0, vec![record("allreduce", 8.0, "abc123", 1e6, 0.25)]);
+        let rep = compare_documents("BENCH_cluster.json", &d, &d, &Tolerances::default());
+        assert!(rep.ok(), "{}", rep.render());
+        assert!(rep.passed >= 2, "{}", rep.render());
+        assert_eq!(rep.warnings, 0, "{}", rep.render());
+    }
+
+    #[test]
+    fn fingerprint_change_is_a_hard_failure() {
+        let base = doc(8.0, vec![record("allreduce", 8.0, "abc123", 1e6, 0.25)]);
+        let fresh = doc(8.0, vec![record("allreduce", 8.0, "def456", 1e6, 0.25)]);
+        let rep = compare_documents("BENCH_cluster.json", &base, &fresh, &Tolerances::default());
+        assert!(!rep.ok());
+        // One failure per policy whose fingerprint moved.
+        assert_eq!(rep.failures, 4, "{}", rep.render());
+        assert!(rep.render().contains("simulated outcome changed"));
+    }
+
+    #[test]
+    fn makespan_bit_change_is_a_hard_failure() {
+        let base = doc(8.0, vec![record("ring", 8.0, "abc", 1e6, 0.25)]);
+        let fresh = doc(
+            8.0,
+            vec![record("ring", 8.0, "abc", 1e6, 0.25 + f64::EPSILON)],
+        );
+        let rep = compare_documents("BENCH_cluster.json", &base, &fresh, &Tolerances::default());
+        assert_eq!(rep.failures, 1, "{}", rep.render());
+        assert!(rep.render().contains("virtual makespan moved"));
+    }
+
+    #[test]
+    fn events_per_sec_band_fails_on_same_host_warns_across_hosts() {
+        let base = doc(8.0, vec![record("imbalance", 8.0, "abc", 1e6, 0.25)]);
+        let slow = doc(8.0, vec![record("imbalance", 8.0, "abc", 0.5e6, 0.25)]);
+        let rep = compare_documents("BENCH_cluster.json", &base, &slow, &Tolerances::default());
+        assert_eq!(rep.failures, 4, "{}", rep.render()); // all four policies halved
+        assert!(rep.render().contains("dropped 50%"));
+
+        // Same drop under a different host regime: warning, not failure.
+        let other_host = doc(2.0, vec![record("imbalance", 8.0, "abc", 0.5e6, 0.25)]);
+        let rep = compare_documents(
+            "BENCH_cluster.json",
+            &base,
+            &other_host,
+            &Tolerances::default(),
+        );
+        assert!(rep.ok(), "{}", rep.render());
+        assert!(rep.warnings >= 4, "{}", rep.render());
+
+        // The smoke band tolerates a 50% drop outright.
+        let rep = compare_documents("BENCH_cluster.json", &base, &slow, &Tolerances::smoke());
+        assert!(rep.ok(), "{}", rep.render());
+    }
+
+    #[test]
+    fn small_throughput_gains_and_drops_within_band_pass() {
+        let base = doc(8.0, vec![record("ring", 8.0, "abc", 1e6, 0.25)]);
+        for eps in [0.9e6, 1.1e6, 2e6] {
+            let fresh = doc(8.0, vec![record("ring", 8.0, "abc", eps, 0.25)]);
+            let rep =
+                compare_documents("BENCH_cluster.json", &base, &fresh, &Tolerances::default());
+            assert!(rep.ok(), "eps {eps}: {}", rep.render());
+        }
+    }
+
+    #[test]
+    fn divergent_policies_fail_and_coverage_changes_warn() {
+        let mut bad = record("ring", 8.0, "abc", 1e6, 0.25);
+        if let Json::Obj(m) = &mut bad {
+            m.insert("identical_across_policies".to_string(), Json::Bool(false));
+        }
+        let base = doc(8.0, vec![record("ring", 8.0, "abc", 1e6, 0.25)]);
+        let fresh = doc(8.0, vec![bad, record("extra", 16.0, "zzz", 1e6, 1.0)]);
+        let rep = compare_documents("BENCH_cluster.json", &base, &fresh, &Tolerances::default());
+        assert_eq!(rep.failures, 1, "{}", rep.render());
+        assert!(rep.render().contains("diverged across policies"));
+        assert!(rep
+            .render()
+            .contains("new record with no committed baseline"));
+
+        // Baseline-only records warn (rank filters legitimately shrink runs).
+        let rep = compare_documents("BENCH_cluster.json", &fresh, &base, &Tolerances::default());
+        assert!(rep.render().contains("missing from fresh"));
+    }
+
+    #[test]
+    fn schema_mismatch_fails_and_foreign_suites_are_skipped() {
+        let base = doc(8.0, vec![]);
+        let mut fresh = doc(8.0, vec![]);
+        if let Json::Obj(m) = &mut fresh {
+            m.insert("schema".to_string(), Json::str("metablade-bench/9"));
+        }
+        let rep = compare_documents("BENCH_cluster.json", &base, &fresh, &Tolerances::default());
+        assert!(!rep.ok());
+        assert!(rep.render().contains("schema changed"));
+
+        let sched = Json::obj([("schema", Json::str("metablade-sched/2"))]);
+        let rep = compare_documents("BENCH_sched.json", &sched, &sched, &Tolerances::default());
+        assert!(rep.ok(), "{}", rep.render());
+        assert_eq!(rep.warnings, 1, "{}", rep.render());
+    }
+
+    #[test]
+    fn gflops_band_applies_to_treecode_records() {
+        let with_gflops = |g: f64| {
+            let mut r = record("treecode_step", 8.0, "abc", 1e4, 3.0);
+            if let Json::Obj(m) = &mut r {
+                m.insert("gflops".to_string(), Json::Num(g));
+            }
+            doc(8.0, vec![r])
+        };
+        let base = with_gflops(1.0);
+        let ok = compare_documents(
+            "BENCH_treecode.json",
+            &base,
+            &with_gflops(0.9),
+            &Tolerances::default(),
+        );
+        assert!(ok.ok(), "{}", ok.render());
+        let bad = compare_documents(
+            "BENCH_treecode.json",
+            &base,
+            &with_gflops(0.5),
+            &Tolerances::default(),
+        );
+        assert_eq!(bad.failures, 1, "{}", bad.render());
+        assert!(bad.render().contains("gflops dropped 50%"));
+    }
+
+    #[test]
+    fn compare_dirs_pairs_files_and_flags_missing_fresh_documents() {
+        let dir = std::env::temp_dir().join(format!("mb_gate_test_{}", std::process::id()));
+        let base_dir = dir.join("base");
+        let fresh_dir = dir.join("fresh");
+        fs::create_dir_all(&base_dir).unwrap();
+        fs::create_dir_all(&fresh_dir).unwrap();
+        let d = doc(8.0, vec![record("ring", 8.0, "abc", 1e6, 0.25)]);
+        fs::write(base_dir.join("BENCH_a.json"), d.to_string()).unwrap();
+        fs::write(base_dir.join("BENCH_b.json"), d.to_string()).unwrap();
+        fs::write(fresh_dir.join("BENCH_a.json"), d.to_string()).unwrap();
+
+        let rep = compare_dirs(&base_dir, &fresh_dir, &Tolerances::default());
+        assert!(rep.ok(), "{}", rep.render());
+        assert_eq!(rep.warnings, 1, "{}", rep.render()); // BENCH_b not regenerated
+        assert!(rep.render().contains("BENCH_b.json"));
+
+        // An empty baseline directory is itself a failure.
+        let empty = dir.join("empty");
+        fs::create_dir_all(&empty).unwrap();
+        let rep = compare_dirs(&empty, &fresh_dir, &Tolerances::default());
+        assert!(!rep.ok());
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}

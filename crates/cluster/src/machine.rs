@@ -99,15 +99,21 @@ impl<R> SpmdOutcome<R> {
 pub struct Cluster {
     spec: ClusterSpec,
     exec: ExecPolicy,
+    prof: bool,
+    event_log: Option<Arc<mb_telemetry::eventlog::EventLog>>,
 }
 
 impl Cluster {
     /// Build a cluster from a spec. The executor policy comes from the
-    /// `MB_PARALLEL` environment variable (see [`ExecPolicy::from_env`]).
+    /// `MB_PARALLEL` environment variable (see [`ExecPolicy::from_env`]);
+    /// host-time profiling of the executor from `MB_PROF`
+    /// (see [`mb_telemetry::prof::enabled_from_env`]).
     pub fn new(spec: ClusterSpec) -> Self {
         Self {
             spec,
             exec: ExecPolicy::from_env(),
+            prof: mb_telemetry::prof::enabled_from_env(),
+            event_log: None,
         }
     }
 
@@ -117,9 +123,32 @@ impl Cluster {
         self
     }
 
+    /// Enable (or disable) host-time profiling of the executor core
+    /// explicitly, instead of the `MB_PROF` environment default. The
+    /// profile comes back on [`SpmdOutcome::exec_report`]'s `prof` field;
+    /// simulated outcomes are bit-identical either way (see
+    /// `tests/determinism.rs`).
+    pub fn with_prof(mut self, on: bool) -> Self {
+        self.prof = on;
+        self
+    }
+
+    /// Attach a structured host-event log (JSONL sink); the executor
+    /// core emits rare scheduling events (horizon stalls) into it when
+    /// profiling is on.
+    pub fn with_event_log(mut self, log: Arc<mb_telemetry::eventlog::EventLog>) -> Self {
+        self.event_log = Some(log);
+        self
+    }
+
     /// The executor policy in force.
     pub fn exec(&self) -> ExecPolicy {
         self.exec
+    }
+
+    /// True when executor host-time profiling is enabled.
+    pub fn prof(&self) -> bool {
+        self.prof
     }
 
     /// The spec.
@@ -198,16 +227,23 @@ impl Cluster {
         // free-running jobs get lookahead skew bounding and executor
         // telemetry. Results are bit-identical either way (test-enforced).
         let lookahead = EventCore::lookahead_from_env(net.min_delivery_delay());
+        let build_core = |workers: usize| {
+            let mut c = EventCore::new(workers, n, lookahead).with_profiling(self.prof);
+            if let Some(log) = &self.event_log {
+                c = c.with_event_log(Arc::clone(log));
+            }
+            Arc::new(c)
+        };
         let mut core: Option<Arc<EventCore>> = None;
         let sched: Option<Arc<dyn Admission>> = match self.exec {
             ExecPolicy::Sequential => Some(Arc::new(Scheduler::new(1, n))),
             ExecPolicy::Parallel { workers } => {
-                let c = Arc::new(EventCore::new(workers, n, lookahead));
+                let c = build_core(workers);
                 core = Some(Arc::clone(&c));
                 Some(c)
             }
             ExecPolicy::Unbounded => {
-                let c = Arc::new(EventCore::new(n, n, lookahead));
+                let c = build_core(n);
                 core = Some(Arc::clone(&c));
                 Some(c)
             }
@@ -500,6 +536,33 @@ mod tests {
         assert_eq!(plain.clocks, traced.clocks);
         assert_eq!(plain.results, traced.results);
         assert_eq!(trace.ranks.len(), 8);
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_and_carries_host_profile() {
+        use crate::exec::ExecPolicy;
+        let job = |comm: &mut crate::comm::Comm| {
+            let s = comm.allreduce_sum(&[comm.rank() as f64]);
+            comm.compute(1e6);
+            comm.barrier();
+            s[0]
+        };
+        let mk = || small_cluster(8).with_exec(ExecPolicy::Parallel { workers: 3 });
+        let plain = mk().with_prof(false).run(job);
+        let log = Arc::new(mb_telemetry::eventlog::EventLog::new());
+        let profiled = mk()
+            .with_prof(true)
+            .with_event_log(Arc::clone(&log))
+            .run(job);
+        // Simulated quantities are bit-identical: profiling reads only
+        // the host clock.
+        assert_eq!(plain.results, profiled.results);
+        assert_eq!(plain.clocks, profiled.clocks);
+        assert_eq!(plain.stats, profiled.stats);
+        assert!(plain.exec_report.prof.is_none());
+        let p = profiled.exec_report.prof.as_ref().expect("profile present");
+        assert_eq!(p.busy_ns.count(), profiled.exec_report.admissions);
+        assert!(p.idle_ns.p50() <= p.idle_ns.p99());
     }
 
     #[test]

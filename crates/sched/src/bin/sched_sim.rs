@@ -73,11 +73,13 @@ fn run_cluster(
 fn print_table(label: &str, reports: &[SimReport], tco: f64) {
     println!("\n{label} (TCO ${tco:.0}):");
     println!(
-        "  {:<6} {:>11} {:>6} {:>9} {:>9} {:>8} {:>5} {:>5} {:>12}",
+        "  {:<6} {:>11} {:>6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>5} {:>5} {:>12}",
         "policy",
         "makespan_s",
         "util",
         "wait_s",
+        "wait_p50",
+        "wait_p99",
         "slowdown",
         "jobs/h",
         "fail",
@@ -86,11 +88,13 @@ fn print_table(label: &str, reports: &[SimReport], tco: f64) {
     );
     for r in reports {
         println!(
-            "  {:<6} {:>11.0} {:>6.3} {:>9.0} {:>9.2} {:>8.2} {:>5} {:>5} {:>12.4}",
+            "  {:<6} {:>11.0} {:>6.3} {:>9.0} {:>9.0} {:>9.0} {:>9.2} {:>8.2} {:>5} {:>5} {:>12.4}",
             r.policy,
             r.makespan_s,
             r.utilization,
             r.mean_wait_s,
+            r.wait_hist.p50(),
+            r.wait_hist.p99(),
             r.mean_slowdown,
             r.jobs_per_hour,
             r.failures,

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use mb_cluster::checkpoint::CheckpointModel;
 use mb_cluster::reliability::{sample_failures, FailureLaw};
 use mb_cluster::{Cluster, ExecPolicy, NodeSet};
+use mb_telemetry::prof::LogHistogram;
 use mb_telemetry::{Fnv, Registry};
 
 use crate::job::{JobRecord, JobSpec, WorkModel};
@@ -236,6 +237,11 @@ pub struct SimReport {
     pub mean_wait_s: f64,
     /// Mean bounded slowdown.
     pub mean_slowdown: f64,
+    /// Full queue-wait distribution, seconds (one observation per
+    /// completed job; percentiles via [`LogHistogram::quantile`]).
+    pub wait_hist: LogHistogram,
+    /// Full bounded-slowdown distribution, same sampling.
+    pub slowdown_hist: LogHistogram,
     /// Completed jobs per virtual hour.
     pub jobs_per_hour: f64,
     /// Node failures applied (up nodes struck).
@@ -359,16 +365,11 @@ pub fn simulate(
 
     let mut registry = Registry::new();
     let qd = registry.series("sched.queue_depth", policy.name());
-    let wait_h = registry.histogram(
-        "sched.wait_s",
-        policy.name(),
-        &[60.0, 300.0, 900.0, 3600.0, 7200.0, 14400.0],
-    );
-    let slow_h = registry.histogram(
-        "sched.slowdown",
-        policy.name(),
-        &[1.0, 1.5, 2.0, 4.0, 8.0, 16.0],
-    );
+    // Wait/slowdown distributions go into the shared log-bucketed
+    // histogram (installed in the registry at the end of the run) —
+    // full percentile queries instead of the old six ad-hoc buckets.
+    let mut wait_hist = LogHistogram::new();
+    let mut slowdown_hist = LogHistogram::new();
 
     while completed < jobs.len() {
         let mut now = f64::INFINITY;
@@ -433,9 +434,8 @@ pub fn simulate(
             let rec = &mut records[run.ji];
             rec.end_s = run.end_s;
             completed += 1;
-            let (w, s) = (rec.wait_s(), rec.slowdown());
-            registry.observe(wait_h, w);
-            registry.observe(slow_h, s);
+            wait_hist.observe(rec.wait_s());
+            slowdown_hist.observe(rec.slowdown());
         }
 
         // 3. Failures: mark the node down, schedule its repair, and
@@ -570,6 +570,8 @@ pub fn simulate(
 
     registry.record_gauge("sched.utilization", policy.name(), utilization);
     registry.record_gauge("sched.mean_wait_s", policy.name(), mean_wait_s);
+    registry.set_histogram("sched.wait_s", policy.name(), wait_hist.to_metric());
+    registry.set_histogram("sched.slowdown", policy.name(), slowdown_hist.to_metric());
     registry.count("sched.jobs", policy.name(), records.len() as u64);
     registry.count("sched.failures", policy.name(), u64::from(failures_applied));
     registry.count("sched.requeues", policy.name(), u64::from(requeues));
@@ -600,6 +602,8 @@ pub fn simulate(
         utilization,
         mean_wait_s,
         mean_slowdown,
+        wait_hist,
+        slowdown_hist,
         jobs_per_hour,
         failures: failures_applied,
         requeues,
@@ -654,6 +658,30 @@ mod tests {
                 .map(|r| (r.end_s - r.start_s) * r.ranks as f64)
                 .sum();
             assert!((occ - busy).abs() < 1e-6 * busy.max(1.0));
+        }
+    }
+
+    #[test]
+    fn wait_and_slowdown_histograms_cover_every_job() {
+        let cluster = Cluster::new(mb_cluster::spec::metablade()).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let jobs = small_workload();
+        let rep = simulate(&service, &Fcfs, &jobs, &SchedConfig::default());
+        assert_eq!(rep.wait_hist.count(), jobs.len() as u64);
+        assert_eq!(rep.slowdown_hist.count(), jobs.len() as u64);
+        // The histogram's exact sum reproduces the mean.
+        assert!((rep.wait_hist.mean() - rep.mean_wait_s).abs() < 1e-9 * rep.mean_wait_s.max(1.0));
+        assert!(rep.wait_hist.p50() <= rep.wait_hist.p90());
+        assert!(rep.wait_hist.p90() <= rep.wait_hist.p99());
+        assert!(rep.slowdown_hist.min() > 0.0);
+        assert!(rep.slowdown_hist.p50() <= rep.slowdown_hist.p99());
+        // The registry carries the same distribution (compact form).
+        match rep.registry.find("sched.wait_s", "fcfs").unwrap() {
+            mb_telemetry::MetricValue::Histogram(h) => {
+                assert_eq!(h.n, jobs.len() as u64);
+                assert!((h.sum - rep.wait_hist.sum()).abs() < 1e-9);
+            }
+            _ => panic!("sched.wait_s is not a histogram"),
         }
     }
 

@@ -17,7 +17,9 @@ use mb_telemetry::Json;
 use crate::engine::{OccSpan, SimReport};
 
 /// Schema tag stamped into every `BENCH_sched.json` document.
-pub const SCHEMA: &str = "metablade-sched/1";
+/// `/2` added full wait/slowdown percentile columns (`wait_p50_s` …
+/// `slowdown_p99`) to each policy row; `/1` rows carried means only.
+pub const SCHEMA: &str = "metablade-sched/2";
 
 /// Render per-node occupancy spans as Chrome trace-event JSON: one
 /// track (`tid`) per node, one `"X"` duration event per job residency,
@@ -145,7 +147,14 @@ pub fn policy_row(report: &SimReport, tco_dollars: f64, exec_invariant: bool) ->
         ("makespan_s", Json::Num(report.makespan_s)),
         ("utilization", Json::Num(report.utilization)),
         ("mean_wait_s", Json::Num(report.mean_wait_s)),
+        ("wait_p50_s", Json::Num(report.wait_hist.p50())),
+        ("wait_p90_s", Json::Num(report.wait_hist.p90())),
+        ("wait_p99_s", Json::Num(report.wait_hist.p99())),
+        ("wait_max_s", Json::Num(report.wait_hist.max())),
         ("mean_slowdown", Json::Num(report.mean_slowdown)),
+        ("slowdown_p50", Json::Num(report.slowdown_hist.p50())),
+        ("slowdown_p90", Json::Num(report.slowdown_hist.p90())),
+        ("slowdown_p99", Json::Num(report.slowdown_hist.p99())),
         ("jobs_per_hour", Json::Num(report.jobs_per_hour)),
         ("failures", Json::Num(f64::from(report.failures))),
         ("requeues", Json::Num(f64::from(report.requeues))),
@@ -235,5 +244,14 @@ mod tests {
             .unwrap();
         assert!((per_k - rep.jobs_per_hour / 35.0).abs() < 1e-9);
         assert_eq!(row.get("policy").unwrap().as_str(), Some("fcfs"));
+        // Percentile columns are present, ordered, and consistent with
+        // the report's histograms.
+        let p50 = row.get("wait_p50_s").unwrap().as_f64().unwrap();
+        let p90 = row.get("wait_p90_s").unwrap().as_f64().unwrap();
+        let p99 = row.get("wait_p99_s").unwrap().as_f64().unwrap();
+        let max = row.get("wait_max_s").unwrap().as_f64().unwrap();
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        assert_eq!(p99, rep.wait_hist.p99());
+        assert!(row.get("slowdown_p50").unwrap().as_f64().unwrap() > 0.0);
     }
 }

@@ -1,0 +1,156 @@
+//! Structured JSONL event log for post-hoc host-time analysis.
+//!
+//! Where the [`crate::prof`] histograms answer *"what is the p99?"*,
+//! the event log answers *"what happened, in order?"* — each call to
+//! [`EventLog::emit`] appends one self-describing record that serializes
+//! as a single JSON object per line (JSONL), the format every
+//! log-crunching tool ingests directly (`jq`, pandas `read_json(...,
+//! lines=True)`, DuckDB).
+//!
+//! Records are stamped with **host** nanoseconds since the log was
+//! opened (a monotonic `Instant` anchor — never wall-clock, never
+//! virtual time), so post-hoc analysis can order and interval-join
+//! events without trusting the OS clock to be steady. The log is
+//! internally synchronized: `emit` takes `&self` and may be called from
+//! worker threads; lines are pre-rendered outside the lock so the
+//! critical section is one `Vec::push`.
+//!
+//! ```
+//! use mb_telemetry::eventlog::EventLog;
+//! use mb_telemetry::Json;
+//!
+//! let log = EventLog::new();
+//! log.emit("gate.wake", &[("rank", Json::Num(3.0)), ("wait_ns", Json::Num(1200.0))]);
+//! let text = log.to_jsonl();
+//! let first = mb_telemetry::json::parse(text.lines().next().unwrap()).unwrap();
+//! assert_eq!(first.get("kind").unwrap().as_str(), Some("gate.wake"));
+//! assert_eq!(first.get("rank").unwrap().as_f64(), Some(3.0));
+//! assert!(first.get("t_ns").unwrap().as_f64().unwrap() >= 0.0);
+//! ```
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// A thread-safe, append-only structured event log. One instance per
+/// run; drain with [`EventLog::to_jsonl`] after the run quiesces.
+pub struct EventLog {
+    /// Monotonic anchor: `t_ns` in every record is measured from here.
+    start: Instant,
+    /// Pre-rendered JSON lines, in emission order.
+    lines: Mutex<Vec<String>>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventLog {
+    /// Open an empty log; the host-time origin for `t_ns` is now.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            lines: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Append one record of the given `kind` with extra fields. The
+    /// record always carries `t_ns` (host nanoseconds since the log
+    /// opened) and `kind`; keys serialize in sorted order (the JSON
+    /// layer's canonical object form) and the two reserved keys are
+    /// inserted last, so callers cannot override them.
+    pub fn emit(&self, kind: &str, fields: &[(&str, Json)]) {
+        let t_ns = self.start.elapsed().as_nanos() as f64;
+        let mut map = std::collections::BTreeMap::new();
+        for (k, v) in fields {
+            map.insert(k.to_string(), v.clone());
+        }
+        map.insert("t_ns".to_string(), Json::Num(t_ns));
+        map.insert("kind".to_string(), Json::Str(kind.to_string()));
+        let line = Json::Obj(map).to_string();
+        self.lines.lock().unwrap().push(line);
+    }
+
+    /// Number of records emitted so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap().len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize as JSONL: one JSON object per line, trailing newline
+    /// when non-empty.
+    pub fn to_jsonl(&self) -> String {
+        let lines = self.lines.lock().unwrap();
+        let mut out = String::new();
+        for l in lines.iter() {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_ordered_parseable_and_stamped() {
+        let log = EventLog::new();
+        log.emit("a", &[("x", Json::Num(1.0))]);
+        log.emit("b", &[("x", Json::Num(2.0))]);
+        let text = log.to_jsonl();
+        let rows: Vec<Json> = text
+            .lines()
+            .map(|l| crate::json::parse(l).expect("every line parses"))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("kind").unwrap().as_str(), Some("a"));
+        assert_eq!(rows[1].get("kind").unwrap().as_str(), Some("b"));
+        let t0 = rows[0].get("t_ns").unwrap().as_f64().unwrap();
+        let t1 = rows[1].get("t_ns").unwrap().as_f64().unwrap();
+        assert!(t0 >= 0.0 && t1 >= t0, "host stamps are monotone");
+    }
+
+    #[test]
+    fn concurrent_emitters_lose_nothing() {
+        let log = EventLog::new();
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let log = &log;
+                scope.spawn(move || {
+                    for k in 0..250 {
+                        log.emit(
+                            "tick",
+                            &[("worker", Json::Num(w as f64)), ("k", Json::Num(k as f64))],
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 1000);
+        assert!(log.to_jsonl().lines().count() == 1000);
+    }
+
+    #[test]
+    fn empty_log_is_empty_string() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.to_jsonl(), "");
+    }
+}

@@ -140,6 +140,19 @@ impl Registry {
         }))
     }
 
+    /// Install a fully-formed histogram under `name{label}`, replacing
+    /// any previous value in that slot. This is how drained
+    /// [`crate::prof::LogHistogram`] snapshots (converted via
+    /// `to_metric()`) land in a registry: their bounds are data-dependent
+    /// (only occupied buckets survive compaction), so the incremental
+    /// [`Registry::histogram`]+[`Registry::observe`] path — which
+    /// requires the bounds up front — does not fit.
+    pub fn set_histogram(&mut self, name: &str, label: &str, hist: Histogram) -> MetricHandle {
+        let i = self.slot(name, label, || MetricValue::Histogram(hist.clone()));
+        self.entries[i].value = MetricValue::Histogram(hist);
+        MetricHandle(i)
+    }
+
     /// Register (or look up) a sampled series.
     pub fn series(&mut self, name: &str, label: &str) -> MetricHandle {
         MetricHandle(self.slot(name, label, || MetricValue::Series(Vec::new())))

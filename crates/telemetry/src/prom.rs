@@ -1,0 +1,259 @@
+//! Prometheus text-format exporter for [`Registry`] snapshots.
+//!
+//! [`render`] turns a registry into the [text exposition format]
+//! (version 0.0.4): one `# HELP` / `# TYPE` header per metric family
+//! followed by one sample line per label set. The output is a plain
+//! `String` — callers decide whether it lands on disk next to the other
+//! bench artifacts (`PROF_*.prom`) or behind a scrape endpoint.
+//!
+//! Mapping from the registry model:
+//!
+//! * metric names are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` — every
+//!   other byte (the registry's `.` and `/` separators, e.g.
+//!   `prof/gate.wake_ns`) becomes `_`; the original name is preserved in
+//!   the `# HELP` line;
+//! * registry labels of the `k=v[,k=v…]` form become proper Prometheus
+//!   labels; a bare label (policy names like `w8`) is exported as
+//!   `label="w8"`; label *values* get the mandated escaping (`\\`,
+//!   `\"`, `\n`);
+//! * counters and gauges map 1:1; histograms emit cumulative
+//!   `_bucket{le="…"}` rows, the mandatory `le="+Inf"` row, `_sum` and
+//!   `_count`;
+//! * series (virtual-time samples) keep only their final value, as a
+//!   gauge — Prometheus has no native notion of an embedded time series,
+//!   and re-exporting history through a scrape would fabricate
+//!   timestamps.
+//!
+//! Families are emitted in first-registration order; rows within a
+//! family in registration order. Rendering the same registry twice
+//! yields byte-identical output (no timestamps), which is what the
+//! golden-file test pins down.
+//!
+//! [text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, MetricValue, Registry};
+
+/// Render a registry snapshot in the Prometheus text exposition format.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for (name, _, _) in registry.iter() {
+        if seen.contains(&name) {
+            continue;
+        }
+        seen.push(name);
+        render_family(&mut out, registry, name);
+    }
+    out
+}
+
+fn render_family(out: &mut String, registry: &Registry, name: &str) {
+    let rows: Vec<(&str, &MetricValue)> = registry
+        .iter()
+        .filter(|(n, _, _)| *n == name)
+        .map(|(_, l, v)| (l, v))
+        .collect();
+    let prom = sanitize_name(name);
+    let kind = match rows[0].1 {
+        MetricValue::Counter(_) => "counter",
+        MetricValue::Gauge(_) | MetricValue::Series(_) => "gauge",
+        MetricValue::Histogram(_) => "histogram",
+    };
+    let _ = writeln!(out, "# HELP {prom} metablade metric `{name}`");
+    let _ = writeln!(out, "# TYPE {prom} {kind}");
+    for (label, value) in rows {
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "{prom}{} {c}", labels(label, &[]));
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "{prom}{} {}", labels(label, &[]), num(*g));
+            }
+            MetricValue::Series(points) => {
+                let last = points.last().map_or(0.0, |&(_, v)| v);
+                let _ = writeln!(out, "{prom}{} {}", labels(label, &[]), num(last));
+            }
+            MetricValue::Histogram(h) => render_histogram(out, &prom, label, h),
+        }
+    }
+}
+
+fn render_histogram(out: &mut String, prom: &str, label: &str, h: &Histogram) {
+    let mut cum = 0u64;
+    for (i, &bound) in h.bounds.iter().enumerate() {
+        cum += h.counts[i];
+        let le = num(bound);
+        let _ = writeln!(out, "{prom}_bucket{} {cum}", labels(label, &[("le", &le)]));
+    }
+    let _ = writeln!(
+        out,
+        "{prom}_bucket{} {}",
+        labels(label, &[("le", "+Inf")]),
+        h.n
+    );
+    let _ = writeln!(out, "{prom}_sum{} {}", labels(label, &[]), num(h.sum));
+    let _ = writeln!(out, "{prom}_count{} {}", labels(label, &[]), h.n);
+}
+
+/// Sanitize a registry metric name into a legal Prometheus name.
+fn sanitize_name(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+/// Render the `{k="v",…}` label block for a registry label plus any
+/// extra pairs (the histogram `le`). Empty when there is nothing to say.
+fn labels(label: &str, extra: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    if !label.is_empty() {
+        for part in label.split(',') {
+            match part.split_once('=') {
+                Some((k, v)) => pairs.push((sanitize_name(k.trim()), v.trim().to_string())),
+                None => pairs.push(("label".to_string(), part.trim().to_string())),
+            }
+        }
+    }
+    for &(k, v) in extra {
+        pairs.push((k.to_string(), v.to_string()));
+    }
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// The escaping the exposition format mandates inside label values.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus float formatting: integral values lose the fraction,
+/// infinities spell `+Inf`/`-Inf`.
+fn num(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    /// Golden-file test mirroring the Chrome exporter's
+    /// `ping_pong_chrome_trace_is_valid_and_paired`: a registry with
+    /// every metric kind, label escaping, and a histogram renders to the
+    /// exact expected exposition text.
+    #[test]
+    fn golden_exposition_text() {
+        let mut reg = Registry::new();
+        reg.count("comm.sends", "rank=0", 3);
+        reg.count("comm.sends", "rank=1", 5);
+        reg.record_gauge("prof/worker.busy_frac", "worker=0", 0.75);
+        // Bare (non k=v) label, with characters needing escaping.
+        reg.record_gauge("exec.policy_flag", "w8\"quoted\"\\\n", 1.0);
+        let h = reg.histogram("sched.wait_s", "policy=easy", &[60.0, 300.0]);
+        for v in [10.0, 70.0, 70.0, 1000.0] {
+            reg.observe(h, v);
+        }
+        let s = reg.series("power.watts", "cluster");
+        reg.sample(s, 0.5, 90.0);
+        reg.sample(s, 1.5, 110.0);
+
+        let got = render(&reg);
+        let want = "\
+# HELP comm_sends metablade metric `comm.sends`
+# TYPE comm_sends counter
+comm_sends{rank=\"0\"} 3
+comm_sends{rank=\"1\"} 5
+# HELP prof_worker_busy_frac metablade metric `prof/worker.busy_frac`
+# TYPE prof_worker_busy_frac gauge
+prof_worker_busy_frac{worker=\"0\"} 0.75
+# HELP exec_policy_flag metablade metric `exec.policy_flag`
+# TYPE exec_policy_flag gauge
+exec_policy_flag{label=\"w8\\\"quoted\\\"\\\\\"} 1
+# HELP sched_wait_s metablade metric `sched.wait_s`
+# TYPE sched_wait_s histogram
+sched_wait_s_bucket{policy=\"easy\",le=\"60\"} 1
+sched_wait_s_bucket{policy=\"easy\",le=\"300\"} 3
+sched_wait_s_bucket{policy=\"easy\",le=\"+Inf\"} 4
+sched_wait_s_sum{policy=\"easy\"} 1150
+sched_wait_s_count{policy=\"easy\"} 4
+# HELP power_watts metablade metric `power.watts`
+# TYPE power_watts gauge
+power_watts{label=\"cluster\"} 110
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize_name("prof/gate.wake_ns"), "prof_gate_wake_ns");
+        assert_eq!(sanitize_name("0day"), "_0day");
+        assert_eq!(sanitize_name("a:b_c9"), "a:b_c9");
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn log_histogram_to_metric_renders_cumulative_le_buckets() {
+        // End-to-end with the prof histogram: compacted bounds still
+        // produce monotonically non-decreasing cumulative bucket rows
+        // capped by the +Inf row.
+        let mut lh = crate::prof::LogHistogram::new();
+        for v in [0.0, 1.0, 1.0, 3.0, 900.0] {
+            lh.observe(v);
+        }
+        let mut reg = Registry::new();
+        reg.set_histogram("prof/test.ns", "worker=all", lh.to_metric());
+        let text = render(&reg);
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.contains("_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{text}");
+        assert_eq!(*counts.last().unwrap(), 5);
+        assert!(text.contains("le=\"+Inf\"} 5"));
+        assert!(text.contains("prof_test_ns_count{worker=\"all\"} 5"));
+    }
+}

@@ -1,0 +1,9 @@
+//! Repo-root alias for the mb-bench `bench_baseline` binary, so
+//! `cargo run --release --bin bench_baseline` works without `-p
+//! mb-bench` (the root package's bin targets shadow workspace members'
+//! for a bare `--bin`). Argv and behavior are documented on
+//! `crates/bench/src/bin/bench_baseline.rs`.
+
+fn main() {
+    mb_bench::cli::baseline_main()
+}

@@ -1,0 +1,10 @@
+//! Repo-root alias for the mb-bench `bench_gate` binary, so
+//! `cargo run --release --bin bench_gate` works without `-p mb-bench`.
+//! Argv and checks are documented on
+//! `crates/bench/src/bin/bench_gate.rs` and in `mb_bench::gate`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    mb_bench::cli::gate_main()
+}

@@ -137,3 +137,45 @@ fn tracing_and_telemetry_do_not_perturb_virtual_time_at_256_ranks() {
         "executor counters missing from Chrome export"
     );
 }
+
+#[test]
+fn host_time_profiling_does_not_perturb_virtual_time_at_256_ranks() {
+    // The ISSUE-7 acceptance gate: fingerprints must be bit-identical
+    // with profiling enabled vs disabled — host-clock instrumentation
+    // (gate wake latency, busy/idle spans, horizon stall timing) reads
+    // `Instant` only and never a virtual clock.
+    let spec = metablade_spec().with_nodes(256);
+    let cluster = Cluster::new(spec).with_exec(ExecPolicy::Parallel { workers: 8 });
+    let off = cluster.clone().with_prof(false).run(job_256);
+    let log = std::sync::Arc::new(metablade::telemetry::eventlog::EventLog::new());
+    let on = cluster
+        .clone()
+        .with_prof(true)
+        .with_event_log(std::sync::Arc::clone(&log))
+        .run(job_256);
+    assert_eq!(
+        outcome_fingerprint(&off.results, &off.clocks, &off.stats),
+        outcome_fingerprint(&on.results, &on.clocks, &on.stats),
+        "host-time profiling changed simulated outcomes"
+    );
+    assert!(off.exec_report.prof.is_none());
+    let p = on.exec_report.prof.as_ref().expect("profile captured");
+    assert_eq!(
+        p.busy_ns.count(),
+        on.exec_report.admissions,
+        "one busy span per admission"
+    );
+    assert!(p.wake_ns.p50() <= p.wake_ns.p99());
+
+    // The profile flows through every export surface: registry →
+    // Prometheus text and Chrome counters.
+    let mut reg = metablade::telemetry::metrics::Registry::new();
+    on.exec_report
+        .record_into(&mut reg, &cluster.exec().label());
+    let prom = metablade::telemetry::prom::render(&reg);
+    assert!(
+        prom.contains("prof_task_busy_ns_bucket"),
+        "prof histograms missing from Prometheus export:\n{prom}"
+    );
+    assert!(prom.contains("# TYPE prof_task_busy_ns histogram"));
+}
