@@ -22,15 +22,26 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use mb_cluster::machine::Cluster;
-use mb_cluster::spec::metablade;
-use mb_cluster::{Comm, CommStats, ExecPolicy};
+use mb_cluster::machine::{Cluster, SpmdOutcome};
+use mb_cluster::spec::{metablade, ClusterSpec};
+use mb_cluster::topology::record_link_occupancy;
+use mb_cluster::{Comm, CommStats, ExecPolicy, Topology};
 use mb_telemetry::json::Json;
 use mb_treecode::parallel::{distributed_step, DistributedConfig};
 use mb_treecode::plummer;
 
-/// Schema tag stamped into every BENCH document.
-pub const SCHEMA: &str = "metablade-bench/1";
+/// Schema tag stamped into every BENCH document. `/2` added the
+/// per-record `topology` column and the fat-tree contention sweep
+/// (records suffixed `@ft16x2o4`); the gate treats a schema mismatch
+/// as a hard failure, so baselines must be regenerated together.
+pub const SCHEMA: &str = "metablade-bench/2";
+
+/// The oversubscribed fat-tree every contention sweep uses: radix 16,
+/// two tiers (256-node capacity), 4:1 uplinks — big enough that the
+/// 128-rank cases straddle eight edge switches.
+pub fn sweep_fat_tree() -> Topology {
+    Topology::fat_tree(16, 2, 4.0)
+}
 
 /// Shape of one baseline sweep.
 #[derive(Debug, Clone)]
@@ -152,6 +163,10 @@ pub struct BenchRecord {
     pub name: String,
     /// Simulated rank count.
     pub ranks: usize,
+    /// Interconnect label ([`Topology::label`]): `star`, `ft16x2o4`, ….
+    /// Records are only comparable across documents when this matches;
+    /// the gate enforces that.
+    pub topology: String,
     /// Simulated makespan, identical across policies when `identical`.
     pub virtual_makespan_s: f64,
     /// Outcome fingerprint (results + clocks + stats) per policy label.
@@ -202,6 +217,7 @@ impl BenchRecord {
         let mut fields = vec![
             ("name", Json::str(self.name.clone())),
             ("ranks", Json::Num(self.ranks as f64)),
+            ("topology", Json::str(self.topology.clone())),
             ("virtual_makespan_s", Json::Num(self.virtual_makespan_s)),
             ("identical_across_policies", Json::Bool(self.identical)),
             ("outcome_fingerprints", fps),
@@ -234,12 +250,88 @@ fn document(suite: &str, cfg_fields: Vec<(&'static str, Json)>, benches: &[Bench
     Json::obj(fields)
 }
 
-/// Run `job` at `ranks` under every policy, `repeats` wall repeats each.
-fn run_case<F>(name: &str, ranks: usize, repeats: usize, job: F) -> BenchRecord
+/// Fingerprint a finished SPMD outcome: per-rank result vectors, virtual
+/// clocks and every [`CommStats`] field, bit-exact. This is the hash the
+/// BENCH documents record per policy and the determinism suite pins
+/// against them.
+pub fn fingerprint_outcome(out: &SpmdOutcome<Vec<f64>>) -> u64 {
+    let mut h = Fnv::new();
+    for r in &out.results {
+        for v in r {
+            h.write_f64(*v);
+        }
+    }
+    for c in &out.clocks {
+        h.write_f64(*c);
+    }
+    hash_stats(&mut h, &out.stats);
+    h.finish()
+}
+
+/// The `allreduce_32x{rounds}` microbenchmark body: repeated 32-double
+/// allreduces with a data-dependent transform and a small compute charge
+/// between rounds. Shared with the determinism suite so the committed
+/// BENCH fingerprints can be reproduced outside the harness.
+pub fn allreduce_job(rounds: usize) -> impl Fn(&mut Comm) -> Vec<f64> + Sync {
+    move |comm: &mut Comm| {
+        let mut v = vec![comm.rank() as f64 + 1.0; 32];
+        for _ in 0..rounds {
+            v = comm.allreduce_sum(&v);
+            for x in v.iter_mut() {
+                *x = (*x / comm.nranks() as f64).sqrt() + 1.0;
+            }
+            comm.compute(64.0 * v.len() as f64);
+        }
+        v.push(comm.now());
+        v
+    }
+}
+
+/// The `ring_4KiBx{rounds}` microbenchmark body: 4-KiB payloads around a
+/// ring with a per-hop compute charge.
+pub fn ring_job(rounds: usize) -> impl Fn(&mut Comm) -> Vec<f64> + Sync {
+    move |comm: &mut Comm| {
+        let rank = comm.rank();
+        let n = comm.nranks();
+        let mut buf = vec![rank as f64; 512]; // 4 KiB payload
+        if n > 1 {
+            let next = (rank + 1) % n;
+            let prev = (rank + n - 1) % n;
+            for _ in 0..rounds {
+                comm.send_f64s(next, 5, &buf);
+                let got = comm.recv_f64s(prev, 5);
+                buf[0] += got[0] + 1.0;
+                comm.compute(buf.len() as f64);
+            }
+        }
+        vec![buf[0], comm.now()]
+    }
+}
+
+/// The `imbalance_x{rounds}` microbenchmark body: skewed virtual compute
+/// (so the conservative scheduler has clock spread to order) plus real
+/// host spin (so wall-clock reflects admitted parallelism), barriered.
+pub fn imbalance_job(rounds: usize) -> impl Fn(&mut Comm) -> Vec<f64> + Sync {
+    move |comm: &mut Comm| {
+        let rank = comm.rank();
+        let mut spin = 0.0f64;
+        for round in 0..rounds {
+            comm.compute(2e5 * (1 + (rank + round) % 4) as f64);
+            for i in 0..2_000u64 {
+                spin += ((i + rank as u64) as f64).sqrt();
+            }
+            comm.barrier();
+        }
+        vec![std::hint::black_box(spin), comm.now()]
+    }
+}
+
+/// Run `job` on `spec` under every policy, `repeats` wall repeats each.
+fn run_case<F>(name: &str, spec: &ClusterSpec, repeats: usize, job: F) -> BenchRecord
 where
     F: Fn(&mut Comm) -> Vec<f64> + Sync,
 {
-    let spec = metablade().with_nodes(ranks);
+    let ranks = spec.nodes;
     let repeats = if ranks >= 128 { 1 } else { repeats.max(1) };
     let mut wall_s = BTreeMap::new();
     let mut events_per_sec = BTreeMap::new();
@@ -254,17 +346,7 @@ where
             let t = Instant::now();
             let out = cluster.run(&job);
             best = best.min(t.elapsed().as_secs_f64());
-            let mut h = Fnv::new();
-            for r in &out.results {
-                for v in r {
-                    h.write_f64(*v);
-                }
-            }
-            for c in &out.clocks {
-                h.write_f64(*c);
-            }
-            hash_stats(&mut h, &out.stats);
-            fp = h.finish();
+            fp = fingerprint_outcome(&out);
             makespan = out.makespan_s();
             events = out.stats.iter().map(|s| s.sends + s.recvs).sum();
         }
@@ -280,6 +362,7 @@ where
     BenchRecord {
         name: name.to_string(),
         ranks,
+        topology: spec.network.topology.label(),
         virtual_makespan_s: makespan,
         fingerprints,
         wall_s,
@@ -290,76 +373,88 @@ where
 }
 
 /// The cluster suite: collective, point-to-point and imbalanced-compute
-/// microbenchmarks swept over rank counts and executor policies.
+/// microbenchmarks swept over rank counts and executor policies on the
+/// paper's star switch, plus an oversubscribed fat-tree allreduce sweep
+/// (records named `…@ft16x2o4`) that measures topology contention at
+/// every rank count the tree can wire.
 pub fn cluster_baseline(cfg: &SweepConfig) -> Json {
+    let star = metablade();
+    let ft = sweep_fat_tree();
+    let ft_cap = ft.capacity().expect("fat-trees are finite");
     let mut benches = Vec::new();
     for &ranks in &cfg.rank_counts {
         let rounds = rounds_for(cfg.rounds, ranks);
+        let spec = star.with_nodes(ranks);
         benches.push(run_case(
             &format!("allreduce_32x{rounds}"),
-            ranks,
+            &spec,
             cfg.repeats,
-            move |comm: &mut Comm| {
-                let mut v = vec![comm.rank() as f64 + 1.0; 32];
-                for _ in 0..rounds {
-                    v = comm.allreduce_sum(&v);
-                    for x in v.iter_mut() {
-                        *x = (*x / comm.nranks() as f64).sqrt() + 1.0;
-                    }
-                    comm.compute(64.0 * v.len() as f64);
-                }
-                v.push(comm.now());
-                v
-            },
+            allreduce_job(rounds),
         ));
         benches.push(run_case(
             &format!("ring_4KiBx{rounds}"),
-            ranks,
+            &spec,
             cfg.repeats,
-            move |comm: &mut Comm| {
-                let rank = comm.rank();
-                let n = comm.nranks();
-                let mut buf = vec![rank as f64; 512]; // 4 KiB payload
-                if n > 1 {
-                    let next = (rank + 1) % n;
-                    let prev = (rank + n - 1) % n;
-                    for _ in 0..rounds {
-                        comm.send_f64s(next, 5, &buf);
-                        let got = comm.recv_f64s(prev, 5);
-                        buf[0] += got[0] + 1.0;
-                        comm.compute(buf.len() as f64);
-                    }
-                }
-                vec![buf[0], comm.now()]
-            },
+            ring_job(rounds),
         ));
         benches.push(run_case(
             &format!("imbalance_x{rounds}"),
-            ranks,
+            &spec,
             cfg.repeats,
-            move |comm: &mut Comm| {
-                let rank = comm.rank();
-                let mut spin = 0.0f64;
-                for round in 0..rounds {
-                    // Skewed virtual compute so the conservative scheduler
-                    // has real clock spread to order …
-                    comm.compute(2e5 * (1 + (rank + round) % 4) as f64);
-                    // … and real host work so wall-clock reflects how many
-                    // ranks the policy lets run at once.
-                    for i in 0..2_000u64 {
-                        spin += ((i + rank as u64) as f64).sqrt();
-                    }
-                    comm.barrier();
-                }
-                vec![std::hint::black_box(spin), comm.now()]
-            },
+            imbalance_job(rounds),
         ));
+        if ranks <= ft_cap {
+            benches.push(run_case(
+                &format!("allreduce_32x{rounds}@{}", ft.label()),
+                &spec.with_topology(ft),
+                cfg.repeats,
+                allreduce_job(rounds),
+            ));
+        }
     }
     document(
         "cluster",
-        vec![("rounds", Json::Num(cfg.rounds.max(1) as f64))],
+        vec![
+            ("rounds", Json::Num(cfg.rounds.max(1) as f64)),
+            (
+                "topologies",
+                Json::Arr(vec![
+                    Json::str(star.network.topology.label()),
+                    Json::str(ft.label()),
+                ]),
+            ),
+        ],
         &benches,
     )
+}
+
+/// A traced fat-tree rerun of the allreduce microbenchmark at the
+/// sweep's largest tree-wireable rank count, exported as a Chrome trace
+/// whose counter tracks carry per-link occupancy
+/// (`network/link_bytes` / `network/link_msgs`, one series per named
+/// link). This is the `FATTREE_links.trace.json` CI artifact: open it in
+/// Perfetto and the oversubscribed `up:`/`down:` links visibly carry the
+/// cross-switch halves of each collective. Derived data only — the
+/// occupancy fold consumes finished [`CommStats`]; it never feeds back
+/// into virtual time.
+pub fn fat_tree_link_trace(cfg: &SweepConfig) -> String {
+    let ft = sweep_fat_tree();
+    let cap = ft.capacity().expect("fat-trees are finite");
+    let ranks = cfg
+        .rank_counts
+        .iter()
+        .copied()
+        .filter(|&r| r <= cap)
+        .max()
+        .unwrap_or(8);
+    let rounds = rounds_for(cfg.rounds, ranks);
+    let cluster = Cluster::new(metablade().with_nodes(ranks).with_topology(ft))
+        .with_exec(ExecPolicy::Sequential);
+    let (out, trace) = cluster.run_traced(allreduce_job(rounds));
+    let occ = ft.link_occupancy(&out.stats, None);
+    let mut reg = mb_telemetry::metrics::Registry::new();
+    record_link_occupancy(&mut reg, &occ);
+    mb_telemetry::chrome::export_with_metrics(&trace, &reg)
 }
 
 /// The treecode suite: one full distributed force evaluation per
@@ -407,6 +502,7 @@ pub fn treecode_baseline(cfg: &SweepConfig) -> Json {
         benches.push(BenchRecord {
             name: "treecode_step".to_string(),
             ranks,
+            topology: spec.network.topology.label(),
             virtual_makespan_s: makespan,
             fingerprints,
             wall_s,
@@ -528,11 +624,59 @@ mod tests {
         let doc = cluster_baseline(&tiny());
         assert_eq!(doc.get("schema"), Some(&Json::str(SCHEMA)));
         assert_eq!(doc.get("suite"), Some(&Json::str("cluster")));
-        // Two rank counts × three microbenchmarks.
-        assert_benches_identical(&doc, 2 * 3);
+        // Two rank counts × (three star microbenchmarks + the fat-tree
+        // allreduce sweep).
+        assert_benches_identical(&doc, 2 * 4);
+        // Every record carries its topology column; `@`-suffixed names
+        // are exactly the fat-tree ones.
+        for b in doc.get("benches").and_then(Json::as_arr).unwrap() {
+            let name = b.get("name").and_then(Json::as_str).unwrap();
+            let topo = b.get("topology").and_then(Json::as_str).unwrap();
+            if name.contains('@') {
+                assert_eq!(topo, "ft16x2o4", "{name}");
+            } else {
+                assert_eq!(topo, "star", "{name}");
+            }
+        }
         // The document round-trips through the dependency-free parser.
         let text = doc.to_string();
         assert_eq!(mb_telemetry::json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn fat_tree_allreduce_is_slower_than_the_star_at_equal_ranks() {
+        let doc = cluster_baseline(&tiny());
+        let benches = doc.get("benches").and_then(Json::as_arr).unwrap();
+        let makespan = |name: &str, ranks: f64| {
+            benches
+                .iter()
+                .find(|b| {
+                    b.get("name").and_then(Json::as_str) == Some(name)
+                        && b.get("ranks").and_then(Json::as_f64) == Some(ranks)
+                })
+                .and_then(|b| b.get("virtual_makespan_s"))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing {name} at {ranks} ranks"))
+        };
+        // 4 ranks on a radix-16 tree fit under one edge switch: exactly
+        // the star. (Contention needs >16 ranks; the committed BENCH
+        // documents show it at 24+.)
+        assert_eq!(
+            makespan("allreduce_32x4@ft16x2o4", 4.0),
+            makespan("allreduce_32x4", 4.0)
+        );
+    }
+
+    #[test]
+    fn fat_tree_link_trace_validates_and_names_uplinks() {
+        let trace = fat_tree_link_trace(&tiny());
+        let summary = mb_telemetry::chrome::validate(&trace).expect("valid Chrome trace");
+        assert!(summary.events > 0, "no spans in the traced run");
+        assert!(summary.counters > 0, "no link-occupancy counters");
+        assert!(
+            trace.contains("network/link_bytes") && trace.contains("host-up:"),
+            "missing per-link occupancy tracks"
+        );
     }
 
     #[test]

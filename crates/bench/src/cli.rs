@@ -122,6 +122,15 @@ pub fn baseline_main() {
         .unwrap_or_else(|e| panic!("write {treecode_name}: {e}"));
     println!("wrote {}", p.display());
 
+    // Per-link occupancy for the fat-tree sweep's largest case, as a
+    // Chrome trace with one counter series per link (a CI artifact, not
+    // a gated document — occupancy is derived data).
+    let trace = crate::baseline::fat_tree_link_trace(&cfg);
+    match write_artifact(&dir, "FATTREE_links.trace.json", &trace) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: could not write FATTREE_links.trace.json: {e}"),
+    }
+
     // With MB_PROF=1, rerun one representative case with host-time
     // profiling and the structured event log attached (outside the
     // timed sweep — see `baseline::profiled_pass`), and leave the

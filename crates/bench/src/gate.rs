@@ -229,6 +229,22 @@ fn compare_record(
         rep.fail(format!("{label}: outcomes diverged across policies"));
     }
 
+    // Hard: records are only comparable on the same interconnect — a
+    // changed topology column means the fresh run simulated a different
+    // machine, and every simulated number after it would be
+    // incommensurable (schema `/2`).
+    let base_topo = base.get("topology").and_then(Json::as_str);
+    let fresh_topo = fresh.get("topology").and_then(Json::as_str);
+    if let (Some(b), Some(f)) = (base_topo, fresh_topo) {
+        if b != f {
+            rep.fail(format!(
+                "{label}: topology changed: baseline {b:?}, fresh {f:?}"
+            ));
+            return;
+        }
+        rep.passed += 1;
+    }
+
     // Hard: the simulated outcome must be the baseline's, bit for bit.
     let base_fps = obj_strs(base.get("outcome_fingerprints"));
     let fresh_fps = obj_strs(fresh.get("outcome_fingerprints"));
@@ -509,6 +525,43 @@ mod tests {
         // Baseline-only records warn (rank filters legitimately shrink runs).
         let rep = compare_documents("BENCH_cluster.json", &fresh, &base, &Tolerances::default());
         assert!(rep.render().contains("missing from fresh"));
+    }
+
+    #[test]
+    fn topology_change_is_a_hard_failure() {
+        let with_topo = |t: &str| {
+            let mut r = record("allreduce", 8.0, "abc123", 1e6, 0.25);
+            if let Json::Obj(m) = &mut r {
+                m.insert("topology".to_string(), Json::str(t.to_string()));
+            }
+            doc(8.0, vec![r])
+        };
+        let base = with_topo("star");
+        let same = compare_documents(
+            "BENCH_cluster.json",
+            &base,
+            &with_topo("star"),
+            &Tolerances::default(),
+        );
+        assert!(same.ok(), "{}", same.render());
+        let swapped = compare_documents(
+            "BENCH_cluster.json",
+            &base,
+            &with_topo("ft16x2o4"),
+            &Tolerances::default(),
+        );
+        assert!(!swapped.ok());
+        assert!(swapped.render().contains("topology changed"));
+        // Legacy records without the column are still compared (the
+        // check only arms when both sides carry it).
+        let legacy = doc(8.0, vec![record("allreduce", 8.0, "abc123", 1e6, 0.25)]);
+        let rep = compare_documents(
+            "BENCH_cluster.json",
+            &legacy,
+            &legacy,
+            &Tolerances::default(),
+        );
+        assert!(rep.ok(), "{}", rep.render());
     }
 
     #[test]

@@ -106,6 +106,11 @@ pub struct Comm {
     clock: f64,
     mflops: f64,
     net: NetworkModel,
+    /// Rank → physical node id (identity for whole-cluster runs; the
+    /// allocation for partitioned runs). Flight times depend on *node*
+    /// pairs, so a job spanning fat-tree switch boundaries pays uplink
+    /// contention while a compact placement of the same width does not.
+    nodes: Arc<Vec<usize>>,
     tx: Vec<Sender<Msg>>,
     rx: Receiver<Msg>,
     pending: Vec<Msg>,
@@ -124,15 +129,18 @@ impl Comm {
         nranks: usize,
         mflops: f64,
         net: NetworkModel,
+        nodes: Arc<Vec<usize>>,
         tx: Vec<Sender<Msg>>,
         rx: Receiver<Msg>,
     ) -> Self {
+        debug_assert_eq!(nodes.len(), nranks);
         Self {
             rank,
             nranks,
             clock: 0.0,
             mflops,
             net,
+            nodes,
             tx,
             rx,
             pending: Vec::new(),
@@ -165,6 +173,13 @@ impl Comm {
     /// The network model in force.
     pub fn network(&self) -> &NetworkModel {
         &self.net
+    }
+
+    /// The physical node this rank runs on (equals the rank for
+    /// whole-cluster runs; the allocated node id under
+    /// [`crate::machine::Cluster::run_on`]).
+    pub fn node(&self) -> usize {
+        self.nodes[self.rank]
     }
 
     /// Attach a trace sink: from now on every operation records a
@@ -277,7 +292,10 @@ impl Comm {
                 wait_s: 0.0,
             });
         }
-        let deliver = self.clock + self.net.flight(bytes);
+        let deliver = self.clock
+            + self
+                .net
+                .flight_between(self.nodes[self.rank], self.nodes[dst], bytes);
         self.tx[dst]
             .send(Msg {
                 src: self.rank,

@@ -20,6 +20,17 @@
 //!   `min_running_clock + L` is admissible, where `L` is the network
 //!   model's [`crate::network::NetworkModel::min_delivery_delay`]
 //!   (overridable via the `MB_LOOKAHEAD` environment variable, seconds).
+//!   When the cluster's topology makes some node pairs farther apart
+//!   than others, the core upgrades the single scalar to **per-pair
+//!   bounds** (see [`PairBound`]): a candidate task is admitted when its
+//!   clock is within `bound(floor_rank, candidate)` of the slowest
+//!   admitted rank — the zero-byte delivery bound of that specific pair
+//!   ([`crate::network::NetworkModel::min_delay_between`]). Every
+//!   per-pair bound is ≥ the global minimum, so the horizon only ever
+//!   widens relative to the scalar baseline — ranks that are many
+//!   switch hops away from the current floor may run further ahead,
+//!   which is exactly where hierarchical topologies would otherwise
+//!   serialize admission.
 //!
 //! **Why the lookahead is safe.** Simulated outcomes do not depend on
 //! admission order at all: receives name their source rank and are FIFO
@@ -27,13 +38,18 @@
 //! of its own event sequence and its senders' timestamps (see
 //! [`crate::exec`]). Admission policy affects only *wall-clock* time and
 //! host memory. The horizon exists to bound virtual-clock skew — and with
-//! it the pending-message buffers — and `L` is the natural bound: a rank
-//! less than `L` ahead of the slowest admitted rank cannot yet observe
-//! any message that rank has still to send, so running it early cannot
-//! even reorder message arrival interleavings. Wake-ups use one `Condvar`
-//! per rank (`notify_one` direct handoff), eliminating the legacy
-//! `notify_all` thundering herd that made every admission cost `O(k·n)`
-//! wake-and-rescan work at high rank counts.
+//! it the pending-message buffers — and the delivery bound is the natural
+//! choice: a rank less than `bound(floor, r)` ahead of the slowest
+//! admitted rank cannot yet observe any message that rank has still to
+//! send (no message from `floor` can arrive at `r` sooner than the
+//! pair's zero-byte delivery delay), so running it early cannot even
+//! reorder message arrival interleavings. The same argument covers the
+//! per-pair form because the bound is evaluated against the *current
+//! floor rank specifically* — the one rank whose unsent messages the
+//! horizon is guarding against (see DESIGN.md §13 for the full sketch).
+//! Wake-ups use one `Condvar` per rank (`notify_one` direct handoff),
+//! eliminating the legacy `notify_all` thundering herd that made every
+//! admission cost `O(k·n)` wake-and-rescan work at high rank counts.
 //!
 //! Deadlock freedom: when no task holds a slot the heap minimum is
 //! admitted unconditionally, and the heap minimum is always admissible
@@ -50,6 +66,17 @@ use mb_telemetry::json::Json;
 use mb_telemetry::prof::{ConcurrentHistogram, LogHistogram, ShardedHistogram};
 
 use crate::exec::Admission;
+
+/// Per-pair admission bounds: how far ahead (virtual seconds) rank `to`
+/// may run of rank `from` without being able to observe any message
+/// `from` has yet to send. Implemented over the network model's
+/// topology-aware [`crate::network::NetworkModel::min_delay_between`];
+/// every bound must be ≥ the scalar lookahead the core was built with,
+/// or admission would be *more* conservative than the safe baseline.
+pub trait PairBound: Send + Sync {
+    /// Zero-byte delivery lower bound from `from`'s node to `to`'s node.
+    fn bound_s(&self, from: usize, to: usize) -> f64;
+}
 
 /// Order-preserving map from `f64` to `u64` (IEEE-754 total order trick)
 /// so clocks can live in integer-keyed heaps.
@@ -175,6 +202,12 @@ pub struct ExecutorReport {
     /// task was ready, but it was more than `L` ahead of the slowest
     /// running rank.
     pub horizon_waits: u64,
+    /// Admissions granted *only because* a per-pair bound widened the
+    /// horizon: the admitted task's clock was beyond `floor + L` (the
+    /// scalar horizon) but within the pair's delivery bound. Zero
+    /// whenever no [`PairBound`] is attached — i.e. on the star, where
+    /// every pair bound equals the global minimum.
+    pub pair_grants: u64,
     /// Ready-queue depth sampled at each dispatch (log-bucketed; exact
     /// count/sum/extremes, percentile queries via
     /// [`LogHistogram::quantile`]).
@@ -214,6 +247,7 @@ impl ExecutorReport {
         reg.count("executor/admissions", label, self.admissions);
         reg.count("executor/lookahead_grants", label, self.lookahead_grants);
         reg.count("executor/horizon_waits", label, self.horizon_waits);
+        reg.count("executor/pair_grants", label, self.pair_grants);
         reg.record_gauge("executor/workers", label, self.workers as f64);
         reg.record_gauge("executor/lookahead_s", label, self.lookahead_s);
         reg.record_gauge(
@@ -267,12 +301,14 @@ struct CoreState {
 }
 
 impl CoreState {
-    /// Clock of the slowest admitted task, if any (lower bound: running
-    /// tasks only ever advance past their admission clock).
-    fn min_running(&mut self) -> Option<f64> {
+    /// Clock (and rank) of the slowest admitted task, if any (lower
+    /// bound: running tasks only ever advance past their admission
+    /// clock). The rank identity is what per-pair horizon bounds are
+    /// evaluated against.
+    fn min_running(&mut self) -> Option<(f64, usize)> {
         while let Some(&Reverse((key, rank))) = self.running_heap.peek() {
             match self.tasks[rank] {
-                TaskState::Running(c) if clock_key(c) == key => return Some(c),
+                TaskState::Running(c) if clock_key(c) == key => return Some((c, rank)),
                 _ => {
                     self.running_heap.pop();
                 }
@@ -301,6 +337,9 @@ impl CoreState {
 pub struct EventCore {
     workers: usize,
     lookahead_s: f64,
+    /// Topology-aware per-pair horizon bounds; `None` keeps the scalar
+    /// `lookahead_s` for every pair (the star, or `MB_LOOKAHEAD` runs).
+    pair_bounds: Option<Arc<dyn PairBound>>,
     state: Mutex<CoreState>,
     gates: Vec<Gate>,
     /// Host-time accumulators; `None` (zero overhead beyond the branch)
@@ -319,6 +358,7 @@ impl EventCore {
         EventCore {
             workers,
             lookahead_s,
+            pair_bounds: None,
             state: Mutex::new(CoreState {
                 running: 0,
                 ready: 0,
@@ -367,19 +407,34 @@ impl EventCore {
         self.prof.is_some()
     }
 
+    /// Attach topology-aware per-pair horizon bounds: dispatch evaluates
+    /// `bounds.bound_s(floor_rank, candidate)` instead of the scalar
+    /// horizon. Every pair bound must be ≥ the scalar (the network
+    /// model's per-pair bounds are, by construction: a route crosses at
+    /// least one hop), so admission is never more conservative than the
+    /// global-minimum baseline.
+    pub fn with_pair_bounds(mut self, bounds: Arc<dyn PairBound>) -> Self {
+        self.pair_bounds = Some(bounds);
+        self
+    }
+
+    /// The operator's explicit scalar horizon, if `MB_LOOKAHEAD`
+    /// (seconds) is set and parses to a non-negative number. An explicit
+    /// override also disables per-pair bounds in
+    /// [`crate::machine::Cluster`] runs — the operator asked for exactly
+    /// this window.
+    pub fn lookahead_env_override() -> Option<f64> {
+        std::env::var("MB_LOOKAHEAD")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|l| *l >= 0.0)
+    }
+
     /// The lookahead horizon, from `MB_LOOKAHEAD` (seconds) when set and
     /// parsable, else `default_s` (normally the network model's minimum
     /// delivery delay).
     pub fn lookahead_from_env(default_s: f64) -> f64 {
-        match std::env::var("MB_LOOKAHEAD") {
-            Ok(v) => v
-                .trim()
-                .parse::<f64>()
-                .ok()
-                .filter(|l| *l >= 0.0)
-                .unwrap_or(default_s),
-            Err(_) => default_s,
-        }
+        Self::lookahead_env_override().unwrap_or(default_s)
     }
 
     /// Execution slots in the pool.
@@ -406,8 +461,14 @@ impl EventCore {
                 break;
             };
             let min_running = st.min_running();
-            match min_running {
-                Some(floor) if clock > floor + self.lookahead_s => {
+            if let Some((floor, floor_rank)) = min_running {
+                let horizon = match &self.pair_bounds {
+                    // The pair bound: how soon could the floor rank's
+                    // next (still unsent) message reach this candidate?
+                    Some(pb) => pb.bound_s(floor_rank, rank),
+                    None => self.lookahead_s,
+                };
+                if clock > floor + horizon {
                     // Beyond the horizon: running it now is still *legal*
                     // (results are admission-order independent) but would
                     // let virtual-clock skew — and pending-message memory
@@ -418,7 +479,6 @@ impl EventCore {
                     }
                     break;
                 }
-                _ => {}
             }
             st.ready_heap.pop();
             st.ready -= 1;
@@ -426,8 +486,15 @@ impl EventCore {
             st.running_heap.push(Reverse((clock_key(clock), rank)));
             st.running += 1;
             st.report.admissions += 1;
-            if matches!(min_running, Some(floor) if clock > floor) {
-                st.report.lookahead_grants += 1;
+            if let Some((floor, _)) = min_running {
+                if clock > floor {
+                    st.report.lookahead_grants += 1;
+                }
+                if clock > floor + self.lookahead_s {
+                    // Only reachable through a per-pair bound wider than
+                    // the scalar horizon.
+                    st.report.pair_grants += 1;
+                }
             }
             st.report.sample_occupancy(st.running);
             if let Some(p) = &self.prof {
@@ -649,6 +716,79 @@ mod tests {
         let rep = core.report();
         assert!(rep.horizon_waits >= 1, "far task deferred: {rep:?}");
         assert!(rep.lookahead_grants >= 1, "near task granted: {rep:?}");
+    }
+
+    struct FarPairs {
+        wide_s: f64,
+    }
+    impl PairBound for FarPairs {
+        fn bound_s(&self, _from: usize, _to: usize) -> f64 {
+            self.wide_s
+        }
+    }
+
+    #[test]
+    fn pair_bounds_widen_the_horizon_and_count_pair_grants() {
+        // Scalar horizon 1 s; the pair bound says these ranks are 100 s
+        // of delivery delay apart. A task 10 s ahead of the floor must
+        // now be admitted (and counted as a pair grant), where the
+        // scalar core defers it — same setup as
+        // `horizon_defers_far_future_tasks_while_one_runs`.
+        let core = EventCore::new(2, 2, 1.0).with_pair_bounds(Arc::new(FarPairs { wide_s: 100.0 }));
+        core.acquire(0, 0.0);
+        let far_admitted = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            {
+                let core = &core;
+                let far_admitted = Arc::clone(&far_admitted);
+                scope.spawn(move || {
+                    core.acquire(1, 10.0);
+                    far_admitted.store(1, Ordering::SeqCst);
+                    core.release(1);
+                });
+            }
+            while far_admitted.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            core.release(0);
+        });
+        let rep = core.report();
+        assert_eq!(
+            rep.horizon_waits, 0,
+            "wide pair bound never stalls: {rep:?}"
+        );
+        assert!(rep.pair_grants >= 1, "10 s > 0 + 1 s scalar: {rep:?}");
+        assert!(rep.lookahead_grants >= rep.pair_grants);
+    }
+
+    #[test]
+    fn tight_pair_bounds_behave_like_the_scalar_horizon() {
+        // A pair bound equal to the scalar horizon must defer exactly
+        // like the scalar core — and record zero pair grants.
+        let core = EventCore::new(2, 2, 1.0).with_pair_bounds(Arc::new(FarPairs { wide_s: 1.0 }));
+        core.acquire(0, 0.0);
+        let far_admitted = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            {
+                let core = &core;
+                let far_admitted = Arc::clone(&far_admitted);
+                scope.spawn(move || {
+                    core.acquire(1, 10.0);
+                    far_admitted.store(1, Ordering::SeqCst);
+                    core.release(1);
+                });
+            }
+            while core.state.lock().unwrap().ready < 1 {
+                std::thread::yield_now();
+            }
+            std::thread::yield_now();
+            assert_eq!(far_admitted.load(Ordering::SeqCst), 0, "10 s > 0 + 1 s");
+            core.release(0);
+        });
+        assert_eq!(far_admitted.load(Ordering::SeqCst), 1);
+        let rep = core.report();
+        assert!(rep.horizon_waits >= 1);
+        assert_eq!(rep.pair_grants, 0);
     }
 
     #[test]

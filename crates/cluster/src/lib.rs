@@ -12,9 +12,13 @@
 //!
 //! * [`spec`] — CPU/node/network/cluster specifications and the catalog of
 //!   the paper's machines (MetaBlade, MetaBlade2, Avalon, Loki, …);
-//! * [`network`] — a LogGP-style Fast-Ethernet model (per-message latency,
-//!   per-byte serialization at sender and receiver, store-and-forward
-//!   switch hop);
+//! * [`topology`] — interconnect wiring plans ([`Topology`]): the paper's
+//!   star switch, multi-level fat-trees with oversubscribed uplinks, and
+//!   3-D tori, each with deterministic per-pair routes and per-link
+//!   occupancy accounting;
+//! * [`network`] — a LogGP-style Fast-Ethernet model applied per link of
+//!   the topology (per-hop latency, per-byte serialization at sender,
+//!   switches and receiver, oversubscription on shared uplinks);
 //! * [`comm`] — an MPI-like communicator: SPMD ranks on real threads, each
 //!   with a **virtual clock**; sends/receives/collectives charge modeled
 //!   time, `compute(flops)` charges CPU time. Virtual time is fully
@@ -29,9 +33,11 @@
 //!   [`machine::Cluster::run_traced`] additionally captures a span trace
 //!   of every rank (see the `mb-telemetry` crate) ready for Chrome
 //!   `trace_event` export;
-//! * [`partition`] — node-subset allocation ([`NodeSet`]) and partitioned
-//!   runs ([`machine::Cluster::run_on`]): the substrate the `mb-sched`
-//!   batch workload manager schedules jobs onto;
+//! * [`partition`] — node-subset allocation ([`NodeSet`], lowest-first or
+//!   topology-compact) and partitioned runs ([`machine::Cluster::run_on`],
+//!   which places ranks on real node ids so placement costs follow the
+//!   topology): the substrate the `mb-sched` batch workload manager
+//!   schedules jobs onto;
 //! * [`power`] — node and cluster power accounting (load/idle, cooling),
 //!   plus sampled power series recorded into a telemetry registry;
 //! * [`thermal`] — ambient → component temperature model;
@@ -71,12 +77,14 @@ pub mod power;
 pub mod reliability;
 pub mod spec;
 pub mod thermal;
+pub mod topology;
 pub mod trace;
 
 pub use comm::{Comm, CommStats, PeerTraffic};
-pub use event::{EventCore, ExecutorReport};
+pub use event::{EventCore, ExecutorReport, PairBound};
 pub use exec::ExecPolicy;
 pub use machine::{Cluster, SpmdOutcome};
 pub use network::NetworkModel;
 pub use partition::NodeSet;
 pub use spec::{cluster_catalog, ClusterSpec, CpuSpec, NetworkSpec, NodeSpec, PackagingKind};
+pub use topology::{Link, LinkLoad, Topology};

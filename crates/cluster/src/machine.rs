@@ -18,10 +18,27 @@ use mb_telemetry::trace::{MemorySink, RunTrace};
 use std::sync::mpsc::channel;
 
 use crate::comm::{Comm, CommStats, Msg};
-use crate::event::{EventCore, ExecutorReport};
+use crate::event::{EventCore, ExecutorReport, PairBound};
 use crate::exec::{Admission, ExecPolicy, Scheduler};
 use crate::network::NetworkModel;
 use crate::spec::ClusterSpec;
+use crate::topology::Topology;
+
+/// Topology-aware per-pair lookahead bounds for the event core: the
+/// zero-byte delivery delay between two ranks' *nodes*. On the star this
+/// equals the global minimum for every pair, so it is only attached for
+/// hierarchical topologies (and never when `MB_LOOKAHEAD` pins an
+/// explicit scalar).
+struct TopoBounds {
+    net: NetworkModel,
+    nodes: Arc<Vec<usize>>,
+}
+
+impl PairBound for TopoBounds {
+    fn bound_s(&self, from: usize, to: usize) -> f64 {
+        self.net.min_delay_between(self.nodes[from], self.nodes[to])
+    }
+}
 
 /// Result of one SPMD run.
 #[derive(Debug, Clone)]
@@ -179,7 +196,22 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
-        self.run_inner(f, false).0
+        self.run_inner(None, f, false).0
+    }
+
+    /// Like [`Cluster::run`], but rank `r` executes on physical node
+    /// `node_ids[r]` — the entry point [`Cluster::run_on`] uses so a
+    /// partitioned job's network costs reflect *where* its nodes sit in
+    /// the topology (a job spanning fat-tree switch boundaries pays
+    /// uplink contention; a compact one does not). On the star this is
+    /// indistinguishable from `run`, because star costs are
+    /// placement-independent.
+    pub(crate) fn run_mapped<R, F>(&self, node_ids: &[usize], f: F) -> SpmdOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        self.run_inner(Some(node_ids), f, false).0
     }
 
     /// Like [`Cluster::run`], but with span tracing on: every rank gets a
@@ -192,10 +224,15 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
-        self.run_inner(f, true)
+        self.run_inner(None, f, true)
     }
 
-    fn run_inner<R, F>(&self, f: F, traced: bool) -> (SpmdOutcome<R>, RunTrace)
+    fn run_inner<R, F>(
+        &self,
+        node_ids: Option<&[usize]>,
+        f: F,
+        traced: bool,
+    ) -> (SpmdOutcome<R>, RunTrace)
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
@@ -203,6 +240,22 @@ impl Cluster {
         let n = self.spec.nodes;
         assert!(n > 0, "cluster has no nodes");
         let net = NetworkModel::new(self.spec.network);
+        let topology = net.topology();
+        let nodes: Arc<Vec<usize>> = Arc::new(match node_ids {
+            Some(ids) => {
+                assert_eq!(ids.len(), n, "one node id per rank");
+                ids.to_vec()
+            }
+            None => (0..n).collect(),
+        });
+        if let Some(cap) = topology.capacity() {
+            let max = nodes.iter().copied().max().unwrap_or(0);
+            assert!(
+                max < cap,
+                "node {max} does not exist on a {} of capacity {cap}",
+                topology.label()
+            );
+        }
         let mflops = self.spec.node.cpu.sustained_mflops;
         // One inbox per rank; every rank holds a sender clone to each inbox.
         let mut txs = Vec::with_capacity(n);
@@ -215,7 +268,7 @@ impl Cluster {
         let mut comms: Vec<Comm> = rxs
             .into_iter()
             .enumerate()
-            .map(|(rank, rx)| Comm::new(rank, n, mflops, net, txs.clone(), rx))
+            .map(|(rank, rx)| Comm::new(rank, n, mflops, net, Arc::clone(&nodes), txs.clone(), rx))
             .collect();
         // Drop the original senders so channels close when ranks finish.
         drop(txs);
@@ -226,9 +279,25 @@ impl Cluster {
         // with `Unbounded` as the workers == nranks special case so even
         // free-running jobs get lookahead skew bounding and executor
         // telemetry. Results are bit-identical either way (test-enforced).
-        let lookahead = EventCore::lookahead_from_env(net.min_delivery_delay());
+        // An explicit MB_LOOKAHEAD pins the scalar horizon the operator
+        // asked for; otherwise the network's global minimum is the
+        // scalar, upgraded to topology-aware per-pair bounds whenever
+        // the topology actually differentiates pairs (on the star every
+        // pair bound equals the global minimum, so attaching them would
+        // only add a virtual call per dispatch).
+        let env_lookahead = EventCore::lookahead_env_override();
+        let lookahead = env_lookahead.unwrap_or_else(|| net.min_delivery_delay());
+        let pair_bounds = (env_lookahead.is_none() && topology != Topology::Star).then(|| {
+            Arc::new(TopoBounds {
+                net,
+                nodes: Arc::clone(&nodes),
+            })
+        });
         let build_core = |workers: usize| {
             let mut c = EventCore::new(workers, n, lookahead).with_profiling(self.prof);
+            if let Some(pb) = &pair_bounds {
+                c = c.with_pair_bounds(Arc::clone(pb) as Arc<dyn PairBound>);
+            }
             if let Some(log) = &self.event_log {
                 c = c.with_event_log(Arc::clone(log));
             }
@@ -518,6 +587,104 @@ mod tests {
                 assert_eq!(out.stats, reference.stats, "{policy:?} at {n} ranks");
             }
         }
+    }
+
+    #[test]
+    fn topology_outcomes_are_bit_identical_under_every_exec_policy() {
+        use crate::exec::ExecPolicy;
+        use crate::topology::Topology;
+        let job = |comm: &mut crate::comm::Comm| {
+            let rank = comm.rank();
+            let n = comm.nranks();
+            comm.compute(1e6 * (1 + rank % 3) as f64);
+            let next = (rank + 1) % n;
+            let prev = (rank + n - 1) % n;
+            comm.send_f64s(next, 11, &[rank as f64]);
+            let _ = comm.recv_f64s(prev, 11);
+            let sum = comm.allreduce_sum(&[comm.now(), rank as f64]);
+            comm.barrier();
+            (sum, comm.now())
+        };
+        for topo in [Topology::fat_tree(4, 2, 4.0), Topology::torus([4, 4, 1])] {
+            let spec = metablade().with_nodes(16).with_topology(topo);
+            let reference = Cluster::new(spec.clone())
+                .with_exec(ExecPolicy::Sequential)
+                .run(job);
+            for policy in [
+                ExecPolicy::Parallel { workers: 2 },
+                ExecPolicy::Parallel { workers: 8 },
+                ExecPolicy::Unbounded,
+            ] {
+                let out = Cluster::new(spec.clone()).with_exec(policy).run(job);
+                assert_eq!(out.results, reference.results, "{topo:?} {policy:?}");
+                assert_eq!(out.clocks, reference.clocks, "{topo:?} {policy:?}");
+                assert_eq!(out.stats, reference.stats, "{topo:?} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_collectives_are_slower_than_the_star() {
+        use crate::topology::Topology;
+        let job = |comm: &mut crate::comm::Comm| {
+            for _ in 0..4 {
+                let _ = comm.allreduce_sum(&[comm.rank() as f64; 64]);
+            }
+            comm.now()
+        };
+        let star = Cluster::new(metablade().with_nodes(64)).run(job);
+        let ft = Cluster::new(
+            metablade()
+                .with_nodes(64)
+                .with_topology(Topology::fat_tree(8, 2, 4.0)),
+        )
+        .run(job);
+        assert!(
+            ft.makespan_s() > star.makespan_s() * 1.05,
+            "oversubscribed fat-tree allreduce ({}) not slower than star ({})",
+            ft.makespan_s(),
+            star.makespan_s()
+        );
+    }
+
+    #[test]
+    fn placement_changes_fat_tree_costs_but_not_star_costs() {
+        use crate::topology::Topology;
+        let job = |comm: &mut crate::comm::Comm| {
+            comm.send_f64s((comm.rank() + 1) % comm.nranks(), 5, &[1.0; 128]);
+            let _ = comm.recv_f64s((comm.rank() + comm.nranks() - 1) % comm.nranks(), 5);
+            comm.barrier();
+            comm.now()
+        };
+        let ft_spec = metablade()
+            .with_nodes(4)
+            .with_topology(Topology::fat_tree(4, 2, 4.0));
+        // Same 4-rank job, nodes all under edge switch 0 vs spread over
+        // four different edge switches.
+        let compact = Cluster::new(ft_spec.clone()).run_mapped(&[0, 1, 2, 3], job);
+        let spread = Cluster::new(ft_spec).run_mapped(&[0, 4, 8, 12], job);
+        assert!(
+            spread.makespan_s() > compact.makespan_s(),
+            "spanning switch boundaries must cost uplink time: {} vs {}",
+            spread.makespan_s(),
+            compact.makespan_s()
+        );
+        // On the star, identical placements are indistinguishable.
+        let star_spec = metablade().with_nodes(4);
+        let a = Cluster::new(star_spec.clone()).run_mapped(&[0, 1, 2, 3], job);
+        let b = Cluster::new(star_spec).run_mapped(&[7, 3, 11, 19], job);
+        assert_eq!(a.clocks, b.clocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn nodes_beyond_topology_capacity_are_rejected() {
+        use crate::topology::Topology;
+        // 17 nodes cannot be wired onto a 4×2 fat-tree (capacity 16).
+        let spec = metablade()
+            .with_nodes(17)
+            .with_topology(Topology::fat_tree(4, 2, 4.0));
+        let _ = Cluster::new(spec).run(|comm| comm.rank());
     }
 
     #[test]

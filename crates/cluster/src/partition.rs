@@ -2,16 +2,21 @@
 //! support for multi-job scheduling (`mb-sched`).
 //!
 //! A [`NodeSet`] names a concrete subset of a cluster's nodes;
-//! [`Cluster::run_on`] runs an SPMD job on exactly that subset. The
-//! catalog machines are homogeneous and star-networked (every node one
-//! link from the switch), so a job's *virtual-time* behaviour depends
-//! only on how many nodes it holds, never on which ones — the subset is
-//! simulated as a right-sized sub-cluster, while callers keep the
-//! concrete ids for occupancy bookkeeping (free lists, failure
-//! attribution, per-node trace tracks).
+//! [`Cluster::run_on`] runs an SPMD job on exactly that subset, with
+//! rank `i` *placed on* node `ids()[i]`. On the star network (every
+//! node one link from one switch) placement never affects virtual time
+//! — any k nodes behave like a fresh k-node cluster. On hierarchical
+//! topologies it does: a job whose nodes span fat-tree switch
+//! boundaries pays oversubscribed-uplink costs that a compact placement
+//! under one edge switch avoids, which is why the scheduler offers
+//! [`NodeSet::alloc_compact`] alongside the classic
+//! [`NodeSet::alloc_lowest`]. Callers also keep the concrete ids for
+//! occupancy bookkeeping (free lists, failure attribution, per-node
+//! trace tracks).
 
 use crate::comm::Comm;
 use crate::machine::{Cluster, SpmdOutcome};
+use crate::topology::Topology;
 
 /// A sorted, duplicate-free set of node ids within a cluster.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -65,6 +70,45 @@ impl NodeSet {
             .collect();
         (ids.len() == want).then_some(NodeSet { ids })
     }
+
+    /// Allocate `want` nodes preferring topology locality: nodes are
+    /// grouped by their innermost shared unit (edge switch for a
+    /// fat-tree, first-dimension ring for a torus) and groups with the
+    /// most free nodes are drained first, ties going to the lowest
+    /// group id — so a job that fits under one edge switch lands there
+    /// instead of straddling uplinks. Like [`NodeSet::alloc_lowest`],
+    /// a pure function of the free mask (the scheduler's determinism
+    /// contract); on the star it degenerates to exactly `alloc_lowest`.
+    pub fn alloc_compact(free: &[bool], want: usize, topology: &Topology) -> Option<NodeSet> {
+        let group_size = match *topology {
+            Topology::Star => return Self::alloc_lowest(free, want),
+            Topology::FatTree { radix, .. } => radix,
+            Topology::Torus { dims } => dims[0],
+        };
+        if want == 0 {
+            return None;
+        }
+        let ngroups = free.len().div_ceil(group_size);
+        // (free count, group id) per group, fullest-first.
+        let mut groups: Vec<(usize, usize)> = (0..ngroups)
+            .map(|g| {
+                let lo = g * group_size;
+                let hi = (lo + group_size).min(free.len());
+                (free[lo..hi].iter().filter(|&&f| f).count(), g)
+            })
+            .collect();
+        groups.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut ids = Vec::with_capacity(want);
+        for (count, g) in groups {
+            if count == 0 || ids.len() == want {
+                break;
+            }
+            let lo = g * group_size;
+            let hi = (lo + group_size).min(free.len());
+            ids.extend((lo..hi).filter(|&i| free[i]).take(want - ids.len()));
+        }
+        (ids.len() == want).then(|| NodeSet::new(ids))
+    }
 }
 
 impl Cluster {
@@ -73,10 +117,12 @@ impl Cluster {
     /// executor policy; the outcome is bit-identical under every
     /// [`crate::ExecPolicy`], exactly as [`Cluster::run`].
     ///
-    /// Because the catalog machines are homogeneous with a star network,
-    /// the job is simulated as a `nodes.len()`-node sub-cluster of the
-    /// same spec — which nodes were picked affects occupancy accounting
-    /// only, never virtual time.
+    /// The job is simulated as a `nodes.len()`-node sub-cluster whose
+    /// ranks keep the real node ids, so per-pair network costs follow
+    /// the topology: on the star, which nodes were picked affects
+    /// occupancy accounting only (any subset behaves like a fresh
+    /// right-sized cluster); on a fat-tree or torus, a placement that
+    /// spans switch boundaries genuinely runs slower than a compact one.
     ///
     /// Panics when `nodes` is empty or names a node outside the spec.
     pub fn run_on<R, F>(&self, nodes: &NodeSet, f: F) -> SpmdOutcome<R>
@@ -94,7 +140,7 @@ impl Cluster {
         );
         Cluster::new(self.spec().with_nodes(nodes.len()))
             .with_exec(self.exec())
-            .run(f)
+            .run_mapped(nodes.ids(), f)
     }
 }
 
@@ -120,6 +166,56 @@ mod tests {
         assert_eq!(s.ids(), &[1, 2, 4]);
         assert!(NodeSet::alloc_lowest(&free, 5).is_none());
         assert!(NodeSet::alloc_lowest(&free, 0).is_none());
+    }
+
+    #[test]
+    fn alloc_compact_prefers_one_switch_group() {
+        let topo = Topology::fat_tree(4, 2, 4.0);
+        // Groups of 4: group 0 has 2 free, group 1 has 4 free, group 2
+        // has 3 free. A 4-wide job should land entirely in group 1.
+        let mut free = vec![true; 12];
+        free[0] = false;
+        free[3] = false;
+        free[8] = false;
+        let s = NodeSet::alloc_compact(&free, 4, &topo).unwrap();
+        assert_eq!(s.ids(), &[4, 5, 6, 7]);
+        // A 6-wide job drains group 1 then the next-fullest (group 2).
+        let s = NodeSet::alloc_compact(&free, 6, &topo).unwrap();
+        assert_eq!(s.ids(), &[4, 5, 6, 7, 9, 10]);
+        // Ties go to the lowest group id: with all 12 free, an 8-wide
+        // job takes groups 0 and 1.
+        let s = NodeSet::alloc_compact(&[true; 12], 8, &topo).unwrap();
+        assert_eq!(s.ids(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        // Infeasible and zero-width requests fail like alloc_lowest.
+        assert!(NodeSet::alloc_compact(&free, 10, &topo).is_none());
+        assert!(NodeSet::alloc_compact(&free, 0, &topo).is_none());
+        // On the star it is exactly alloc_lowest.
+        assert_eq!(
+            NodeSet::alloc_compact(&free, 4, &Topology::Star),
+            NodeSet::alloc_lowest(&free, 4)
+        );
+    }
+
+    #[test]
+    fn spanning_fat_tree_switches_is_slower_than_compact_placement() {
+        let spec = metablade()
+            .with_nodes(16)
+            .with_topology(Topology::fat_tree(4, 2, 4.0));
+        let job = |comm: &mut Comm| {
+            for _ in 0..3 {
+                let _ = comm.allreduce_sum(&[comm.rank() as f64; 32]);
+            }
+            comm.now()
+        };
+        let cluster = Cluster::new(spec).with_exec(ExecPolicy::Sequential);
+        let compact = cluster.run_on(&NodeSet::new(vec![0, 1, 2, 3]), job);
+        let spread = cluster.run_on(&NodeSet::new(vec![0, 4, 8, 12]), job);
+        assert!(
+            spread.makespan_s() > compact.makespan_s(),
+            "spread {} vs compact {}",
+            spread.makespan_s(),
+            compact.makespan_s()
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Machine specifications and the catalog of the paper's clusters.
 
+use crate::topology::Topology;
+
 /// A CPU as the cluster simulator sees it: a clock, an *effective
 /// application floating-point rate* (what the treecode actually sustains
 /// per processor — derivable from the `mb-crusoe` models and cross-checked
@@ -38,30 +40,36 @@ pub struct NodeSpec {
     pub node_watts_idle: f64,
 }
 
-/// The interconnect: a switched star (every node has one link to the
-/// switch), parameterized LogGP-style.
+/// The interconnect, parameterized LogGP-style per link plus a wiring
+/// plan ([`Topology`]) that determines how many links — and which
+/// shared ones — each node pair crosses.
 #[derive(Debug, Clone, Copy)]
 pub struct NetworkSpec {
-    /// One-way small-message latency (software + wire + switch), seconds.
+    /// One-way small-message latency per switch/router hop (software +
+    /// wire + switch), seconds.
     pub latency_s: f64,
     /// Link bandwidth, Mb/s.
     pub bandwidth_mbps: f64,
     /// Per-message send/receive software overhead, seconds.
     pub overhead_s: f64,
-    /// Store-and-forward switch: a message is fully serialized twice
-    /// (node→switch, switch→node). Cut-through switches serialize once.
+    /// Store-and-forward switches: a message is fully re-serialized at
+    /// every switch it crosses. Cut-through switches serialize once.
     pub store_and_forward: bool,
+    /// How nodes are wired together (star switch, fat-tree, torus).
+    pub topology: Topology,
 }
 
 impl NetworkSpec {
     /// Era-typical switched 100-Mb/s Fast Ethernet with MPI over TCP:
-    /// ~70 µs one-way latency, store-and-forward.
+    /// ~70 µs one-way latency, store-and-forward, one star switch (the
+    /// paper's §3.1 wiring).
     pub fn fast_ethernet() -> Self {
         NetworkSpec {
             latency_s: 70e-6,
             bandwidth_mbps: 100.0,
             overhead_s: 15e-6,
             store_and_forward: true,
+            topology: Topology::Star,
         }
     }
 
@@ -117,6 +125,15 @@ impl ClusterSpec {
     pub fn with_nodes(&self, nodes: usize) -> Self {
         let mut s = self.clone();
         s.nodes = nodes;
+        s
+    }
+
+    /// A copy of this spec rewired onto a different [`Topology`] (for
+    /// star-vs-fat-tree contrast sweeps). Link parameters (latency,
+    /// bandwidth, overheads) are kept; only the wiring plan changes.
+    pub fn with_topology(&self, topology: Topology) -> Self {
+        let mut s = self.clone();
+        s.network.topology = topology;
         s
     }
 }
@@ -310,6 +327,16 @@ mod tests {
             ..net
         };
         assert!(cut.wire_time(125_000) < t);
+    }
+
+    #[test]
+    fn with_topology_rewires_only_the_network() {
+        let s = metablade().with_nodes(256);
+        let ft = s.with_topology(Topology::fat_tree(16, 2, 4.0));
+        assert_eq!(ft.network.topology, Topology::fat_tree(16, 2, 4.0));
+        assert_eq!(ft.network.latency_s, s.network.latency_s);
+        assert_eq!(ft.nodes, 256);
+        assert_eq!(s.network.topology, Topology::Star);
     }
 
     #[test]

@@ -1,0 +1,609 @@
+//! Interconnect topologies: deterministic per-pair routes and costs.
+//!
+//! The paper's MetaBlade hangs every node off one Fast-Ethernet switch —
+//! a star. At the 512–1024-rank scale the event-driven executor now
+//! simulates, real machines of the era (Dubinski et al.'s teraflop
+//! Beowulf, see PAPERS.md) were multi-switch trees with oversubscribed
+//! uplinks, and direct-network machines used tori. A [`Topology`] names
+//! one of those wiring plans and answers two questions about a node
+//! pair, both as **pure functions** of `(topology, src, dst)`:
+//!
+//! * [`Topology::route`] — the ordered shared links a message traverses
+//!   (used for per-link occupancy accounting and the route-property
+//!   tests);
+//! * [`Topology::path`] — the scalar cost profile of that route: how
+//!   many latency hops it crosses and how many extra store-and-forward
+//!   serializations it pays, with inter-switch links slowed by the
+//!   uplink oversubscription factor.
+//!
+//! **Route determinism rules.** All queueing in this simulator is
+//! carried by the ranks' own virtual clocks (see [`crate::comm`]); the
+//! network layer holds no mutable link state, which is what makes
+//! outcomes bit-identical under every executor policy. Contention on
+//! shared links is therefore modeled *deterministically*: an
+//! oversubscribed uplink serializes bytes at `oversubscription ×` the
+//! edge gap (the time-averaged effective bandwidth of a saturated
+//! shared link), and a torus hop chain re-serializes at every
+//! intermediate router. Routes themselves are fixed by arithmetic —
+//! fat-tree paths climb to the lowest common ancestor switch,
+//! dimension-ordered torus routing breaks ring-distance ties in the
+//! positive direction — so two messages between the same pair always
+//! take the same links, in the same order, on every host and under
+//! every `MB_PARALLEL` width.
+//!
+//! [`Topology::link_occupancy`] folds a finished run's per-peer traffic
+//! counters over the routes, yielding bytes/messages per named link —
+//! post-hoc derivation keeps the hot send path free of per-link
+//! bookkeeping and keeps [`crate::comm::CommStats`] (and with it every
+//! committed outcome fingerprint) unchanged.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::comm::CommStats;
+
+/// A cluster interconnect wiring plan. `Star` is the paper's machine
+/// and the default everywhere; the hierarchical variants make 128+ rank
+/// simulations pay realistic bisection and incast costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// Every node one full-duplex link from a single ideal switch (the
+    /// paper's §3.1 machine). Per-pair costs are uniform; the timing
+    /// arithmetic is bit-identical to the pre-topology model.
+    Star,
+    /// A `levels`-tier tree of `radix`-port switch groups: nodes
+    /// `[i·radix, (i+1)·radix)` share edge switch `i`, and each tier
+    /// aggregates `radix` switches of the tier below. Inter-switch
+    /// links are `uplink_oversubscription ×` slower than edge links
+    /// (effective bandwidth under full-bisection load).
+    FatTree {
+        /// Ports per switch toward the lower tier (≥ 2).
+        radix: usize,
+        /// Switch tiers (≥ 1); capacity is `radix^levels` nodes.
+        levels: usize,
+        /// Effective slowdown of inter-switch links (≥ 1.0); 1.0 is a
+        /// non-blocking (full-bisection) tree.
+        uplink_oversubscription: f64,
+    },
+    /// A direct network: nodes on a 3-D wrap-around grid, one router
+    /// per node, dimension-ordered routing. Use `1` for unused
+    /// dimensions (e.g. `[16, 8, 1]` is a 2-D torus).
+    Torus {
+        /// Ring lengths per dimension (each ≥ 1); capacity is their
+        /// product.
+        dims: [usize; 3],
+    },
+}
+
+/// One directed link in a route. Link identities are stable strings
+/// (via `Display`) so occupancy counters aggregate across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Link {
+    /// Node NIC into its first switch.
+    HostUp(usize),
+    /// Last switch down into the destination NIC.
+    HostDown(usize),
+    /// Fat-tree uplink out of switch `sw` at tier `level` (1-based).
+    Up {
+        /// Tier of the switch the link leaves (1 = edge).
+        level: usize,
+        /// Switch index within the tier.
+        sw: usize,
+    },
+    /// Fat-tree downlink into switch `sw` at tier `level`.
+    Down {
+        /// Tier of the switch the link enters (1 = edge).
+        level: usize,
+        /// Switch index within the tier.
+        sw: usize,
+    },
+    /// Torus cable from router `from` to neighbouring router `to`.
+    Hop {
+        /// Source router (node id).
+        from: usize,
+        /// Destination router (node id).
+        to: usize,
+    },
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Link::HostUp(n) => write!(f, "host-up:{n}"),
+            Link::HostDown(n) => write!(f, "host-down:{n}"),
+            Link::Up { level, sw } => write!(f, "up:l{level}.s{sw}"),
+            Link::Down { level, sw } => write!(f, "down:l{level}.s{sw}"),
+            Link::Hop { from, to } => write!(f, "hop:{from}>{to}"),
+        }
+    }
+}
+
+/// Scalar cost profile of one route (see [`Topology::path`]). The
+/// network model turns this into seconds; keeping it integer-and-factor
+/// valued here keeps the cost function exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathProfile {
+    /// Switch/router traversals, each charged one wire latency.
+    pub latency_hops: usize,
+    /// Store-and-forward re-serializations at the edge-link rate.
+    pub edge_resers: usize,
+    /// Store-and-forward re-serializations on inter-switch links, each
+    /// at `oversub ×` the edge gap.
+    pub uplink_resers: usize,
+    /// Effective slowdown factor of the inter-switch links crossed
+    /// (1.0 when the route stays under one switch).
+    pub oversub: f64,
+}
+
+/// Aggregate traffic over one link (see [`Topology::link_occupancy`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkLoad {
+    /// Messages that traversed the link.
+    pub msgs: u64,
+    /// Payload bytes that traversed the link.
+    pub bytes: u64,
+}
+
+impl Topology {
+    /// A validated fat-tree. Panics on a degenerate shape.
+    pub fn fat_tree(radix: usize, levels: usize, uplink_oversubscription: f64) -> Self {
+        assert!(radix >= 2, "fat-tree radix must be at least 2");
+        assert!(levels >= 1, "fat-tree needs at least one switch tier");
+        assert!(
+            uplink_oversubscription >= 1.0,
+            "oversubscription below 1.0 would make shared links faster than edge links"
+        );
+        Topology::FatTree {
+            radix,
+            levels,
+            uplink_oversubscription,
+        }
+    }
+
+    /// A validated 3-D torus (use dimension length 1 for unused axes).
+    pub fn torus(dims: [usize; 3]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d >= 1),
+            "torus dimensions must all be at least 1"
+        );
+        Topology::Torus { dims }
+    }
+
+    /// Maximum node count this topology can wire; `None` = unbounded
+    /// (the ideal star switch has as many ports as it needs).
+    pub fn capacity(&self) -> Option<usize> {
+        match *self {
+            Topology::Star => None,
+            Topology::FatTree { radix, levels, .. } => {
+                Some(radix.checked_pow(levels as u32).unwrap_or(usize::MAX))
+            }
+            Topology::Torus { dims } => Some(dims[0] * dims[1] * dims[2]),
+        }
+    }
+
+    /// Short stable label for bench records and metric names:
+    /// `star`, `ft16x2o4`, `torus8x4x2`.
+    pub fn label(&self) -> String {
+        match *self {
+            Topology::Star => "star".to_string(),
+            Topology::FatTree {
+                radix,
+                levels,
+                uplink_oversubscription: o,
+            } => {
+                if o.fract() == 0.0 {
+                    format!("ft{radix}x{levels}o{}", o as u64)
+                } else {
+                    format!("ft{radix}x{levels}o{o}")
+                }
+            }
+            Topology::Torus { dims } => format!("torus{}x{}x{}", dims[0], dims[1], dims[2]),
+        }
+    }
+
+    /// Smallest tier at which `a` and `b` share an ancestor switch
+    /// (1 = same edge switch). Fat-tree only.
+    fn lca_level(radix: usize, a: usize, b: usize) -> usize {
+        let (mut a, mut b, mut k) = (a / radix, b / radix, 1);
+        while a != b {
+            a /= radix;
+            b /= radix;
+            k += 1;
+        }
+        k
+    }
+
+    /// The cost profile of the `src → dst` route. Self-sends loop back
+    /// through the local switch/router and cost exactly one latency hop.
+    pub fn path(&self, src: usize, dst: usize) -> PathProfile {
+        match *self {
+            Topology::Star => PathProfile {
+                latency_hops: 1,
+                edge_resers: 1,
+                uplink_resers: 0,
+                oversub: 1.0,
+            },
+            Topology::FatTree {
+                radix,
+                uplink_oversubscription,
+                ..
+            } => {
+                let k = Self::lca_level(radix, src, dst);
+                PathProfile {
+                    // Up through k−1 switches, across the tier-k ancestor,
+                    // down through k−1: 2k−1 switch traversals.
+                    latency_hops: 2 * k - 1,
+                    // The final switch→NIC serialization (the star's one
+                    // store-and-forward hop) plus 2(k−1) inter-switch
+                    // egresses at the oversubscribed rate.
+                    edge_resers: 1,
+                    uplink_resers: 2 * (k - 1),
+                    oversub: if k > 1 { uplink_oversubscription } else { 1.0 },
+                }
+            }
+            Topology::Torus { dims } => {
+                let h: usize = (0..3)
+                    .map(|d| {
+                        let (a, b) = (Self::coords(dims, src)[d], Self::coords(dims, dst)[d]);
+                        let fwd = (b + dims[d] - a) % dims[d];
+                        fwd.min(dims[d] - fwd)
+                    })
+                    .sum();
+                PathProfile {
+                    // One router+cable latency per hop; a neighbour is one
+                    // direct cable (no switch in the middle), a self-send
+                    // one loopback hop.
+                    latency_hops: h.max(1),
+                    // Each intermediate router store-and-forwards once.
+                    edge_resers: h.saturating_sub(1),
+                    uplink_resers: 0,
+                    oversub: 1.0,
+                }
+            }
+        }
+    }
+
+    fn coords(dims: [usize; 3], node: usize) -> [usize; 3] {
+        [
+            node % dims[0],
+            (node / dims[0]) % dims[1],
+            node / (dims[0] * dims[1]),
+        ]
+    }
+
+    fn node_at(dims: [usize; 3], c: [usize; 3]) -> usize {
+        c[0] + dims[0] * (c[1] + dims[1] * c[2])
+    }
+
+    /// The ordered directed links a `src → dst` message traverses.
+    /// Deterministic: fat-tree routes climb to the lowest common
+    /// ancestor; torus routes are dimension-ordered (x, then y, then z)
+    /// taking the shorter ring direction, ties broken positively.
+    pub fn route(&self, src: usize, dst: usize) -> Vec<Link> {
+        match *self {
+            Topology::Star => vec![Link::HostUp(src), Link::HostDown(dst)],
+            Topology::FatTree { radix, .. } => {
+                let k = Self::lca_level(radix, src, dst);
+                let mut links = vec![Link::HostUp(src)];
+                for l in 1..k {
+                    links.push(Link::Up {
+                        level: l,
+                        sw: src / radix.pow(l as u32),
+                    });
+                }
+                for l in (1..k).rev() {
+                    links.push(Link::Down {
+                        level: l,
+                        sw: dst / radix.pow(l as u32),
+                    });
+                }
+                links.push(Link::HostDown(dst));
+                links
+            }
+            Topology::Torus { dims } => {
+                let mut links = Vec::new();
+                let mut cur = Self::coords(dims, src);
+                let goal = Self::coords(dims, dst);
+                for d in 0..3 {
+                    while cur[d] != goal[d] {
+                        let fwd = (goal[d] + dims[d] - cur[d]) % dims[d];
+                        let back = dims[d] - fwd;
+                        let from = Self::node_at(dims, cur);
+                        // Shorter direction wins; an exact half-ring tie
+                        // goes positive so both endpoints agree.
+                        cur[d] = if fwd <= back {
+                            (cur[d] + 1) % dims[d]
+                        } else {
+                            (cur[d] + dims[d] - 1) % dims[d]
+                        };
+                        links.push(Link::Hop {
+                            from,
+                            to: Self::node_at(dims, cur),
+                        });
+                    }
+                }
+                links
+            }
+        }
+    }
+
+    /// Fold a finished run's per-peer traffic counters over the routes:
+    /// bytes and messages per named link. `node_ids` maps job rank →
+    /// physical node (identity when `None`, the whole-cluster case).
+    /// Purely derived data — consumes [`CommStats`], never feeds back
+    /// into the simulation, so fingerprinted outcomes are untouched.
+    pub fn link_occupancy(
+        &self,
+        stats: &[CommStats],
+        node_ids: Option<&[usize]>,
+    ) -> BTreeMap<String, LinkLoad> {
+        let node = |rank: usize| node_ids.map_or(rank, |m| m[rank]);
+        let mut occ: BTreeMap<String, LinkLoad> = BTreeMap::new();
+        for (src, s) in stats.iter().enumerate() {
+            for (dst, peer) in s.peers.iter().enumerate() {
+                if peer.msgs_to == 0 {
+                    continue;
+                }
+                for link in self.route(node(src), node(dst)) {
+                    let load = occ.entry(link.to_string()).or_default();
+                    load.msgs += peer.msgs_to;
+                    load.bytes += peer.bytes_to;
+                }
+            }
+        }
+        occ
+    }
+}
+
+/// Publish per-link loads into a telemetry registry as
+/// `network/link_bytes` / `network/link_msgs` counters labelled by the
+/// link name — they ride the Chrome counter-track and Prometheus export
+/// paths like every other metric.
+pub fn record_link_occupancy(
+    reg: &mut mb_telemetry::metrics::Registry,
+    occ: &BTreeMap<String, LinkLoad>,
+) {
+    for (link, load) in occ {
+        reg.count("network/link_bytes", link, load.bytes);
+        reg.count("network/link_msgs", link, load.msgs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so the property loops are seeded, not
+    /// host-random (the repo's proptest idiom).
+    fn rng(seed: u64) -> impl FnMut(usize) -> usize {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        move |n| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % n.max(1) as u64) as usize
+        }
+    }
+
+    #[test]
+    fn capacities_and_labels() {
+        assert_eq!(Topology::Star.capacity(), None);
+        assert_eq!(Topology::Star.label(), "star");
+        let ft = Topology::fat_tree(16, 2, 4.0);
+        assert_eq!(ft.capacity(), Some(256));
+        assert_eq!(ft.label(), "ft16x2o4");
+        let t = Topology::torus([8, 4, 2]);
+        assert_eq!(t.capacity(), Some(64));
+        assert_eq!(t.label(), "torus8x4x2");
+    }
+
+    #[test]
+    #[should_panic(expected = "radix")]
+    fn degenerate_fat_tree_is_rejected() {
+        Topology::fat_tree(1, 2, 4.0);
+    }
+
+    #[test]
+    fn star_route_is_two_links_through_the_switch() {
+        let r = Topology::Star.route(3, 7);
+        assert_eq!(r, vec![Link::HostUp(3), Link::HostDown(7)]);
+        let p = Topology::Star.path(3, 7);
+        assert_eq!(p.latency_hops, 1);
+        assert_eq!(p.edge_resers, 1);
+        assert_eq!(p.uplink_resers, 0);
+    }
+
+    #[test]
+    fn fat_tree_same_edge_switch_reduces_to_star_costs() {
+        let ft = Topology::fat_tree(16, 2, 4.0);
+        let p = ft.path(0, 15); // both under edge switch 0
+        assert_eq!(p, Topology::Star.path(0, 15));
+        assert_eq!(ft.route(0, 15).len(), 2);
+    }
+
+    #[test]
+    fn fat_tree_cross_switch_pays_uplinks_and_extra_latency() {
+        let ft = Topology::fat_tree(16, 2, 4.0);
+        let p = ft.path(0, 16); // edge switches 0 and 1, LCA at tier 2
+        assert_eq!(p.latency_hops, 3);
+        assert_eq!(p.edge_resers, 1);
+        assert_eq!(p.uplink_resers, 2);
+        assert_eq!(p.oversub, 4.0);
+        let r = ft.route(0, 16);
+        assert_eq!(
+            r,
+            vec![
+                Link::HostUp(0),
+                Link::Up { level: 1, sw: 0 },
+                Link::Down { level: 1, sw: 1 },
+                Link::HostDown(16),
+            ]
+        );
+    }
+
+    #[test]
+    fn three_level_fat_tree_route_is_mirrored() {
+        let ft = Topology::fat_tree(4, 3, 2.0);
+        // 0 and 63 share only the tier-3 root: 2·3−1 = 5 switch hops.
+        let p = ft.path(0, 63);
+        assert_eq!(p.latency_hops, 5);
+        assert_eq!(p.uplink_resers, 4);
+        let up = ft.route(0, 63);
+        let down = ft.route(63, 0);
+        assert_eq!(up.len(), down.len());
+        // The reverse route uses the same switches, mirrored.
+        let mirrored: Vec<Link> = up
+            .iter()
+            .rev()
+            .map(|l| match *l {
+                Link::HostUp(n) => Link::HostDown(n),
+                Link::HostDown(n) => Link::HostUp(n),
+                Link::Up { level, sw } => Link::Down { level, sw },
+                Link::Down { level, sw } => Link::Up { level, sw },
+                other => other,
+            })
+            .collect();
+        assert_eq!(down, mirrored);
+    }
+
+    #[test]
+    fn torus_routes_are_dimension_ordered_and_minimal() {
+        let t = Topology::torus([4, 4, 1]);
+        // 0 → 10 = (0,0) → (2,2): 2 x-hops then 2 y-hops.
+        let r = t.route(0, 10);
+        assert_eq!(r.len(), 4);
+        assert_eq!(t.path(0, 10).latency_hops, 4);
+        assert_eq!(t.path(0, 10).edge_resers, 3);
+        // Wrap-around: (0,0) → (3,0) is one backward hop, not three.
+        assert_eq!(t.route(0, 3), vec![Link::Hop { from: 0, to: 3 }]);
+        // Neighbours pay a single latency and no re-serialization.
+        let p = t.path(0, 1);
+        assert_eq!((p.latency_hops, p.edge_resers), (1, 0));
+        // Self-send: loopback latency, empty route.
+        assert_eq!(t.path(5, 5).latency_hops, 1);
+        assert!(t.route(5, 5).is_empty());
+    }
+
+    #[test]
+    fn routes_are_symmetric_loop_free_and_stable_across_seeds() {
+        let topos = [
+            Topology::fat_tree(4, 3, 4.0),
+            Topology::fat_tree(16, 2, 2.0),
+            Topology::torus([8, 4, 2]),
+            Topology::torus([5, 5, 1]),
+        ];
+        for topo in topos {
+            let n = topo.capacity().unwrap();
+            for seed in [1u64, 42, 1999] {
+                let mut r = rng(seed);
+                for _ in 0..200 {
+                    let (a, b) = (r(n), r(n));
+                    let fwd = topo.route(a, b);
+                    let rev = topo.route(b, a);
+                    // Symmetric: both directions cross the same number of
+                    // links and cost the same.
+                    assert_eq!(fwd.len(), rev.len(), "{topo:?} {a}<->{b}");
+                    assert_eq!(
+                        topo.path(a, b),
+                        topo.path(b, a),
+                        "{topo:?} {a}<->{b} cost asymmetry"
+                    );
+                    // Loop-free: no link traversed twice.
+                    let mut seen = fwd.clone();
+                    seen.sort();
+                    seen.dedup();
+                    assert_eq!(seen.len(), fwd.len(), "{topo:?} {a}->{b} revisits a link");
+                    // Stable: recomputation is bit-identical (pure function).
+                    assert_eq!(fwd, topo.route(a, b), "{topo:?} {a}->{b} unstable");
+                    // The profile agrees with the route structure.
+                    let p = topo.path(a, b);
+                    if a != b {
+                        assert!(!fwd.is_empty());
+                        assert!(p.latency_hops >= 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_occupancy_folds_traffic_over_routes() {
+        use crate::comm::PeerTraffic;
+        let ft = Topology::fat_tree(2, 2, 4.0);
+        // Rank 0 sends 3 msgs / 300 bytes to rank 2 (cross-switch) and
+        // 1 msg / 10 bytes to rank 1 (same switch).
+        let mut s0 = CommStats {
+            peers: vec![PeerTraffic::default(); 4],
+            ..CommStats::default()
+        };
+        s0.peers[2] = PeerTraffic {
+            msgs_to: 3,
+            bytes_to: 300,
+            ..PeerTraffic::default()
+        };
+        s0.peers[1] = PeerTraffic {
+            msgs_to: 1,
+            bytes_to: 10,
+            ..PeerTraffic::default()
+        };
+        let quiet = CommStats {
+            peers: vec![PeerTraffic::default(); 4],
+            ..CommStats::default()
+        };
+        let occ = ft.link_occupancy(&[s0, quiet.clone(), quiet.clone(), quiet], None);
+        // host-up:0 carries both flows; the uplink only the cross flow.
+        assert_eq!(
+            occ["host-up:0"],
+            LinkLoad {
+                msgs: 4,
+                bytes: 310
+            }
+        );
+        assert_eq!(
+            occ["up:l1.s0"],
+            LinkLoad {
+                msgs: 3,
+                bytes: 300
+            }
+        );
+        assert_eq!(
+            occ["down:l1.s1"],
+            LinkLoad {
+                msgs: 3,
+                bytes: 300
+            }
+        );
+        assert_eq!(occ["host-down:1"], LinkLoad { msgs: 1, bytes: 10 });
+        // Registry publication round-trips the counters.
+        let mut reg = mb_telemetry::metrics::Registry::new();
+        record_link_occupancy(&mut reg, &occ);
+        assert_eq!(
+            reg.counter_value("network/link_bytes", "up:l1.s0"),
+            Some(300)
+        );
+        assert_eq!(reg.counter_value("network/link_msgs", "host-up:0"), Some(4));
+    }
+
+    #[test]
+    fn node_id_mapping_relabels_routes() {
+        let ft = Topology::fat_tree(4, 2, 4.0);
+        use crate::comm::PeerTraffic;
+        let mut s0 = CommStats {
+            peers: vec![PeerTraffic::default(); 2],
+            ..CommStats::default()
+        };
+        s0.peers[1] = PeerTraffic {
+            msgs_to: 1,
+            bytes_to: 8,
+            ..PeerTraffic::default()
+        };
+        let s1 = CommStats {
+            peers: vec![PeerTraffic::default(); 2],
+            ..CommStats::default()
+        };
+        // Job ranks 0,1 pinned to nodes 0 and 12: a cross-switch route.
+        let occ = ft.link_occupancy(&[s0, s1], Some(&[0, 12]));
+        assert!(occ.contains_key("up:l1.s0"), "{occ:?}");
+        assert!(occ.contains_key("host-down:12"), "{occ:?}");
+    }
+}

@@ -122,10 +122,11 @@ fn failure_json(f: &FailureConfig) -> Json {
     ])
 }
 
-fn cluster_section(name: &str, nodes: usize, tco: f64, reports: &[SimReport]) -> Json {
+fn cluster_section(spec: &ClusterSpec, tco: f64, reports: &[SimReport]) -> Json {
     Json::obj([
-        ("name", Json::str(name.to_string())),
-        ("nodes", Json::Num(nodes as f64)),
+        ("name", Json::str(spec.name.to_string())),
+        ("nodes", Json::Num(spec.nodes as f64)),
+        ("topology", Json::str(spec.network.topology.label())),
         ("tco_dollars", Json::Num(tco)),
         (
             "policies",
@@ -195,13 +196,8 @@ fn run(wl_cfg: &WorkloadConfig, cfg: &SchedConfig, execs: &[ExecPolicy], smoke: 
         (
             "clusters",
             Json::Arr(vec![
-                cluster_section(
-                    &blade_spec.name,
-                    blade_spec.nodes,
-                    blade_tco,
-                    &blade_reports,
-                ),
-                cluster_section(&trad_spec.name, trad_spec.nodes, trad_tco, &trad_reports),
+                cluster_section(&blade_spec, blade_tco, &blade_reports),
+                cluster_section(&trad_spec, trad_tco, &trad_reports),
             ]),
         ),
     ]);

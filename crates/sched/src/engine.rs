@@ -63,6 +63,25 @@ impl FailureConfig {
     }
 }
 
+/// How the dispatcher maps a picked job onto free nodes.
+///
+/// On star-networked machines the two strategies produce identical
+/// virtual time (placement is cost-free there), but on fat-trees and
+/// tori a job that spans switch boundaries pays oversubscribed-uplink
+/// costs — `Compact` packs jobs under one edge switch when it can.
+/// Either way allocation stays a pure function of the free mask, so the
+/// run fingerprint stays executor-invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Lowest free node ids first (the classic allocator; the committed
+    /// BENCH_sched baselines were produced with it).
+    #[default]
+    Lowest,
+    /// Topology-aware: fullest switch/ring group first
+    /// ([`NodeSet::alloc_compact`]).
+    Compact,
+}
+
 /// Engine configuration: checkpointing parameters plus optional
 /// failure injection.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +91,8 @@ pub struct SchedConfig {
     /// Failure injection; `None` runs a failure-free (and
     /// checkpoint-free) simulation.
     pub failure: Option<FailureConfig>,
+    /// Node-allocation strategy at dispatch.
+    pub placement: Placement,
 }
 
 impl Default for SchedConfig {
@@ -84,6 +105,7 @@ impl Default for SchedConfig {
                 restart_h: 0.05,
             },
             failure: None,
+            placement: Placement::default(),
         }
     }
 }
@@ -535,7 +557,14 @@ pub fn simulate(
             seen[p] = true;
             let q = &queue[p];
             let free_mask: Vec<bool> = (0..n).map(|k| up[k] && !busy[k]).collect();
-            if let Some(nodes) = NodeSet::alloc_lowest(&free_mask, q.ranks) {
+            let alloc = match cfg.placement {
+                Placement::Lowest => NodeSet::alloc_lowest(&free_mask, q.ranks),
+                Placement::Compact => {
+                    let topo = service.cluster().spec().network.topology;
+                    NodeSet::alloc_compact(&free_mask, q.ranks, &topo)
+                }
+            };
+            if let Some(nodes) = alloc {
                 for &m in nodes.ids() {
                     busy[m] = true;
                 }
@@ -798,6 +827,68 @@ mod tests {
             (unb.exec(), low.clone(), work.step_key()),
             (cluster.exec(), low, work.step_key()),
             "distinct keys for distinct policies"
+        );
+    }
+
+    #[test]
+    fn service_model_charges_spanning_placements_on_fat_trees() {
+        use mb_cluster::Topology;
+        let work = WorkModel::Treecode {
+            bodies_per_rank: 1200,
+            steps: 10,
+        };
+        let spec = mb_cluster::spec::metablade()
+            .with_nodes(16)
+            .with_topology(Topology::fat_tree(4, 2, 4.0));
+        let cluster = Cluster::new(spec).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let compact = service.step_on(&work, &NodeSet::new(vec![0, 1, 2, 3]));
+        let spread = service.step_on(&work, &NodeSet::new(vec![0, 4, 8, 12]));
+        assert!(
+            spread > compact,
+            "spanning switches ({spread}) should cost more than one switch ({compact})"
+        );
+    }
+
+    #[test]
+    fn compact_placement_is_deterministic_and_no_slower_on_fat_trees() {
+        use mb_cluster::Topology;
+        let spec = mb_cluster::spec::metablade()
+            .with_nodes(16)
+            .with_topology(Topology::fat_tree(4, 2, 4.0));
+        let jobs = generate(&WorkloadConfig {
+            jobs: 16,
+            seed: 11,
+            mean_interarrival_s: 180.0,
+            max_ranks: 16,
+        });
+        let cfg = SchedConfig {
+            placement: Placement::Compact,
+            ..SchedConfig::default()
+        };
+        // The determinism contract survives the new allocator: the
+        // fingerprint is bit-identical under every executor policy.
+        let prints: Vec<u64> = [ExecPolicy::Sequential, ExecPolicy::Unbounded]
+            .into_iter()
+            .map(|exec| {
+                let cluster = Cluster::new(spec.clone()).with_exec(exec);
+                let service = ServiceModel::new(&cluster);
+                simulate(&service, &EasyBackfill, &jobs, &cfg).fingerprint
+            })
+            .collect();
+        assert_eq!(prints[0], prints[1]);
+        // And compared against lowest-first on the same oversubscribed
+        // fat-tree, packing under edge switches never lengthens the run.
+        let cluster = Cluster::new(spec).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let compact = simulate(&service, &EasyBackfill, &jobs, &cfg);
+        let lowest = simulate(&service, &EasyBackfill, &jobs, &SchedConfig::default());
+        assert_eq!(compact.jobs.len(), jobs.len());
+        assert!(
+            compact.makespan_s <= lowest.makespan_s * (1.0 + 1e-9),
+            "compact {} vs lowest {}",
+            compact.makespan_s,
+            lowest.makespan_s
         );
     }
 }

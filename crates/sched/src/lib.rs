@@ -53,7 +53,9 @@ pub mod policy;
 pub mod report;
 pub mod workload;
 
-pub use engine::{simulate, FailureConfig, OccSpan, SchedConfig, ServiceModel, SimReport};
+pub use engine::{
+    simulate, FailureConfig, OccSpan, Placement, SchedConfig, ServiceModel, SimReport,
+};
 pub use job::{JobRecord, JobSpec, NpbKernel, WorkModel};
 pub use policy::{EasyBackfill, Fcfs, PolicyCtx, QueuedJob, RunningJob, SchedPolicy, Sjf};
 pub use workload::{generate, standard, WorkloadConfig};

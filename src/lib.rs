@@ -14,7 +14,10 @@
 //! * [`metrics`] (`mb-metrics`) — TCO / ToPPeR / perf-space / perf-power models;
 //! * [`telemetry`] (`mb-telemetry`) — metrics registry, span tracing, Chrome export;
 //! * [`sched`] (`mb-sched`) — deterministic batch workload manager (FCFS /
-//!   EASY backfill / SJF) replaying multi-job traffic on the simulated cluster.
+//!   EASY backfill / SJF) replaying multi-job traffic on the simulated cluster;
+//! * [`mod@bench`] (`mb-bench`) — the `bench_baseline` measurement harness and
+//!   `bench_gate` regression gate, exposed so integration tests can pin
+//!   simulated outcomes against the committed `BENCH_*.json` fingerprints.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and per-experiment index.
@@ -30,6 +33,7 @@
 //! assert!(out.makespan_s() >= 0.0);
 //! ```
 
+pub use mb_bench as bench;
 pub use mb_cluster as cluster;
 pub use mb_core as core;
 pub use mb_crusoe as crusoe;

@@ -10,10 +10,12 @@
 //! between engines. Also asserts that observability (span tracing and
 //! executor telemetry) never perturbs virtual time.
 
+use metablade::bench::baseline::{allreduce_job, fingerprint_outcome, rounds_for};
 use metablade::cluster::machine::Cluster;
 use metablade::cluster::spec::metablade as metablade_spec;
-use metablade::cluster::{Comm, CommStats, ExecPolicy};
+use metablade::cluster::{Comm, CommStats, ExecPolicy, Topology};
 use metablade::telemetry::fnv::Fnv;
+use metablade::telemetry::json::{parse, Json};
 
 /// Fingerprint the simulated quantities of one outcome bit-exactly:
 /// results, clocks, stats (never the executor report — that is
@@ -103,6 +105,114 @@ fn outcome_is_bit_identical_across_engines_at_256_ranks() {
     assert!(
         makespans.windows(2).all(|w| w[0] == w[1]),
         "makespan bits differ across engines"
+    );
+}
+
+#[test]
+fn fat_tree_outcome_is_bit_identical_across_engine_widths_at_256_ranks() {
+    // The PR-8 acceptance gate: a 256-rank job on a two-tier
+    // oversubscribed fat-tree — where per-pair lookahead bounds, not the
+    // global minimum, drive admission — still produces bit-identical
+    // outcomes at every `MB_PARALLEL` width.
+    let spec = metablade_spec()
+        .with_nodes(256)
+        .with_topology(Topology::fat_tree(16, 2, 4.0));
+    let policies = [
+        ExecPolicy::Sequential,
+        ExecPolicy::Parallel { workers: 1 },
+        ExecPolicy::Parallel { workers: 4 },
+        ExecPolicy::Parallel { workers: 8 },
+    ];
+    let mut prints = Vec::new();
+    for policy in policies {
+        let out = Cluster::new(spec.clone()).with_exec(policy).run(job_256);
+        prints.push((
+            policy.label(),
+            outcome_fingerprint(&out.results, &out.clocks, &out.stats),
+            out.makespan_s().to_bits(),
+        ));
+    }
+    let (ref_label, ref_print, ref_mk) = prints[0].clone();
+    for (label, print, mk) in &prints[1..] {
+        assert_eq!(
+            *print, ref_print,
+            "{label} diverged from {ref_label} on the fat-tree at 256 ranks"
+        );
+        assert_eq!(*mk, ref_mk, "{label}: makespan bits moved");
+    }
+}
+
+#[test]
+fn fat_tree_contention_slows_collectives_versus_the_star_at_128_ranks() {
+    let rounds = rounds_for(64, 128);
+    let star = Cluster::new(metablade_spec().with_nodes(128))
+        .with_exec(ExecPolicy::Sequential)
+        .run(allreduce_job(rounds));
+    let ft = Cluster::new(
+        metablade_spec()
+            .with_nodes(128)
+            .with_topology(Topology::fat_tree(16, 2, 4.0)),
+    )
+    .with_exec(ExecPolicy::Sequential)
+    .run(allreduce_job(rounds));
+    assert!(
+        ft.makespan_s() > star.makespan_s() * 1.05,
+        "4:1-oversubscribed fat-tree ({}) not measurably slower than star ({})",
+        ft.makespan_s(),
+        star.makespan_s()
+    );
+}
+
+#[test]
+fn star_outcomes_reproduce_the_committed_bench_fingerprints() {
+    // Pin the simulation against the committed BENCH_cluster.json: the
+    // star allreduce at 128 ranks must reproduce the document's
+    // fingerprint and makespan bit-for-bit, on any host, under the
+    // event core. This is what "Star stays bit-identical" means — not
+    // just self-consistency within one build, but equality with the
+    // committed history.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_cluster.json");
+    let doc = parse(&std::fs::read_to_string(path).expect("committed BENCH_cluster.json"))
+        .expect("BENCH_cluster.json parses");
+    let rounds = rounds_for(64, 128);
+    let name = format!("allreduce_32x{rounds}");
+    let rec = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .and_then(|bs| {
+            bs.iter().find(|b| {
+                b.get("name").and_then(Json::as_str) == Some(name.as_str())
+                    && b.get("ranks").and_then(Json::as_f64) == Some(128.0)
+            })
+        })
+        .unwrap_or_else(|| panic!("no {name} @ 128 record in BENCH_cluster.json"));
+    assert_eq!(
+        rec.get("topology").and_then(Json::as_str),
+        Some("star"),
+        "the pinned record must be the star one"
+    );
+    let committed_fp = rec
+        .get("outcome_fingerprints")
+        .and_then(|f| f.get("unbounded"))
+        .and_then(Json::as_str)
+        .expect("unbounded fingerprint");
+    let committed_mk = rec
+        .get("virtual_makespan_s")
+        .and_then(Json::as_f64)
+        .expect("virtual makespan");
+
+    let out = Cluster::new(metablade_spec().with_nodes(128))
+        .with_exec(ExecPolicy::Unbounded)
+        .run(allreduce_job(rounds));
+    assert_eq!(
+        format!("{:016x}", fingerprint_outcome(&out)),
+        committed_fp,
+        "star outcome fingerprint drifted from the committed baseline"
+    );
+    assert_eq!(
+        out.makespan_s().to_bits(),
+        committed_mk.to_bits(),
+        "star makespan bits drifted from the committed baseline"
     );
 }
 
