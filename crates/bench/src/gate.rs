@@ -17,6 +17,13 @@
 //!   warning. Within the same regime, a drop beyond the configured
 //!   fraction (default 15 % for `events_per_sec`) is a violation.
 //!
+//! Scheduler documents (`metablade-sched/*`) get the same treatment at
+//! one level of nesting more: per `(cluster, placement, route_spread)`
+//! section and per policy row, run fingerprints and virtual makespans
+//! are hard bit-exact checks, while wait/slowdown percentiles carry a
+//! symmetric drift band — they move when the cost model is deliberately
+//! refined, and the band separates that from a queueing regression.
+//!
 //! [`compare_dirs`] scans a baseline directory for `BENCH_*.json`,
 //! pairs each with the same-named file in the fresh directory, and
 //! accumulates a [`GateReport`] — a human-readable line per finding
@@ -38,6 +45,12 @@ pub struct Tolerances {
     pub events_per_sec_drop: f64,
     /// Allowed drop in treecode `gflops` per bench.
     pub gflops_drop: f64,
+    /// Allowed *drift* (either direction) in scheduler wait/slowdown
+    /// percentiles per (cluster, placement, policy). These are virtual
+    /// quantities, so any drift means the engine's answer changed — the
+    /// band exists to separate "modelling refinement, regenerate the
+    /// baseline" from "the queueing behaviour cratered".
+    pub sched_percentile_drift: f64,
 }
 
 impl Default for Tolerances {
@@ -45,6 +58,7 @@ impl Default for Tolerances {
         Tolerances {
             events_per_sec_drop: 0.15,
             gflops_drop: 0.20,
+            sched_percentile_drift: 0.15,
         }
     }
 }
@@ -59,6 +73,7 @@ impl Tolerances {
         Tolerances {
             events_per_sec_drop: 0.60,
             gflops_drop: 0.60,
+            sched_percentile_drift: 0.60,
         }
     }
 }
@@ -173,6 +188,11 @@ pub fn compare_documents(
         rep.fail(format!(
             "schema changed: baseline {base_schema:?}, fresh {fresh_schema:?}"
         ));
+        return rep;
+    }
+    if base_schema.starts_with("metablade-sched/") {
+        rep.pass(format!("schema {base_schema}"));
+        compare_sched(&mut rep, baseline, fresh, tol);
         return rep;
     }
     if !base_schema.starts_with("metablade-bench/") {
@@ -332,6 +352,169 @@ fn compare_record(
                     drop * 100.0
                 ));
             }
+        }
+    }
+}
+
+/// `(cluster, placement, route_spread)` — the stable identity of one
+/// scheduler cluster section (`metablade-sched/*` documents).
+fn sched_section_key(sec: &Json) -> Option<(String, String, bool)> {
+    let name = sec.get("name")?.as_str()?.to_string();
+    let placement = sec
+        .get("placement")
+        .and_then(Json::as_str)
+        .unwrap_or("lowest")
+        .to_string();
+    let spread = sec.get("route_spread") == Some(&Json::Bool(true));
+    Some((name, placement, spread))
+}
+
+fn index_sched_sections(doc: &Json) -> BTreeMap<(String, String, bool), &Json> {
+    let mut map = BTreeMap::new();
+    for sec in doc.get("clusters").and_then(Json::as_arr).unwrap_or(&[]) {
+        if let Some(key) = sched_section_key(sec) {
+            map.insert(key, sec);
+        }
+    }
+    map
+}
+
+/// Gate a `metablade-sched/*` document: every `(cluster, placement,
+/// route_spread)` section and every policy row inside it is virtual, so
+/// fingerprints and makespans are hard bit-exact checks; wait/slowdown
+/// percentiles get a drift band (see [`Tolerances`]).
+fn compare_sched(rep: &mut GateReport, baseline: &Json, fresh: &Json, tol: &Tolerances) {
+    if baseline.get("smoke") != fresh.get("smoke") {
+        rep.fail(format!(
+            "smoke flag changed: baseline {:?}, fresh {:?}",
+            baseline.get("smoke"),
+            fresh.get("smoke")
+        ));
+    }
+    let base_secs = index_sched_sections(baseline);
+    let fresh_secs = index_sched_sections(fresh);
+    if base_secs.is_empty() {
+        rep.warn("no cluster sections in baseline".to_string());
+        return;
+    }
+    for (key, base) in &base_secs {
+        let mut label = format!("{} [{}", key.0, key.1);
+        if key.2 {
+            label.push_str(" +spread");
+        }
+        label.push(']');
+        let Some(fresh) = fresh_secs.get(key) else {
+            rep.warn(format!("{label}: present in baseline, missing from fresh"));
+            continue;
+        };
+        compare_sched_section(rep, &label, base, fresh, tol);
+    }
+    for key in fresh_secs.keys() {
+        if !base_secs.contains_key(key) {
+            rep.warn(format!(
+                "{} [{}]: new cluster section with no committed baseline",
+                key.0, key.1
+            ));
+        }
+    }
+}
+
+fn compare_sched_section(
+    rep: &mut GateReport,
+    label: &str,
+    base: &Json,
+    fresh: &Json,
+    tol: &Tolerances,
+) {
+    // Hard: same interconnect, or nothing downstream is comparable.
+    let base_topo = base.get("topology").and_then(Json::as_str);
+    let fresh_topo = fresh.get("topology").and_then(Json::as_str);
+    if let (Some(b), Some(f)) = (base_topo, fresh_topo) {
+        if b != f {
+            rep.fail(format!(
+                "{label}: topology changed: baseline {b:?}, fresh {f:?}"
+            ));
+            return;
+        }
+        rep.passed += 1;
+    }
+
+    fn rows(sec: &Json) -> BTreeMap<String, &Json> {
+        sec.get("policies")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|r| Some((r.get("policy")?.as_str()?.to_string(), r)))
+            .collect()
+    }
+    let base_rows = rows(base);
+    let fresh_rows = rows(fresh);
+    let mut exact_ok = 0usize;
+    for (policy, base_row) in &base_rows {
+        let row_label = format!("{label} {policy}");
+        let Some(fresh_row) = fresh_rows.get(policy) else {
+            rep.warn(format!("{row_label}: policy dropped from fresh run"));
+            continue;
+        };
+
+        // Hard: outcomes must still agree across executor widths.
+        if fresh_row.get("identical_across_policies") != Some(&Json::Bool(true)) {
+            rep.fail(format!("{row_label}: outcomes diverged across executors"));
+        }
+
+        // Hard: run fingerprint and virtual makespan, bit for bit.
+        let base_fp = base_row.get("fingerprint").and_then(Json::as_str);
+        let fresh_fp = fresh_row.get("fingerprint").and_then(Json::as_str);
+        if base_fp != fresh_fp {
+            rep.fail(format!(
+                "{row_label}: run fingerprint changed ({} -> {})",
+                base_fp.unwrap_or("?"),
+                fresh_fp.unwrap_or("?")
+            ));
+        } else {
+            exact_ok += 1;
+        }
+        let base_mk = base_row.get("makespan_s").and_then(Json::as_f64);
+        let fresh_mk = fresh_row.get("makespan_s").and_then(Json::as_f64);
+        if base_mk.map(f64::to_bits) != fresh_mk.map(f64::to_bits) {
+            rep.fail(format!(
+                "{row_label}: virtual makespan moved: baseline {base_mk:?}, fresh {fresh_mk:?}"
+            ));
+        }
+
+        // Banded: queueing percentiles drift both ways when the engine's
+        // cost model is refined; only large moves fail.
+        for metric in ["wait_p50_s", "wait_p99_s", "slowdown_p99"] {
+            let (Some(b), Some(f)) = (
+                base_row.get(metric).and_then(Json::as_f64),
+                fresh_row.get(metric).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            if b <= 0.0 {
+                continue;
+            }
+            let drift = (f - b).abs() / b;
+            if drift <= tol.sched_percentile_drift {
+                rep.passed += 1;
+            } else {
+                rep.fail(format!(
+                    "{row_label}: {metric} drifted {:.0}% ({b:.2} -> {f:.2}, \
+                     tolerance {:.0}%)",
+                    drift * 100.0,
+                    tol.sched_percentile_drift * 100.0
+                ));
+            }
+        }
+    }
+    if exact_ok == base_rows.len() && !base_rows.is_empty() {
+        rep.pass(format!("{label}: {exact_ok} run fingerprints unchanged"));
+    }
+    for policy in fresh_rows.keys() {
+        if !base_rows.contains_key(policy) {
+            rep.warn(format!(
+                "{label} {policy}: new policy row with no committed baseline"
+            ));
         }
     }
 }
@@ -575,10 +758,163 @@ mod tests {
         assert!(!rep.ok());
         assert!(rep.render().contains("schema changed"));
 
-        let sched = Json::obj([("schema", Json::str("metablade-sched/2"))]);
-        let rep = compare_documents("BENCH_sched.json", &sched, &sched, &Tolerances::default());
+        let foreign = Json::obj([("schema", Json::str("metablade-trace/1"))]);
+        let rep = compare_documents(
+            "BENCH_other.json",
+            &foreign,
+            &foreign,
+            &Tolerances::default(),
+        );
         assert!(rep.ok(), "{}", rep.render());
         assert_eq!(rep.warnings, 1, "{}", rep.render());
+    }
+
+    fn sched_row(policy: &str, fp: &str, makespan: f64, p50: f64, p99: f64, slow: f64) -> Json {
+        Json::obj([
+            ("policy", Json::str(policy.to_string())),
+            ("fingerprint", Json::str(fp.to_string())),
+            ("identical_across_policies", Json::Bool(true)),
+            ("makespan_s", Json::Num(makespan)),
+            ("wait_p50_s", Json::Num(p50)),
+            ("wait_p99_s", Json::Num(p99)),
+            ("slowdown_p99", Json::Num(slow)),
+        ])
+    }
+
+    fn sched_doc(placement: &str, spread: bool, rows: Vec<Json>) -> Json {
+        Json::obj([
+            ("schema", Json::str("metablade-sched/3")),
+            ("smoke", Json::Bool(false)),
+            (
+                "clusters",
+                Json::Arr(vec![Json::obj([
+                    ("name", Json::str("MetaBlade-ft64")),
+                    ("topology", Json::str("ft16x2o4")),
+                    ("placement", Json::str(placement.to_string())),
+                    ("route_spread", Json::Bool(spread)),
+                    ("policies", Json::Arr(rows)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_sched_documents_pass() {
+        let d = sched_doc(
+            "contention",
+            false,
+            vec![sched_row("fcfs", "aa11", 850.0, 164.0, 329.0, 7.2)],
+        );
+        let rep = compare_documents("BENCH_sched.json", &d, &d, &Tolerances::default());
+        assert!(rep.ok(), "{}", rep.render());
+        assert!(rep.render().contains("run fingerprints unchanged"));
+        assert_eq!(rep.warnings, 0, "{}", rep.render());
+    }
+
+    #[test]
+    fn sched_fingerprint_and_makespan_changes_are_hard_failures() {
+        let base = sched_doc(
+            "compact",
+            false,
+            vec![sched_row("fcfs", "aa11", 850.0, 164.0, 329.0, 7.2)],
+        );
+        let refp = sched_doc(
+            "compact",
+            false,
+            vec![sched_row("fcfs", "bb22", 850.0, 164.0, 329.0, 7.2)],
+        );
+        let rep = compare_documents("BENCH_sched.json", &base, &refp, &Tolerances::default());
+        assert!(!rep.ok());
+        assert!(rep.render().contains("run fingerprint changed"));
+
+        let moved = sched_doc(
+            "compact",
+            false,
+            vec![sched_row(
+                "fcfs",
+                "aa11",
+                850.0 + f64::EPSILON * 1024.0,
+                164.0,
+                329.0,
+                7.2,
+            )],
+        );
+        let rep = compare_documents("BENCH_sched.json", &base, &moved, &Tolerances::default());
+        assert!(!rep.ok());
+        assert!(rep.render().contains("virtual makespan moved"));
+    }
+
+    #[test]
+    fn sched_percentiles_band_within_tolerance_and_fail_beyond() {
+        let base = sched_doc(
+            "contention",
+            true,
+            vec![sched_row("easy", "aa11", 850.0, 164.0, 329.0, 7.2)],
+        );
+        let near = sched_doc(
+            "contention",
+            true,
+            vec![sched_row("easy", "aa11", 850.0, 180.0, 300.0, 7.9)],
+        );
+        let rep = compare_documents("BENCH_sched.json", &base, &near, &Tolerances::default());
+        assert!(rep.ok(), "{}", rep.render());
+
+        let far = sched_doc(
+            "contention",
+            true,
+            vec![sched_row("easy", "aa11", 850.0, 246.0, 329.0, 7.2)],
+        );
+        let rep = compare_documents("BENCH_sched.json", &base, &far, &Tolerances::default());
+        assert_eq!(rep.failures, 1, "{}", rep.render());
+        assert!(rep.render().contains("wait_p50_s drifted 50%"));
+        // The smoke band absorbs a 50% swing.
+        let rep = compare_documents("BENCH_sched.json", &base, &far, &Tolerances::smoke());
+        assert!(rep.ok(), "{}", rep.render());
+    }
+
+    #[test]
+    fn sched_sections_are_keyed_by_placement_and_spread() {
+        // Same cluster name under a different placement is a *new*
+        // section (warning), not a comparison against the wrong rows.
+        let base = sched_doc(
+            "compact",
+            false,
+            vec![sched_row("fcfs", "aa11", 850.0, 164.0, 329.0, 7.2)],
+        );
+        let other = sched_doc(
+            "contention",
+            false,
+            vec![sched_row("fcfs", "cc33", 766.0, 148.0, 269.0, 6.3)],
+        );
+        let rep = compare_documents("BENCH_sched.json", &base, &other, &Tolerances::default());
+        assert!(rep.ok(), "{}", rep.render());
+        assert!(rep.render().contains("missing from fresh"));
+        assert!(rep.render().contains("new cluster section"));
+
+        // Divergence across executors inside a row is a hard failure.
+        let mut bad_row = sched_row("fcfs", "aa11", 850.0, 164.0, 329.0, 7.2);
+        if let Json::Obj(m) = &mut bad_row {
+            m.insert("identical_across_policies".to_string(), Json::Bool(false));
+        }
+        let bad = sched_doc("compact", false, vec![bad_row]);
+        let rep = compare_documents("BENCH_sched.json", &base, &bad, &Tolerances::default());
+        assert!(!rep.ok());
+        assert!(rep.render().contains("diverged across executors"));
+    }
+
+    #[test]
+    fn committed_sched_baselines_gate_against_themselves() {
+        // The real committed artifacts must round-trip through the gate:
+        // this is exactly what CI runs after regenerating them.
+        for name in ["BENCH_sched.json", "BENCH_sched_smoke.json"] {
+            let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(name);
+            let doc = load(&path).expect("committed sched baseline parses");
+            let rep = compare_documents(name, &doc, &doc, &Tolerances::default());
+            assert!(rep.ok(), "{name}: {}", rep.render());
+            assert_eq!(rep.warnings, 0, "{name}: {}", rep.render());
+        }
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Cross-job link contention: per-link virtual load accounting that
+//! spans communicators, and the deterministic mean-field slowdown the
+//! scheduler charges against it.
+//!
+//! PR 8's [`crate::topology`] layer prices contention *within* one
+//! job's communicator (an oversubscribed uplink serializes that job's
+//! bytes at `o ×` the edge gap). This module models the interference
+//! *between* concurrently running jobs that share fabric links — the
+//! effect that dominates multi-tenant fleet throughput and that the
+//! paper's single-job TCO comparison ignores.
+//!
+//! The model is a fluid (mean-field) approximation, chosen because it
+//! keeps the determinism contract intact:
+//!
+//! * each running job is summarized by its **steady-state byte rate per
+//!   named link** ([`JobTraffic`], derived from one memoized isolated
+//!   step via [`job_traffic`]) and the fraction of a rank-second it
+//!   spends communicating;
+//! * at every scheduler event the per-link rates of all running jobs
+//!   are summed ([`epoch`]); a link used by **two or more** jobs delays
+//!   each of them by the serialization time of the *other* jobs' bytes
+//!   — `foreign_rate × eff_gap` extra seconds per second, where
+//!   `eff_gap` is the oversubscription-adjusted seconds-per-byte of the
+//!   link;
+//! * a job's slowdown factor is `1 + comm_frac × worst_link_delay`,
+//!   exactly `1.0` when no link is shared (links with a single user
+//!   charge nothing, so a lone job — and every job on the star, whose
+//!   host links are never shared — reproduces the contention-free
+//!   timeline bit for bit).
+//!
+//! Everything here is a pure function of per-job traffic summaries that
+//! are themselves bit-identical across `MB_PARALLEL` widths, so the
+//! scheduler's fingerprints stay executor-invariant (DESIGN.md §14).
+
+use std::collections::BTreeMap;
+
+use crate::comm::CommStats;
+use crate::topology::Topology;
+
+/// One running job's steady-state traffic summary: bytes per virtual
+/// second on each named link (contention identity, including any ECMP
+/// way suffix) plus the fraction of a rank-second spent in
+/// communication. Derived once per dispatch from the job's memoized
+/// isolated step.
+#[derive(Debug, Clone, Default)]
+pub struct JobTraffic {
+    /// Payload bytes per second per link name, from one isolated step.
+    pub rates: BTreeMap<String, f64>,
+    /// Mean fraction of a rank's time spent sending/receiving/waiting
+    /// in that step, clamped to `[0, 1]`.
+    pub comm_frac: f64,
+}
+
+/// Summarize one isolated step of a job as per-link byte rates.
+///
+/// `stats` are the per-rank counters of the memoized step simulation,
+/// `node_ids[rank]` the physical node each rank runs on, `step_s` the
+/// step's virtual makespan, `salt` the job id for ECMP spreading over
+/// `ways` parallel uplinks (see [`Topology::contention_links`]).
+pub fn job_traffic(
+    topo: &Topology,
+    stats: &[CommStats],
+    node_ids: &[usize],
+    step_s: f64,
+    salt: u64,
+    ways: usize,
+) -> JobTraffic {
+    assert_eq!(stats.len(), node_ids.len(), "one node per rank");
+    assert!(step_s > 0.0, "step must take time");
+    let mut bytes: BTreeMap<String, u64> = BTreeMap::new();
+    for (src, s) in stats.iter().enumerate() {
+        for (dst, peer) in s.peers.iter().enumerate() {
+            if peer.bytes_to == 0 {
+                continue;
+            }
+            for link in topo.contention_links(node_ids[src], node_ids[dst], salt, ways) {
+                *bytes.entry(link).or_default() += peer.bytes_to;
+            }
+        }
+    }
+    let rates = bytes
+        .into_iter()
+        .map(|(l, b)| (l, b as f64 / step_s))
+        .collect();
+    let busy: f64 = stats
+        .iter()
+        .map(|s| s.send_busy_s + s.recv_busy_s + s.wait_s)
+        .sum();
+    let comm_frac = (busy / (stats.len() as f64 * step_s)).clamp(0.0, 1.0);
+    JobTraffic { rates, comm_frac }
+}
+
+/// Effective serialization seconds-per-byte of a named link: fat-tree
+/// fabric links (`up:` / `down:`) run at `oversubscription ×` the edge
+/// gap (the same effective-bandwidth convention [`Topology::path`]
+/// charges inside one job); host links and torus cables at the edge
+/// gap.
+pub fn link_eff_gap(topo: &Topology, gap_s_per_byte: f64, link: &str) -> f64 {
+    match *topo {
+        Topology::FatTree {
+            uplink_oversubscription: o,
+            ..
+        } if link.starts_with("up:") || link.starts_with("down:") => gap_s_per_byte * o,
+        _ => gap_s_per_byte,
+    }
+}
+
+/// One scheduler epoch's aggregate contention state.
+#[derive(Debug, Clone, Default)]
+pub struct ContentionEpoch {
+    /// Per-job mean-field slowdown factor (≥ 1.0), in input order.
+    /// Exactly `1.0` for a job none of whose links is shared.
+    pub factors: Vec<f64>,
+    /// Links carrying two or more jobs this epoch, ascending by name.
+    pub shared: Vec<String>,
+    /// Aggregate bytes-in-flight per second per link across all jobs.
+    pub agg_rates: BTreeMap<String, f64>,
+}
+
+/// Compute the epoch's aggregate link loads and each job's mean-field
+/// slowdown factor. Pure function of the per-job summaries: sums run
+/// in `BTreeMap` key order over a deterministically ordered job list,
+/// so the factors are bit-identical on every host and executor width.
+pub fn epoch(topo: &Topology, gap_s_per_byte: f64, jobs: &[&JobTraffic]) -> ContentionEpoch {
+    let mut agg: BTreeMap<String, (f64, u32)> = BTreeMap::new();
+    for t in jobs {
+        for (l, r) in &t.rates {
+            let e = agg.entry(l.clone()).or_insert((0.0, 0));
+            e.0 += r;
+            e.1 += 1;
+        }
+    }
+    let factors = jobs
+        .iter()
+        .map(|t| {
+            let mut worst = 0.0f64;
+            for (l, own) in &t.rates {
+                let &(total, users) = agg.get(l).expect("own link aggregated");
+                if users < 2 {
+                    continue;
+                }
+                let delay = (total - own) * link_eff_gap(topo, gap_s_per_byte, l);
+                if delay > worst {
+                    worst = delay;
+                }
+            }
+            // A job alone on all its links is untouched: `worst` is the
+            // literal 0.0, so the factor is the literal 1.0 and the
+            // engine's no-contention arithmetic stays bit-exact.
+            if worst == 0.0 {
+                1.0
+            } else {
+                1.0 + t.comm_frac * worst
+            }
+        })
+        .collect();
+    let shared = agg
+        .iter()
+        .filter(|(_, &(_, users))| users >= 2)
+        .map(|(l, _)| l.clone())
+        .collect();
+    let agg_rates = agg.into_iter().map(|(l, (r, _))| (l, r)).collect();
+    ContentionEpoch {
+        factors,
+        shared,
+        agg_rates,
+    }
+}
+
+/// Aggregate byte rate per fat-tree *edge group* uplink (level-1 `up:`
+/// links, any ECMP way), indexed by edge-switch id — the signal
+/// contention-aware placement scores candidate allocations against.
+pub fn edge_uplink_loads(jobs: &[&JobTraffic], ngroups: usize) -> Vec<f64> {
+    let mut loads = vec![0.0; ngroups];
+    for t in jobs {
+        for (l, r) in &t.rates {
+            let Some(rest) = l.strip_prefix("up:l1.s") else {
+                continue;
+            };
+            let digits: &str = rest.split_once('.').map_or(rest, |(head, _)| head);
+            if let Ok(g) = digits.parse::<usize>() {
+                if g < ngroups {
+                    loads[g] += r;
+                }
+            }
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::PeerTraffic;
+
+    fn stats_pair(bytes: u64) -> Vec<CommStats> {
+        // Rank 0 sends `bytes` to rank 1 and spends half the step busy.
+        let mut s0 = CommStats {
+            peers: vec![PeerTraffic::default(); 2],
+            send_busy_s: 0.5,
+            ..CommStats::default()
+        };
+        s0.peers[1] = PeerTraffic {
+            msgs_to: 1,
+            bytes_to: bytes,
+            ..PeerTraffic::default()
+        };
+        let s1 = CommStats {
+            peers: vec![PeerTraffic::default(); 2],
+            ..CommStats::default()
+        };
+        vec![s0, s1]
+    }
+
+    #[test]
+    fn job_traffic_folds_bytes_over_contention_links() {
+        let ft = Topology::fat_tree(4, 2, 4.0);
+        // Ranks on nodes 0 and 4: a cross-switch route.
+        let t = job_traffic(&ft, &stats_pair(1000), &[0, 4], 2.0, 7, 1);
+        assert_eq!(t.rates["host-up:0"], 500.0);
+        assert_eq!(t.rates["up:l1.s0"], 500.0);
+        assert_eq!(t.rates["down:l1.s1"], 500.0);
+        assert_eq!(t.rates["host-down:4"], 500.0);
+        // comm_frac: 0.5 busy seconds over 2 ranks × 2 s.
+        assert!((t.comm_frac - 0.125).abs() < 1e-12);
+        // Same-switch placement uses no fabric links.
+        let local = job_traffic(&ft, &stats_pair(1000), &[0, 1], 2.0, 7, 1);
+        assert!(local.rates.keys().all(|l| l.starts_with("host-")));
+    }
+
+    #[test]
+    fn lone_jobs_and_disjoint_links_charge_exactly_one() {
+        let ft = Topology::fat_tree(4, 2, 4.0);
+        let a = job_traffic(&ft, &stats_pair(1000), &[0, 4], 1.0, 0, 1);
+        // Alone: factor is the literal 1.0.
+        let ep = epoch(&ft, 8e-8, &[&a]);
+        assert_eq!(ep.factors, vec![1.0]);
+        assert!(ep.shared.is_empty());
+        // Two jobs on disjoint switch pairs: still exactly 1.0.
+        let b = job_traffic(&ft, &stats_pair(1000), &[8, 12], 1.0, 1, 1);
+        let ep = epoch(&ft, 8e-8, &[&a, &b]);
+        assert_eq!(ep.factors, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn shared_uplinks_slow_both_jobs_by_the_foreign_load() {
+        let ft = Topology::fat_tree(4, 2, 4.0);
+        let gap = 8e-8; // 100 Mb/s edge links
+                        // Both jobs cross the same s0→s1 uplink.
+        let a = job_traffic(&ft, &stats_pair(1_000_000), &[0, 4], 1.0, 0, 1);
+        let b = job_traffic(&ft, &stats_pair(1_000_000), &[1, 5], 1.0, 1, 1);
+        let ep = epoch(&ft, gap, &[&a, &b]);
+        assert!(ep.shared.contains(&"up:l1.s0".to_string()), "{ep:?}");
+        // Foreign load 1 MB/s at 4×-oversubscribed gap = 0.32 extra
+        // seconds per second, scaled by each job's comm fraction.
+        let expect = 1.0 + a.comm_frac * (1_000_000.0 * gap * 4.0);
+        assert!((ep.factors[0] - expect).abs() < 1e-9, "{:?}", ep.factors);
+        assert_eq!(ep.factors[0], ep.factors[1]);
+        assert!(ep.factors[0] > 1.0);
+        // Aggregate rate on the shared uplink is the sum of both flows.
+        assert!((ep.agg_rates["up:l1.s0"] - 2_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecmp_spreading_can_separate_colliding_flows() {
+        let ft = Topology::fat_tree(16, 2, 4.0);
+        let ways = ft.ecmp_ways();
+        // Many same-pair jobs without spreading all pile onto one
+        // uplink name; with spreading they hash across ways.
+        let jobs: Vec<JobTraffic> = (0..8)
+            .map(|salt| job_traffic(&ft, &stats_pair(1000), &[0, 16], 1.0, salt, ways))
+            .collect();
+        let refs: Vec<&JobTraffic> = jobs.iter().collect();
+        let ep = epoch(&ft, 8e-8, &refs);
+        let uplink_names: std::collections::BTreeSet<&String> = jobs
+            .iter()
+            .flat_map(|t| t.rates.keys())
+            .filter(|l| l.starts_with("up:"))
+            .collect();
+        assert!(uplink_names.len() > 1, "{uplink_names:?}");
+        // Spreading must never slow things down versus one shared pipe.
+        let unspread: Vec<JobTraffic> = (0..8)
+            .map(|salt| job_traffic(&ft, &stats_pair(1000), &[0, 16], 1.0, salt, 1))
+            .collect();
+        let urefs: Vec<&JobTraffic> = unspread.iter().collect();
+        let uep = epoch(&ft, 8e-8, &urefs);
+        for (s, u) in ep.factors.iter().zip(&uep.factors) {
+            assert!(s <= u, "spread {s} > unspread {u}");
+        }
+    }
+
+    #[test]
+    fn edge_uplink_loads_index_by_group_and_accept_way_suffixes() {
+        let mut a = JobTraffic::default();
+        a.rates.insert("up:l1.s0".into(), 100.0);
+        a.rates.insert("up:l1.s2.w3".into(), 50.0);
+        a.rates.insert("down:l1.s1".into(), 70.0); // downlinks not counted
+        a.rates.insert("host-up:5".into(), 10.0);
+        let mut b = JobTraffic::default();
+        b.rates.insert("up:l1.s0.w1".into(), 25.0);
+        let loads = edge_uplink_loads(&[&a, &b], 4);
+        assert_eq!(loads, vec![125.0, 0.0, 50.0, 0.0]);
+    }
+}

@@ -68,6 +68,7 @@
 
 pub mod checkpoint;
 pub mod comm;
+pub mod contention;
 pub mod event;
 pub mod exec;
 pub mod machine;
@@ -81,6 +82,7 @@ pub mod topology;
 pub mod trace;
 
 pub use comm::{Comm, CommStats, PeerTraffic};
+pub use contention::{ContentionEpoch, JobTraffic};
 pub use event::{EventCore, ExecutorReport, PairBound};
 pub use exec::ExecPolicy;
 pub use machine::{Cluster, SpmdOutcome};

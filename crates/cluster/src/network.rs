@@ -91,7 +91,7 @@ impl NetworkModel {
 
     /// Per-byte serialization time (G), seconds.
     pub fn gap_per_byte(&self) -> f64 {
-        8.0 / (self.spec.bandwidth_mbps * 1e6)
+        self.spec.gap_s_per_byte()
     }
 
     /// Time the *sender* is busy for a `bytes`-byte send: software

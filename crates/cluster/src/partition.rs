@@ -109,6 +109,70 @@ impl NodeSet {
         }
         (ids.len() == want).then(|| NodeSet::new(ids))
     }
+
+    /// Allocate `want` nodes scoring candidates against the in-flight
+    /// job mix: `group_load[g]` is the aggregate byte rate other jobs
+    /// currently push through edge group `g`'s uplinks (see
+    /// [`crate::contention::edge_uplink_loads`]). Two deterministic
+    /// candidates are compared — the compact (fullest-group-first)
+    /// allocation and a quiet-group-first allocation draining groups by
+    /// `(uplink load asc, free desc, id asc)` — by
+    /// `(groups spanned, summed load of spanned groups)`; the
+    /// quiet candidate wins only when strictly better, so **ties fall
+    /// back to [`NodeSet::alloc_compact`]** and a zero-load cluster
+    /// allocates exactly like `Compact`. A pure function of
+    /// `(free mask, want, topology, group loads)` — the loads are
+    /// themselves executor-invariant, so the scheduler's determinism
+    /// contract holds.
+    pub fn alloc_contention_aware(
+        free: &[bool],
+        want: usize,
+        topology: &Topology,
+        group_load: &[f64],
+    ) -> Option<NodeSet> {
+        let compact = Self::alloc_compact(free, want, topology)?;
+        let group_size = match *topology {
+            Topology::Star => return Some(compact),
+            Topology::FatTree { radix, .. } => radix,
+            Topology::Torus { dims } => dims[0],
+        };
+        let load_of = |g: usize| group_load.get(g).copied().unwrap_or(0.0);
+        let ngroups = free.len().div_ceil(group_size);
+        let mut groups: Vec<(f64, usize, usize)> = (0..ngroups)
+            .map(|g| {
+                let lo = g * group_size;
+                let hi = (lo + group_size).min(free.len());
+                (load_of(g), free[lo..hi].iter().filter(|&&f| f).count(), g)
+            })
+            .collect();
+        groups.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+        let mut ids = Vec::with_capacity(want);
+        for &(_, count, g) in &groups {
+            if count == 0 || ids.len() == want {
+                continue;
+            }
+            let lo = g * group_size;
+            let hi = (lo + group_size).min(free.len());
+            ids.extend((lo..hi).filter(|&i| free[i]).take(want - ids.len()));
+        }
+        if ids.len() != want {
+            return Some(compact);
+        }
+        let quiet = NodeSet::new(ids);
+        let score = |s: &NodeSet| -> (usize, f64) {
+            let mut gs: Vec<usize> = s.ids().iter().map(|&i| i / group_size).collect();
+            gs.dedup(); // ids ascending ⇒ group ids ascending
+            let load: f64 = gs.iter().map(|&g| load_of(g)).sum();
+            (gs.len(), load)
+        };
+        let (cg, cl) = score(&compact);
+        let (qg, ql) = score(&quiet);
+        if qg < cg || (qg == cg && ql < cl) {
+            Some(quiet)
+        } else {
+            Some(compact)
+        }
+    }
 }
 
 impl Cluster {
@@ -194,6 +258,45 @@ mod tests {
             NodeSet::alloc_compact(&free, 4, &Topology::Star),
             NodeSet::alloc_lowest(&free, 4)
         );
+    }
+
+    #[test]
+    fn alloc_contention_aware_avoids_loaded_groups_and_ties_go_compact() {
+        let topo = Topology::fat_tree(4, 2, 4.0);
+        let free = vec![true; 16]; // 4 empty groups
+                                   // No load anywhere: exactly the compact allocation.
+        let quiet = NodeSet::alloc_contention_aware(&free, 6, &topo, &[0.0; 4]).unwrap();
+        assert_eq!(
+            quiet,
+            NodeSet::alloc_compact(&free, 6, &topo).unwrap(),
+            "zero load must tie back to compact"
+        );
+        // Groups 0 and 1 carry uplink traffic: a spanning 6-wide job
+        // should land on the quiet groups 2 and 3 instead.
+        let load = [500.0, 300.0, 0.0, 0.0];
+        let s = NodeSet::alloc_contention_aware(&free, 6, &topo, &load).unwrap();
+        assert_eq!(s.ids(), &[8, 9, 10, 11, 12, 13]);
+        // A job that fits under one switch still packs (same group
+        // count as compact, and compact's fullest-first choice wins
+        // unless a quieter whole group exists).
+        let s = NodeSet::alloc_contention_aware(&free, 4, &topo, &load).unwrap();
+        assert_eq!(s.ids(), &[8, 9, 10, 11]);
+        // Never spans more groups than compact just to chase quiet
+        // ones: with only fragments free in the quiet groups, the
+        // fuller loaded group still wins on group count.
+        let mut frag = vec![false; 16];
+        for i in [0, 1, 2, 3, 8, 14] {
+            frag[i] = true;
+        }
+        let s = NodeSet::alloc_contention_aware(&frag, 4, &topo, &load).unwrap();
+        assert_eq!(s.ids(), &[0, 1, 2, 3]);
+        // Star: exactly alloc_lowest, loads ignored.
+        assert_eq!(
+            NodeSet::alloc_contention_aware(&free, 5, &Topology::Star, &load),
+            NodeSet::alloc_lowest(&free, 5)
+        );
+        // Infeasible requests fail like the other allocators.
+        assert!(NodeSet::alloc_contention_aware(&frag, 7, &topo, &load).is_none());
     }
 
     #[test]

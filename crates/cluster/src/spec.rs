@@ -73,6 +73,12 @@ impl NetworkSpec {
         }
     }
 
+    /// Per-byte serialization time (the LogGP gap G), seconds — the
+    /// wire rate every per-link cost in the simulator derives from.
+    pub fn gap_s_per_byte(&self) -> f64 {
+        8.0 / (self.bandwidth_mbps * 1e6)
+    }
+
     /// Seconds to move `bytes` end-to-end once the sender starts
     /// transmitting (excludes sender overhead, which `Comm` charges).
     pub fn wire_time(&self, bytes: u64) -> f64 {

@@ -327,6 +327,51 @@ impl Topology {
         }
     }
 
+    /// Parallel uplink "ways" a deterministic ECMP-style hash can
+    /// spread flows over. A `radix`-port switch with oversubscription
+    /// `o` has `⌊radix / o⌋` physical uplinks (at least one); the star
+    /// switch and torus cables are single links.
+    pub fn ecmp_ways(&self) -> usize {
+        match *self {
+            Topology::FatTree {
+                radix,
+                uplink_oversubscription,
+                ..
+            } => (((radix as f64) / uplink_oversubscription).floor() as usize).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Named links of the `src → dst` route for *cross-job contention
+    /// accounting*, with deterministic ECMP-style spreading over `ways`
+    /// parallel uplinks. The way is an FNV-1a hash of
+    /// `(src, dst, salt)` — callers salt with the job id, so two jobs
+    /// between the same switch pair usually land on different physical
+    /// uplinks while every rank of one flow stays on one way (no
+    /// reordering). Host links and torus cables never spread (one NIC,
+    /// one cable). With `ways <= 1` the names are exactly
+    /// [`Topology::route`]'s `Display` strings — a pure function of
+    /// `(topology, src, dst, salt, ways)`, same on every host and under
+    /// every executor width.
+    pub fn contention_links(&self, src: usize, dst: usize, salt: u64, ways: usize) -> Vec<String> {
+        let way = if ways > 1 {
+            let mut h = mb_telemetry::Fnv::new();
+            h.write_u64(src as u64);
+            h.write_u64(dst as u64);
+            h.write_u64(salt);
+            (h.finish() % ways as u64) as usize
+        } else {
+            0
+        };
+        self.route(src, dst)
+            .into_iter()
+            .map(|l| match l {
+                Link::Up { .. } | Link::Down { .. } if ways > 1 => format!("{l}.w{way}"),
+                l => l.to_string(),
+            })
+            .collect()
+    }
+
     /// Fold a finished run's per-peer traffic counters over the routes:
     /// bytes and messages per named link. `node_ids` maps job rank →
     /// physical node (identity when `None`, the whole-cluster case).
@@ -582,6 +627,53 @@ mod tests {
             Some(300)
         );
         assert_eq!(reg.counter_value("network/link_msgs", "host-up:0"), Some(4));
+    }
+
+    #[test]
+    fn ecmp_ways_follow_the_physical_uplink_count() {
+        assert_eq!(Topology::Star.ecmp_ways(), 1);
+        assert_eq!(Topology::torus([8, 4, 2]).ecmp_ways(), 1);
+        assert_eq!(Topology::fat_tree(16, 2, 4.0).ecmp_ways(), 4);
+        assert_eq!(Topology::fat_tree(16, 2, 1.0).ecmp_ways(), 16);
+        // Oversubscription beyond the radix still leaves one uplink.
+        assert_eq!(Topology::fat_tree(4, 2, 8.0).ecmp_ways(), 1);
+    }
+
+    #[test]
+    fn contention_links_spread_deterministically_and_stay_in_range() {
+        let ft = Topology::fat_tree(16, 2, 4.0);
+        let ways = ft.ecmp_ways();
+        // Without spreading the names are exactly the route names.
+        let plain = ft.contention_links(0, 17, 9, 1);
+        let route: Vec<String> = ft.route(0, 17).iter().map(|l| l.to_string()).collect();
+        assert_eq!(plain, route);
+        // With spreading, only fabric links gain a way suffix, the way
+        // index is in range, and recomputation is bit-identical.
+        let spread = ft.contention_links(0, 17, 9, ways);
+        assert_eq!(spread, ft.contention_links(0, 17, 9, ways));
+        assert_eq!(spread.len(), route.len());
+        assert!(spread[0].starts_with("host-up:"));
+        assert!(spread.last().unwrap().starts_with("host-down:"));
+        for name in &spread {
+            if let Some((base, w)) = name.rsplit_once(".w") {
+                assert!(
+                    base.starts_with("up:") || base.starts_with("down:"),
+                    "{name}"
+                );
+                assert!(w.parse::<usize>().unwrap() < ways, "{name}");
+            }
+        }
+        // Different salts (jobs) can pick different ways for the same
+        // pair: over many salts, more than one way must appear.
+        let mut seen = std::collections::BTreeSet::new();
+        for salt in 0..64u64 {
+            for name in ft.contention_links(0, 17, salt, ways) {
+                if let Some((_, w)) = name.rsplit_once(".w") {
+                    seen.insert(w.to_string());
+                }
+            }
+        }
+        assert!(seen.len() > 1, "hash never spread across ways: {seen:?}");
     }
 
     #[test]

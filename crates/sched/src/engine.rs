@@ -14,11 +14,13 @@
 //! `tests/acceptance.rs` and documented in DESIGN.md §10.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use mb_cluster::checkpoint::CheckpointModel;
+use mb_cluster::contention::{self, JobTraffic};
 use mb_cluster::reliability::{sample_failures, FailureLaw};
-use mb_cluster::{Cluster, ExecPolicy, NodeSet};
+use mb_cluster::{Cluster, CommStats, ExecPolicy, NodeSet, Topology};
 use mb_telemetry::prof::LogHistogram;
 use mb_telemetry::{Fnv, Registry};
 
@@ -80,6 +82,23 @@ pub enum Placement {
     /// Topology-aware: fullest switch/ring group first
     /// ([`NodeSet::alloc_compact`]).
     Compact,
+    /// Contention-aware: like `Compact`, but candidate allocations are
+    /// scored against the uplink traffic of the in-flight job mix and
+    /// spanning jobs land on the quietest switch groups
+    /// ([`NodeSet::alloc_contention_aware`]); ties fall back to the
+    /// compact choice.
+    ContentionAware,
+}
+
+impl Placement {
+    /// Stable lowercase label for bench records.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::Lowest => "lowest",
+            Placement::Compact => "compact",
+            Placement::ContentionAware => "contention",
+        }
+    }
 }
 
 /// Engine configuration: checkpointing parameters plus optional
@@ -93,6 +112,13 @@ pub struct SchedConfig {
     pub failure: Option<FailureConfig>,
     /// Node-allocation strategy at dispatch.
     pub placement: Placement,
+    /// Deterministic ECMP-style route spreading for cross-job
+    /// contention accounting: each job's fabric flows hash over the
+    /// topology's parallel uplinks ([`Topology::ecmp_ways`]) instead of
+    /// piling onto one logical pipe. Affects only which links jobs
+    /// *share* (and hence the mean-field slowdown), never a single
+    /// job's isolated cost.
+    pub route_spread: bool,
 }
 
 impl Default for SchedConfig {
@@ -106,6 +132,7 @@ impl Default for SchedConfig {
             },
             failure: None,
             placement: Placement::default(),
+            route_spread: false,
         }
     }
 }
@@ -166,7 +193,18 @@ impl CkptCharge {
 /// dozen SPMD step simulations, not thousands.
 pub struct ServiceModel<'a> {
     cluster: &'a Cluster,
-    memo: RefCell<HashMap<ServiceKey, f64>>,
+    memo: RefCell<HashMap<ServiceKey, StepProfile>>,
+}
+
+/// One memoized step simulation: the virtual makespan plus the
+/// per-rank traffic counters the cross-job contention layer folds over
+/// topology routes. Cheap to clone (the stats are shared).
+#[derive(Debug, Clone)]
+pub struct StepProfile {
+    /// Virtual seconds for one step on the keyed node set.
+    pub step_s: f64,
+    /// Per-rank communication counters of that step.
+    pub stats: Arc<Vec<CommStats>>,
 }
 
 /// Cache key for [`ServiceModel`]: the executor policy the step was
@@ -198,15 +236,25 @@ impl<'a> ServiceModel<'a> {
 
     /// Virtual seconds for one step of `work` on the given nodes.
     pub fn step_on(&self, work: &WorkModel, nodes: &NodeSet) -> f64 {
+        self.step_profile_on(work, nodes).step_s
+    }
+
+    /// One step of `work` on the given nodes, with the per-rank traffic
+    /// counters the contention layer needs. Memoized exactly like
+    /// [`ServiceModel::step_on`] (same key, same single simulation).
+    pub fn step_profile_on(&self, work: &WorkModel, nodes: &NodeSet) -> StepProfile {
         assert!(!nodes.is_empty(), "step needs at least one node");
         let key = (self.cluster.exec(), nodes.clone(), work.step_key());
-        if let Some(&s) = self.memo.borrow().get(&key) {
-            return s;
+        if let Some(p) = self.memo.borrow().get(&key) {
+            return p.clone();
         }
         let outcome = self.cluster.run_on(nodes, |comm| work.run_step(comm));
-        let s = outcome.makespan_s();
-        self.memo.borrow_mut().insert(key, s);
-        s
+        let p = StepProfile {
+            step_s: outcome.makespan_s(),
+            stats: Arc::new(outcome.stats),
+        };
+        self.memo.borrow_mut().insert(key, p.clone());
+        p
     }
 
     /// Virtual seconds for one step of `work` on `width` nodes (the
@@ -274,6 +322,17 @@ pub struct SimReport {
     pub lost_work_s: f64,
     /// Per-node occupancy intervals, sorted by (node, start).
     pub occupancy: Vec<OccSpan>,
+    /// Whole-workload payload bytes carried per named link (fluid
+    /// integral of the running jobs' per-link rates over their
+    /// progress; empty on the star, whose fast path skips traffic
+    /// accounting).
+    pub link_bytes: BTreeMap<String, f64>,
+    /// Wall seconds each link carried two or more jobs at once — the
+    /// hot-spot measure behind `sched.link_shared_s`.
+    pub link_shared_s: BTreeMap<String, f64>,
+    /// Largest mean-field slowdown factor any job saw (1.0 = the run
+    /// was contention-free).
+    pub max_contention_factor: f64,
     /// Scheduler metrics (counters, gauges, wait/slowdown histograms,
     /// queue-depth series) keyed by policy name.
     pub registry: Registry,
@@ -304,9 +363,49 @@ struct RunEntry {
     nodes: NodeSet,
     start_s: f64,
     end_s: f64,
+    /// Useful work of this attempt in *actual-placement* nominal
+    /// seconds (reference work × placement factor).
     work_s: f64,
     pad_s: f64,
     attempt: u32,
+    /// Actual step time / reference (lowest-nodes) step time: what the
+    /// chosen placement costs relative to the arrival-time estimate.
+    /// Exactly 1.0 on the star and whenever the allocation matches the
+    /// reference node set.
+    pfac: f64,
+    /// Contention-free wall time of this attempt (work + checkpoints +
+    /// restart pad).
+    nominal_wall_s: f64,
+    /// Nominal wall time still unserved as of `epoch_s`.
+    nominal_rem_s: f64,
+    /// Virtual time of the last slowdown change. While a job is never
+    /// contended, `epoch_s == start_s` and `slow == 1.0` and none of
+    /// the epoch fields (or `end_s`) is ever rewritten — which is what
+    /// keeps contention-free timelines bit-identical to the
+    /// pre-contention engine.
+    epoch_s: f64,
+    /// Current mean-field slowdown factor (≥ 1.0).
+    slow: f64,
+    /// Virtual time up to which this job's link bytes have been
+    /// integrated into the per-link telemetry.
+    acct_s: f64,
+    /// Steady-state per-link byte rates of this job's step (empty on
+    /// the star fast path).
+    traffic: JobTraffic,
+}
+
+impl RunEntry {
+    /// Nominal (contention-free) seconds of this attempt served by
+    /// virtual time `now`, mirroring the old engine's `now - start_s`
+    /// bit for bit while the job has never been slowed.
+    fn nominal_elapsed(&self, now: f64) -> f64 {
+        if self.slow == 1.0 && self.epoch_s == self.start_s {
+            now - self.start_s
+        } else {
+            let rem_now = (self.nominal_rem_s - (now - self.epoch_s) / self.slow).max(0.0);
+            self.nominal_wall_s - rem_now
+        }
+    }
 }
 
 /// Run `jobs` through `policy` on the service model's cluster.
@@ -393,6 +492,47 @@ pub fn simulate(
     let mut wait_hist = LogHistogram::new();
     let mut slowdown_hist = LogHistogram::new();
 
+    // Cross-job contention state. The star fast path never populates
+    // any of it: placements there are cost-free, host links are never
+    // shared, and skipping the traffic fold keeps star timelines (and
+    // fingerprints) bit-identical to the pre-contention engine.
+    let topo = service.cluster().spec().network.topology;
+    let gap = service.cluster().spec().network.gap_s_per_byte();
+    let is_star = topo == Topology::Star;
+    let ways = if cfg.route_spread {
+        topo.ecmp_ways()
+    } else {
+        1
+    };
+    let ngroups = match topo {
+        Topology::Star => 1,
+        Topology::FatTree { radix, .. } => n.div_ceil(radix),
+        Topology::Torus { dims } => n.div_ceil(dims[0]),
+    };
+    let mut link_bytes: BTreeMap<String, f64> = BTreeMap::new();
+    let mut link_shared_s: BTreeMap<String, f64> = BTreeMap::new();
+    // Links shared during the epoch that ends at the *next* event: the
+    // interval (prev event, now] is charged to the set computed at the
+    // previous event.
+    let mut shared_prev: (f64, Vec<String>) = (0.0, Vec::new());
+    let mut max_contention = 1.0f64;
+    let mut rate_series: HashMap<String, mb_telemetry::MetricHandle> = HashMap::new();
+
+    // Integrate a run's per-link byte rates into the whole-workload
+    // counters up to virtual time `t`. Wall seconds shrink to nominal
+    // seconds through the current slowdown (a slowed job moves the same
+    // bytes over a longer wall interval).
+    fn account_links(link_bytes: &mut BTreeMap<String, f64>, r: &mut RunEntry, t: f64) {
+        let dt = (t - r.acct_s).max(0.0);
+        if dt > 0.0 && !r.traffic.rates.is_empty() {
+            let nominal = dt / r.slow;
+            for (l, rate) in &r.traffic.rates {
+                *link_bytes.entry(l.clone()).or_default() += rate * nominal;
+            }
+        }
+        r.acct_s = t;
+    }
+
     while completed < jobs.len() {
         let mut now = f64::INFINITY;
         if arrive_idx < order.len() {
@@ -441,7 +581,9 @@ pub fn simulate(
             }
         }
         finished.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.id.cmp(&b.id)));
-        for run in finished {
+        for mut run in finished {
+            let end = run.end_s;
+            account_links(&mut link_bytes, &mut run, end);
             busy_node_s += (run.end_s - run.start_s) * run.nodes.len() as f64;
             for &nd in run.nodes.ids() {
                 busy[nd] = false;
@@ -472,9 +614,13 @@ pub fn simulate(
             failures_applied += 1;
             repairs.push((now + repair_s, nd));
             if let Some(pos) = running.iter().position(|r| r.nodes.contains(nd)) {
-                let run = running.remove(pos);
+                let mut run = running.remove(pos);
+                account_links(&mut link_bytes, &mut run, now);
                 let elapsed = now - run.start_s;
-                let (done, lost) = charge.progress(elapsed, run.pad_s, run.work_s);
+                // Checkpoint progress accrues in nominal seconds: a
+                // contended job has served less of its work than wall
+                // time suggests.
+                let (done, lost) = charge.progress(run.nominal_elapsed(now), run.pad_s, run.work_s);
                 busy_node_s += elapsed * run.nodes.len() as f64;
                 for &m in run.nodes.ids() {
                     busy[m] = false;
@@ -497,7 +643,11 @@ pub fn simulate(
                         ji: run.ji,
                         id: run.id,
                         ranks: run.nodes.len(),
-                        work_rem_s: (run.work_s - done).max(0.0),
+                        // Queue entries carry *reference* work (lowest
+                        // nodes); undo this attempt's placement factor.
+                        // `pfac` is exactly 1.0 on the star, so the
+                        // division is a bit-exact no-op there.
+                        work_rem_s: (run.work_s - done).max(0.0) / run.pfac,
                         resumed: true,
                         attempt: run.attempt + 1,
                     },
@@ -548,6 +698,17 @@ pub fn simulate(
             queue: &qview,
             running: &rview,
         });
+        // Contention-aware placement scores candidate groups against
+        // the uplink load of the in-flight mix, frozen at the top of
+        // this dispatch round (jobs started this round don't see each
+        // other's traffic until the next event — deterministic either
+        // way, but freezing keeps the score independent of pick order).
+        let group_loads: Vec<f64> = if cfg.placement == Placement::ContentionAware && !is_star {
+            let traffics: Vec<&JobTraffic> = running.iter().map(|r| &r.traffic).collect();
+            contention::edge_uplink_loads(&traffics, ngroups)
+        } else {
+            Vec::new()
+        };
         let mut started: Vec<usize> = Vec::new();
         let mut seen = vec![false; queue.len()];
         for p in picks {
@@ -559,9 +720,9 @@ pub fn simulate(
             let free_mask: Vec<bool> = (0..n).map(|k| up[k] && !busy[k]).collect();
             let alloc = match cfg.placement {
                 Placement::Lowest => NodeSet::alloc_lowest(&free_mask, q.ranks),
-                Placement::Compact => {
-                    let topo = service.cluster().spec().network.topology;
-                    NodeSet::alloc_compact(&free_mask, q.ranks, &topo)
+                Placement::Compact => NodeSet::alloc_compact(&free_mask, q.ranks, &topo),
+                Placement::ContentionAware => {
+                    NodeSet::alloc_contention_aware(&free_mask, q.ranks, &topo, &group_loads)
                 }
             };
             if let Some(nodes) = alloc {
@@ -571,15 +732,45 @@ pub fn simulate(
                 if records[q.ji].start_s < 0.0 {
                     records[q.ji].start_s = now;
                 }
+                // Charge the *actual* placement: the arrival-time
+                // estimate priced the job on the lowest nodes; a
+                // spanning allocation genuinely costs more on fat
+                // trees and tori. Both step profiles are memo hits
+                // after the first job of each (work, nodes) shape.
+                let (pfac, traffic) = if is_star {
+                    (1.0, JobTraffic::default())
+                } else {
+                    let work = &jobs[q.ji].work;
+                    let profile = service.step_profile_on(work, &nodes);
+                    let reference = service.step_s(work, nodes.len());
+                    let traffic = contention::job_traffic(
+                        &topo,
+                        &profile.stats,
+                        nodes.ids(),
+                        profile.step_s,
+                        q.id as u64,
+                        ways,
+                    );
+                    (profile.step_s / reference, traffic)
+                };
+                let work_eff = q.work_rem_s * pfac;
+                let wall = charge.wall_for(work_eff, q.resumed);
                 running.push(RunEntry {
                     ji: q.ji,
                     id: q.id,
                     nodes,
                     start_s: now,
-                    end_s: now + charge.wall_for(q.work_rem_s, q.resumed),
-                    work_s: q.work_rem_s,
+                    end_s: now + wall,
+                    work_s: work_eff,
                     pad_s: charge.pad_s(q.resumed),
                     attempt: q.attempt,
+                    pfac,
+                    nominal_wall_s: wall,
+                    nominal_rem_s: wall,
+                    epoch_s: now,
+                    slow: 1.0,
+                    acct_s: now,
+                    traffic,
                 });
                 started.push(p);
             }
@@ -589,6 +780,42 @@ pub fn simulate(
             queue.remove(p);
         }
         registry.sample(qd, now, queue.len() as f64);
+
+        // 6. Cross-job contention epoch: close out the hot-spot
+        // accounting for the interval that just ended, then recompute
+        // every running job's mean-field slowdown from the aggregate
+        // link load and retime its completion. Jobs whose factor is
+        // unchanged (the common case, and *always* the case while a
+        // job is contention-free) are left untouched bit for bit.
+        if !is_star {
+            let (t_prev, ref links_prev) = shared_prev;
+            for l in links_prev {
+                *link_shared_s.entry(l.clone()).or_default() += now - t_prev;
+            }
+            let traffics: Vec<&JobTraffic> = running.iter().map(|r| &r.traffic).collect();
+            let ep = contention::epoch(&topo, gap, &traffics);
+            for (l, rate) in &ep.agg_rates {
+                if !(l.starts_with("up:") || l.starts_with("down:")) {
+                    continue;
+                }
+                let h = *rate_series
+                    .entry(l.clone())
+                    .or_insert_with(|| registry.series("sched.uplink_rate_Bps", l));
+                registry.sample(h, now, *rate);
+            }
+            for (r, &s_new) in running.iter_mut().zip(&ep.factors) {
+                max_contention = max_contention.max(s_new);
+                if s_new == r.slow {
+                    continue;
+                }
+                account_links(&mut link_bytes, r, now);
+                r.nominal_rem_s = (r.nominal_rem_s - (now - r.epoch_s) / r.slow).max(0.0);
+                r.epoch_s = now;
+                r.slow = s_new;
+                r.end_s = now + r.nominal_rem_s * s_new;
+            }
+            shared_prev = (now, ep.shared);
+        }
     }
 
     let makespan_s = records.iter().map(|r| r.end_s).fold(0.0, f64::max);
@@ -604,6 +831,13 @@ pub fn simulate(
     registry.count("sched.jobs", policy.name(), records.len() as u64);
     registry.count("sched.failures", policy.name(), u64::from(failures_applied));
     registry.count("sched.requeues", policy.name(), u64::from(requeues));
+    for (l, b) in &link_bytes {
+        registry.count("sched.link_bytes", l, b.round() as u64);
+    }
+    for (l, s) in &link_shared_s {
+        registry.record_gauge("sched.link_shared_s", l, *s);
+    }
+    registry.record_gauge("sched.max_contention_factor", policy.name(), max_contention);
 
     records.sort_by_key(|r| r.id);
     occupancy.sort_by(|a, b| a.node.cmp(&b.node).then(a.t0_s.total_cmp(&b.t0_s)));
@@ -638,6 +872,9 @@ pub fn simulate(
         requeues,
         lost_work_s: lost_total,
         occupancy,
+        link_bytes,
+        link_shared_s,
+        max_contention_factor: max_contention,
         registry,
         fingerprint,
     }
@@ -848,6 +1085,203 @@ mod tests {
             spread > compact,
             "spanning switches ({spread}) should cost more than one switch ({compact})"
         );
+    }
+
+    /// Comm-heavy ring job: 64-KiB exchanges × 8 rounds per step keep
+    /// the uplinks busy enough that sharing one is clearly visible.
+    fn comm_heavy(steps: u32) -> WorkModel {
+        WorkModel::Synthetic {
+            flops_per_step: 1e6,
+            msg_kib: 64,
+            rounds: 8,
+            steps,
+        }
+    }
+
+    #[test]
+    fn overlapping_jobs_sharing_an_uplink_slow_each_other() {
+        use mb_cluster::Topology;
+        let spec = mb_cluster::spec::metablade()
+            .with_nodes(16)
+            .with_topology(Topology::fat_tree(4, 2, 4.0));
+        let cluster = Cluster::new(spec).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        // Two 6-rank rings land on nodes 0–5 and 6–11 under `Lowest`:
+        // both route flows through edge group 1's uplink.
+        let jobs = [
+            JobSpec {
+                id: 0,
+                submit_s: 0.0,
+                ranks: 6,
+                work: comm_heavy(200),
+            },
+            JobSpec {
+                id: 1,
+                submit_s: 0.0,
+                ranks: 6,
+                work: comm_heavy(200),
+            },
+        ];
+        let rep = simulate(&service, &Fcfs, &jobs, &SchedConfig::default());
+        assert!(
+            rep.max_contention_factor > 1.0,
+            "sharing up:l1.s1 must charge a slowdown (factor {})",
+            rep.max_contention_factor
+        );
+        assert!(
+            rep.link_shared_s.keys().any(|l| l == "up:l1.s1"),
+            "hot-spot accounting missed the shared uplink: {:?}",
+            rep.link_shared_s.keys().collect::<Vec<_>>()
+        );
+        assert!(!rep.link_bytes.is_empty());
+        // Job 0 sits on the reference nodes (placement factor exactly
+        // 1.0), so any stretch beyond its clean service time is pure
+        // contention.
+        let r0 = &rep.jobs[0];
+        assert!(
+            r0.end_s - r0.start_s > r0.clean_service_s,
+            "contended run {} should outlast clean service {}",
+            r0.end_s - r0.start_s,
+            r0.clean_service_s
+        );
+    }
+
+    #[test]
+    fn single_job_and_star_runs_stay_contention_free() {
+        use mb_cluster::Topology;
+        let spec = mb_cluster::spec::metablade()
+            .with_nodes(16)
+            .with_topology(Topology::fat_tree(4, 2, 4.0));
+        let cluster = Cluster::new(spec).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let jobs = [JobSpec {
+            id: 0,
+            submit_s: 0.0,
+            ranks: 12,
+            work: comm_heavy(50),
+        }];
+        let rep = simulate(&service, &Fcfs, &jobs, &SchedConfig::default());
+        assert_eq!(rep.max_contention_factor, 1.0);
+        assert!(rep.link_shared_s.is_empty());
+        // Fat-tree runs still integrate per-link bytes for telemetry.
+        assert!(rep.link_bytes.keys().any(|l| l.starts_with("up:")));
+        // The star fast path records no traffic at all.
+        let star = Cluster::new(mb_cluster::spec::metablade()).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&star);
+        let rep = simulate(&service, &Fcfs, &small_workload(), &SchedConfig::default());
+        assert_eq!(rep.max_contention_factor, 1.0);
+        assert!(rep.link_bytes.is_empty());
+        assert!(rep.link_shared_s.is_empty());
+    }
+
+    #[test]
+    fn contention_aware_placement_routes_around_loaded_uplinks() {
+        use mb_cluster::Topology;
+        let spec = mb_cluster::spec::metablade()
+            .with_nodes(16)
+            .with_topology(Topology::fat_tree(4, 2, 4.0));
+        // Job 0 pins group 0 with a compute job; job 1's ring then
+        // spans groups 1–2 and loads their uplinks; job 2 arrives
+        // later needing 5 nodes. Compact drains group 3 then group 2
+        // (fullest-first) and shares job 1's uplink; contention-aware
+        // takes group 3 plus the quiet group-0 leftover instead.
+        let jobs = [
+            JobSpec {
+                id: 0,
+                submit_s: 0.0,
+                ranks: 3,
+                work: WorkModel::Synthetic {
+                    flops_per_step: 5e7,
+                    msg_kib: 1,
+                    rounds: 1,
+                    steps: 400,
+                },
+            },
+            JobSpec {
+                id: 1,
+                submit_s: 0.0,
+                ranks: 6,
+                work: comm_heavy(200),
+            },
+            JobSpec {
+                id: 2,
+                submit_s: 5.0,
+                ranks: 5,
+                work: comm_heavy(200),
+            },
+        ];
+        let run = |placement: Placement| {
+            let cluster = Cluster::new(spec.clone()).with_exec(ExecPolicy::Sequential);
+            let service = ServiceModel::new(&cluster);
+            let cfg = SchedConfig {
+                placement,
+                ..SchedConfig::default()
+            };
+            simulate(&service, &Fcfs, &jobs, &cfg)
+        };
+        let compact = run(Placement::Compact);
+        let aware = run(Placement::ContentionAware);
+        assert!(
+            compact.max_contention_factor > 1.0,
+            "compact must share an uplink here (factor {})",
+            compact.max_contention_factor
+        );
+        assert_eq!(
+            aware.max_contention_factor, 1.0,
+            "contention-aware placement should find a disjoint allocation"
+        );
+        assert!(aware.link_shared_s.is_empty());
+        assert!(
+            aware.makespan_s <= compact.makespan_s,
+            "aware {} vs compact {}",
+            aware.makespan_s,
+            compact.makespan_s
+        );
+    }
+
+    #[test]
+    fn route_spreading_never_worsens_contention() {
+        use mb_cluster::Topology;
+        // radix 8 / oversubscription 2 ⇒ 4 ECMP ways. Two 12-rank
+        // rings overlap on edge group 1's uplinks when flows all pile
+        // onto one logical pipe; hashing them across ways can only
+        // shrink the foreign byte rate any flow sees.
+        let spec = mb_cluster::spec::metablade()
+            .with_nodes(24)
+            .with_topology(Topology::fat_tree(8, 2, 2.0));
+        let jobs = [
+            JobSpec {
+                id: 0,
+                submit_s: 0.0,
+                ranks: 12,
+                work: comm_heavy(100),
+            },
+            JobSpec {
+                id: 1,
+                submit_s: 0.0,
+                ranks: 12,
+                work: comm_heavy(100),
+            },
+        ];
+        let run = |route_spread: bool| {
+            let cluster = Cluster::new(spec.clone()).with_exec(ExecPolicy::Sequential);
+            let service = ServiceModel::new(&cluster);
+            let cfg = SchedConfig {
+                route_spread,
+                ..SchedConfig::default()
+            };
+            simulate(&service, &Fcfs, &jobs, &cfg)
+        };
+        let piled = run(false);
+        let spread = run(true);
+        assert!(piled.max_contention_factor > 1.0);
+        assert!(
+            spread.max_contention_factor <= piled.max_contention_factor,
+            "spread {} vs piled {}",
+            spread.max_contention_factor,
+            piled.max_contention_factor
+        );
+        assert!(spread.makespan_s <= piled.makespan_s * (1.0 + 1e-9));
     }
 
     #[test]

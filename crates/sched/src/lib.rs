@@ -54,7 +54,7 @@ pub mod report;
 pub mod workload;
 
 pub use engine::{
-    simulate, FailureConfig, OccSpan, Placement, SchedConfig, ServiceModel, SimReport,
+    simulate, FailureConfig, OccSpan, Placement, SchedConfig, ServiceModel, SimReport, StepProfile,
 };
 pub use job::{JobRecord, JobSpec, NpbKernel, WorkModel};
 pub use policy::{EasyBackfill, Fcfs, PolicyCtx, QueuedJob, RunningJob, SchedPolicy, Sjf};

@@ -17,9 +17,11 @@ use mb_telemetry::Json;
 use crate::engine::{OccSpan, SimReport};
 
 /// Schema tag stamped into every `BENCH_sched.json` document.
-/// `/2` added full wait/slowdown percentile columns (`wait_p50_s` …
-/// `slowdown_p99`) to each policy row; `/1` rows carried means only.
-pub const SCHEMA: &str = "metablade-sched/2";
+/// `/3` added per-section `placement`/`route_spread` fields and a
+/// `max_contention_factor` column to each policy row (cross-job link
+/// contention); `/2` added full wait/slowdown percentile columns
+/// (`wait_p50_s` … `slowdown_p99`); `/1` rows carried means only.
+pub const SCHEMA: &str = "metablade-sched/3";
 
 /// Render per-node occupancy spans as Chrome trace-event JSON: one
 /// track (`tid`) per node, one `"X"` duration event per job residency,
@@ -78,6 +80,15 @@ pub fn occupancy_chrome(spans: &[OccSpan], nodes: usize) -> String {
 /// return the exporter summary (event/track counts).
 pub fn check_trace(text: &str) -> Result<ChromeSummary, String> {
     validate(text)
+}
+
+/// Render a run's cross-job link telemetry — per-link carried bytes,
+/// hot-spot shared seconds, the sampled aggregate uplink rates and the
+/// peak mean-field factor — as Chrome trace-event counter tracks (the
+/// per-link hot-spot artifact CI uploads). Series samples keep their
+/// own virtual timestamps; scalar metrics land at the document origin.
+pub fn hotspot_chrome(report: &SimReport) -> String {
+    mb_telemetry::chrome::export_with_metrics(&mb_telemetry::RunTrace::default(), &report.registry)
 }
 
 /// TCO of the paper's 24-node MetaBlade (§4.1 inputs: $26K acquisition,
@@ -162,6 +173,10 @@ pub fn policy_row(report: &SimReport, tco_dollars: f64, exec_invariant: bool) ->
         (
             "jobs_per_hour_per_k_tco",
             Json::Num(throughput_per_tco(report.jobs_per_hour, tco_dollars)),
+        ),
+        (
+            "max_contention_factor",
+            Json::Num(report.max_contention_factor),
         ),
         ("fingerprint", Json::str(report.fingerprint_hex())),
         ("identical_across_policies", Json::Bool(exec_invariant)),
@@ -253,5 +268,43 @@ mod tests {
         assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
         assert_eq!(p99, rep.wait_hist.p99());
         assert!(row.get("slowdown_p50").unwrap().as_f64().unwrap() > 0.0);
+        // Schema /3: the contention column rides along (1.0 on the
+        // star, where nothing is ever shared).
+        assert_eq!(
+            row.get("max_contention_factor").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn hotspot_trace_carries_link_counters() {
+        use crate::engine::{simulate, SchedConfig, ServiceModel};
+        use crate::job::{JobSpec, WorkModel};
+        use crate::policy::Fcfs;
+        use mb_cluster::{Cluster, ExecPolicy, Topology};
+
+        let spec = mb_cluster::spec::metablade()
+            .with_nodes(16)
+            .with_topology(Topology::fat_tree(4, 2, 4.0));
+        let cluster = Cluster::new(spec).with_exec(ExecPolicy::Sequential);
+        let service = ServiceModel::new(&cluster);
+        let mk = |id: usize| JobSpec {
+            id,
+            submit_s: 0.0,
+            ranks: 6,
+            work: WorkModel::Synthetic {
+                flops_per_step: 1e6,
+                msg_kib: 64,
+                rounds: 8,
+                steps: 50,
+            },
+        };
+        let rep = simulate(&service, &Fcfs, &[mk(0), mk(1)], &SchedConfig::default());
+        let text = hotspot_chrome(&rep);
+        check_trace(&text).expect("hot-spot trace must validate");
+        assert!(text.contains("sched.link_bytes"));
+        assert!(text.contains("sched.link_shared_s"));
+        assert!(text.contains("sched.uplink_rate_Bps"));
+        assert!(text.contains("sched.max_contention_factor"));
     }
 }

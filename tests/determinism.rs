@@ -14,6 +14,12 @@ use metablade::bench::baseline::{allreduce_job, fingerprint_outcome, rounds_for}
 use metablade::cluster::machine::Cluster;
 use metablade::cluster::spec::metablade as metablade_spec;
 use metablade::cluster::{Comm, CommStats, ExecPolicy, Topology};
+use metablade::sched::engine::Placement;
+use metablade::sched::policy::{EasyBackfill, Fcfs, SchedPolicy, Sjf};
+use metablade::sched::{
+    generate, simulate, FailureConfig, JobSpec, NpbKernel, SchedConfig, ServiceModel, SimReport,
+    WorkModel, WorkloadConfig,
+};
 use metablade::telemetry::fnv::Fnv;
 use metablade::telemetry::json::{parse, Json};
 
@@ -214,6 +220,184 @@ fn star_outcomes_reproduce_the_committed_bench_fingerprints() {
         committed_mk.to_bits(),
         "star makespan bits drifted from the committed baseline"
     );
+}
+
+/// Run one scheduler simulation at a given executor width and return
+/// the full `SimReport` (its `fingerprint` folds every job record,
+/// requeue and failure bit-exactly).
+fn sched_run(
+    spec: &metablade::cluster::spec::ClusterSpec,
+    exec: ExecPolicy,
+    policy: &dyn SchedPolicy,
+    jobs: &[JobSpec],
+    cfg: &SchedConfig,
+) -> SimReport {
+    let cluster = Cluster::new(spec.clone()).with_exec(exec);
+    let service = ServiceModel::new(&cluster);
+    simulate(&service, policy, jobs, cfg)
+}
+
+#[test]
+fn shared_uplink_contention_is_bit_identical_across_executor_widths() {
+    // The PR-9 acceptance gate: two jobs whose ring exchanges meet on
+    // the same fat-tree uplinks — so the mean-field contention factor
+    // is genuinely live — must fingerprint identically at every
+    // `MB_PARALLEL` width, under both the compact and the
+    // contention-aware allocator.
+    let spec = metablade_spec()
+        .with_nodes(16)
+        .with_topology(Topology::fat_tree(4, 2, 4.0));
+    let comm_heavy = |id: usize, ranks: usize| JobSpec {
+        id,
+        submit_s: 0.0,
+        ranks,
+        work: WorkModel::Synthetic {
+            flops_per_step: 1e6,
+            msg_kib: 64,
+            rounds: 8,
+            steps: 120,
+        },
+    };
+    // 6+6 fill group 0 + half of 1 and group 2 + half of 3; the
+    // 4-rank straggler must then straddle the two half-used groups, so
+    // its flows meet both neighbours' on the l1.s1/l1.s3 uplinks under
+    // *every* placement — the contention path is live, not incidental.
+    let jobs = [comm_heavy(0, 6), comm_heavy(1, 6), comm_heavy(2, 4)];
+    let widths = [
+        ExecPolicy::Sequential,
+        ExecPolicy::Parallel { workers: 1 },
+        ExecPolicy::Parallel { workers: 4 },
+        ExecPolicy::Parallel { workers: 8 },
+    ];
+    for placement in [Placement::Compact, Placement::ContentionAware] {
+        let cfg = SchedConfig {
+            placement,
+            ..SchedConfig::default()
+        };
+        let reports: Vec<SimReport> = widths
+            .iter()
+            .map(|&w| sched_run(&spec, w, &Fcfs, &jobs, &cfg))
+            .collect();
+        assert!(
+            reports[0].max_contention_factor > 1.0,
+            "{}: no job ever shared an uplink — the gate is vacuous",
+            placement.label()
+        );
+        for (r, w) in reports[1..].iter().zip(&widths[1..]) {
+            assert_eq!(
+                r.fingerprint,
+                reports[0].fingerprint,
+                "{} at width {} diverged from the sequential reference",
+                placement.label(),
+                w.label()
+            );
+            assert_eq!(
+                r.makespan_s.to_bits(),
+                reports[0].makespan_s.to_bits(),
+                "{}: makespan bits moved across widths",
+                placement.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn star_and_single_job_runs_reproduce_pre_contention_fingerprints() {
+    // The contention layer's no-op guarantee, pinned against history:
+    // these fingerprints were captured from the engine *before* link
+    // accounting existed (schema metablade-sched/2). Star runs bypass
+    // traffic accounting entirely, and a lone job on a fat tree shares
+    // no link with anyone — so with contention compiled in, every one
+    // of these outcomes must still reproduce bit for bit.
+    let star = metablade_spec();
+    let stream = generate(&WorkloadConfig {
+        jobs: 40,
+        seed: 11,
+        mean_interarrival_s: 180.0,
+        max_ranks: 24,
+    });
+    let nofail = SchedConfig::default();
+    let fail = SchedConfig {
+        failure: Some(FailureConfig::accelerated(2000.0, 3)),
+        ..SchedConfig::default()
+    };
+    let policies: [(&dyn SchedPolicy, &str); 3] =
+        [(&Fcfs, "fcfs"), (&EasyBackfill, "easy"), (&Sjf, "sjf")];
+    let pinned_nofail = [
+        ("fcfs", "ddd60c626b546613"),
+        ("easy", "afd32e4b95806a0c"),
+        ("sjf", "16d0cba34212c2a2"),
+    ];
+    let pinned_fail = [
+        ("fcfs", "e6f56ced2ea60691"),
+        ("easy", "81cb5db6b4a10f88"),
+        ("sjf", "67101a6400156499"),
+    ];
+    for (cfg, pinned) in [(&nofail, &pinned_nofail), (&fail, &pinned_fail)] {
+        for ((policy, name), (pin_name, pin_fp)) in policies.iter().zip(pinned) {
+            assert_eq!(name, pin_name);
+            let rep = sched_run(&star, ExecPolicy::Sequential, *policy, &stream, cfg);
+            assert_eq!(
+                rep.fingerprint_hex(),
+                *pin_fp,
+                "star {name} stream drifted from the pre-contention engine"
+            );
+            assert_eq!(rep.max_contention_factor, 1.0);
+            assert!(rep.link_bytes.is_empty(), "star run accounted fabric links");
+        }
+    }
+
+    // Single jobs: one on the star, one each on a small and a large
+    // oversubscribed fat tree (placement factors and path profiles
+    // active, contention idle).
+    let single = |ranks: usize| {
+        vec![JobSpec {
+            id: 0,
+            submit_s: 0.0,
+            ranks,
+            work: WorkModel::Npb {
+                kernel: NpbKernel::Is,
+                iters: 64,
+            },
+        }]
+    };
+    let cases: [(metablade::cluster::spec::ClusterSpec, usize, &str); 3] = [
+        (metablade_spec(), 8, "fd08038eecb12844"),
+        (
+            metablade_spec()
+                .with_nodes(16)
+                .with_topology(Topology::fat_tree(4, 2, 4.0)),
+            12,
+            "b8689c22c8c31f59",
+        ),
+        (
+            metablade_spec()
+                .with_nodes(32)
+                .with_topology(Topology::fat_tree(16, 2, 4.0)),
+            24,
+            "5e08e50064250b9d",
+        ),
+    ];
+    for (spec, ranks, pin_fp) in cases {
+        let rep = sched_run(
+            &spec,
+            ExecPolicy::Sequential,
+            &Fcfs,
+            &single(ranks),
+            &SchedConfig::default(),
+        );
+        assert_eq!(
+            rep.fingerprint_hex(),
+            pin_fp,
+            "single {ranks}-rank job on {} drifted from the pre-contention engine",
+            spec.network.topology.label()
+        );
+        assert_eq!(rep.max_contention_factor, 1.0);
+        assert!(
+            rep.link_shared_s.is_empty(),
+            "a lone job cannot share a link with itself"
+        );
+    }
 }
 
 #[test]

@@ -250,3 +250,106 @@ fn checkpoint_simulation_tracks_analytic_model() {
         );
     }
 }
+
+/// Torus routes are dimension-ordered and minimal: the number of hops
+/// equals the sum of per-dimension minimal ring distances, and the
+/// path cost profile agrees with that hop count.
+#[test]
+fn torus_routes_are_minimal_per_dimension() {
+    use metablade::cluster::Topology;
+    let mut rng = StdRng::seed_from_u64(0xA00B);
+    for _ in 0..CASES {
+        let dims = [
+            rng.random_range(1..6usize),
+            rng.random_range(1..6usize),
+            rng.random_range(1..6usize),
+        ];
+        let n = dims[0] * dims[1] * dims[2];
+        let topo = Topology::torus(dims);
+        let (src, dst) = (rng.random_range(0..n), rng.random_range(0..n));
+        let coord = |node: usize, d: usize| match d {
+            0 => node % dims[0],
+            1 => (node / dims[0]) % dims[1],
+            _ => node / (dims[0] * dims[1]),
+        };
+        let minimal: usize = (0..3)
+            .map(|d| {
+                let fwd = (coord(dst, d) + dims[d] - coord(src, d)) % dims[d];
+                fwd.min(dims[d] - fwd)
+            })
+            .sum();
+        let route = topo.route(src, dst);
+        assert_eq!(
+            route.len(),
+            minimal,
+            "dims {dims:?}: {src}->{dst} took {route:?}"
+        );
+        let p = topo.path(src, dst);
+        assert_eq!(p.latency_hops, minimal.max(1), "dims {dims:?} {src}->{dst}");
+        assert_eq!(p.edge_resers, minimal.saturating_sub(1));
+        assert_eq!(p.uplink_resers, 0, "a torus has no oversubscribed tier");
+    }
+}
+
+/// Fat-tree path costs are symmetric — the lowest common ancestor of
+/// `(a, b)` is the lowest common ancestor of `(b, a)` — and routes up
+/// and down the tree have mirrored lengths.
+#[test]
+fn fat_tree_costs_are_symmetric() {
+    use metablade::cluster::Topology;
+    let mut rng = StdRng::seed_from_u64(0xA00C);
+    for _ in 0..CASES {
+        let radix = rng.random_range(2..9usize);
+        let levels = rng.random_range(1..4usize);
+        let oversub = 1.0 + 7.0 * rng.random::<f64>();
+        let topo = Topology::fat_tree(radix, levels, oversub);
+        let n = radix.pow(levels as u32);
+        let (a, b) = (rng.random_range(0..n), rng.random_range(0..n));
+        let fwd = topo.path(a, b);
+        let rev = topo.path(b, a);
+        assert_eq!(fwd, rev, "radix {radix} levels {levels}: {a}<->{b}");
+        assert_eq!(
+            topo.route(a, b).len(),
+            topo.route(b, a).len(),
+            "asymmetric route length for {a}<->{b}"
+        );
+        // Within one edge switch the route never touches an
+        // oversubscribed uplink.
+        if a / radix == b / radix {
+            assert_eq!(fwd.uplink_resers, 0);
+            assert_eq!(fwd.oversub, 1.0);
+        } else {
+            assert!(fwd.uplink_resers >= 2, "{a}<->{b} crossed no uplinks");
+            assert_eq!(fwd.oversub, oversub);
+        }
+    }
+}
+
+/// `PathProfile` is a pure function of `(topology, src, dst)`: repeated
+/// evaluation — interleaved with other queries — returns the identical
+/// profile and the identical link sequence, with no hidden state.
+#[test]
+fn path_profiles_are_pure_functions() {
+    use metablade::cluster::Topology;
+    let mut rng = StdRng::seed_from_u64(0xA00D);
+    let topos = [
+        Topology::Star,
+        Topology::fat_tree(4, 2, 4.0),
+        Topology::fat_tree(16, 2, 4.0),
+        Topology::torus([4, 4, 2]),
+    ];
+    for _ in 0..CASES {
+        let topo = topos[rng.random_range(0..topos.len())];
+        let n = topo.capacity().unwrap_or(32).min(32);
+        let (src, dst) = (rng.random_range(0..n), rng.random_range(0..n));
+        let first_path = topo.path(src, dst);
+        let first_route = topo.route(src, dst);
+        // Interleave unrelated queries to flush out any caching bug.
+        let _ = topo.path(dst, src);
+        let _ = topo.route((src + 1) % n, dst);
+        for _ in 0..3 {
+            assert_eq!(topo.path(src, dst), first_path, "{src}->{dst} on {topo:?}");
+            assert_eq!(topo.route(src, dst), first_route);
+        }
+    }
+}
