@@ -195,6 +195,11 @@ pub fn compare_documents(
         compare_sched(&mut rep, baseline, fresh, tol);
         return rep;
     }
+    if base_schema.starts_with("metablade-stream/") {
+        rep.pass(format!("schema {base_schema}"));
+        compare_stream(&mut rep, baseline, fresh, tol);
+        return rep;
+    }
     if !base_schema.starts_with("metablade-bench/") {
         rep.warn(format!(
             "schema {base_schema:?} is not a bench suite; schema tag checked only"
@@ -515,6 +520,233 @@ fn compare_sched_section(
             rep.warn(format!(
                 "{label} {policy}: new policy row with no committed baseline"
             ));
+        }
+    }
+}
+
+fn index_stream_scenarios(doc: &Json) -> BTreeMap<String, &Json> {
+    let mut map = BTreeMap::new();
+    for sec in doc.get("scenarios").and_then(Json::as_arr).unwrap_or(&[]) {
+        if let Some(name) = sec.get("name").and_then(Json::as_str) {
+            map.insert(name.to_string(), sec);
+        }
+    }
+    map
+}
+
+/// Gate a `metablade-stream/*` document (the `stream_sim` open-arrival
+/// runs). Everything about a scenario except its throughput is
+/// simulated: the stream fingerprint, virtual makespan, utilization,
+/// and every per-class admission count are hard bit-exact checks, the
+/// per-class wait/slowdown percentiles carry the scheduler drift band,
+/// and `jobs_per_host_sec` gets the wall-clock treatment (banded on
+/// the same host regime, warn-only across regimes).
+fn compare_stream(rep: &mut GateReport, baseline: &Json, fresh: &Json, tol: &Tolerances) {
+    if baseline.get("smoke") != fresh.get("smoke") {
+        rep.fail(format!(
+            "smoke flag changed: baseline {:?}, fresh {:?}",
+            baseline.get("smoke"),
+            fresh.get("smoke")
+        ));
+    }
+    let base_threads = baseline.get("host_threads").and_then(Json::as_f64);
+    let fresh_threads = fresh.get("host_threads").and_then(Json::as_f64);
+    let same_host = base_threads.is_some() && base_threads == fresh_threads;
+    if !same_host {
+        rep.warn(format!(
+            "host_threads differ (baseline {:?}, fresh {:?}): wall-clock bands degrade to warnings",
+            base_threads, fresh_threads
+        ));
+    }
+
+    let base_secs = index_stream_scenarios(baseline);
+    let fresh_secs = index_stream_scenarios(fresh);
+    if base_secs.is_empty() {
+        rep.warn("no scenarios in baseline".to_string());
+        return;
+    }
+    for (name, base) in &base_secs {
+        let Some(fresh) = fresh_secs.get(name) else {
+            rep.warn(format!("{name}: present in baseline, missing from fresh"));
+            continue;
+        };
+        compare_stream_scenario(rep, name, base, fresh, tol, same_host);
+    }
+    for name in fresh_secs.keys() {
+        if !base_secs.contains_key(name) {
+            rep.warn(format!("{name}: new scenario with no committed baseline"));
+        }
+    }
+}
+
+fn compare_stream_scenario(
+    rep: &mut GateReport,
+    label: &str,
+    base: &Json,
+    fresh: &Json,
+    tol: &Tolerances,
+    same_host: bool,
+) {
+    // Hard: the scenario identity — same traffic pattern on the same
+    // machine under the same policy, or nothing downstream compares.
+    for key in ["pattern", "policy", "topology"] {
+        let b = base.get(key).and_then(Json::as_str);
+        let f = fresh.get(key).and_then(Json::as_str);
+        if b != f {
+            rep.fail(format!(
+                "{label}: {key} changed: baseline {b:?}, fresh {f:?}"
+            ));
+            return;
+        }
+    }
+    if base.get("nodes").and_then(Json::as_f64) != fresh.get("nodes").and_then(Json::as_f64) {
+        rep.fail(format!("{label}: node count changed"));
+        return;
+    }
+    rep.passed += 1;
+
+    // Hard: the stream must still fingerprint identically under every
+    // executor-width calibration.
+    if fresh.get("identical_across_execs") != Some(&Json::Bool(true)) {
+        rep.fail(format!("{label}: stream diverged across executor widths"));
+    }
+
+    // Hard: stream fingerprint, virtual makespan and utilization are
+    // simulated quantities — bit for bit.
+    let base_fp = base.get("stream_fingerprint").and_then(Json::as_str);
+    let fresh_fp = fresh.get("stream_fingerprint").and_then(Json::as_str);
+    if base_fp != fresh_fp {
+        rep.fail(format!(
+            "{label}: stream fingerprint changed ({} -> {})",
+            base_fp.unwrap_or("?"),
+            fresh_fp.unwrap_or("?")
+        ));
+    } else {
+        rep.pass(format!(
+            "{label}: stream fingerprint unchanged ({})",
+            base_fp.unwrap_or("?")
+        ));
+    }
+    for metric in ["makespan_s", "utilization"] {
+        let b = base.get(metric).and_then(Json::as_f64);
+        let f = fresh.get(metric).and_then(Json::as_f64);
+        if b.map(f64::to_bits) != f.map(f64::to_bits) {
+            rep.fail(format!(
+                "{label}: {metric} moved: baseline {b:?}, fresh {f:?}"
+            ));
+        }
+    }
+
+    // Hard: per-class admission accounting is virtual — exact counts.
+    fn classes(sec: &Json) -> BTreeMap<String, &Json> {
+        sec.get("classes")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|c| Some((c.get("label")?.as_str()?.to_string(), c)))
+            .collect()
+    }
+    let base_classes = classes(base);
+    let fresh_classes = classes(fresh);
+    let mut counts_ok = true;
+    for (cls, base_c) in &base_classes {
+        let cls_label = format!("{label}/{cls}");
+        let Some(fresh_c) = fresh_classes.get(cls) else {
+            rep.fail(format!("{cls_label}: class dropped from fresh run"));
+            counts_ok = false;
+            continue;
+        };
+        for key in ["offered", "admitted", "shed", "completed"] {
+            let b = base_c.get(key).and_then(Json::as_f64);
+            let f = fresh_c.get(key).and_then(Json::as_f64);
+            if b != f {
+                counts_ok = false;
+                rep.fail(format!(
+                    "{cls_label}: {key} count changed: baseline {b:?}, fresh {f:?}"
+                ));
+            }
+        }
+        // Banded: queueing percentiles move when the cost model is
+        // deliberately refined; only large drifts fail.
+        for metric in ["wait_p50_s", "wait_p99_s", "slowdown_p99"] {
+            let (Some(b), Some(f)) = (
+                base_c.get(metric).and_then(Json::as_f64),
+                fresh_c.get(metric).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            if b <= 0.0 {
+                continue;
+            }
+            let drift = (f - b).abs() / b;
+            if drift <= tol.sched_percentile_drift {
+                rep.passed += 1;
+            } else {
+                rep.fail(format!(
+                    "{cls_label}: {metric} drifted {:.0}% ({b:.2} -> {f:.2}, \
+                     tolerance {:.0}%)",
+                    drift * 100.0,
+                    tol.sched_percentile_drift * 100.0
+                ));
+            }
+        }
+    }
+    if counts_ok && !base_classes.is_empty() {
+        rep.pass(format!(
+            "{label}: admission counts exact across {} classes",
+            base_classes.len()
+        ));
+    }
+
+    // Hard: the M/G/k cross-check is virtual on both sides of the
+    // comparison (closed-form prediction vs simulated moments).
+    if let (Some(base_mgk), Some(fresh_mgk)) = (base.get("mgk"), fresh.get("mgk")) {
+        if !matches!(base_mgk, Json::Null) && !matches!(fresh_mgk, Json::Null) {
+            let mut mgk_ok = true;
+            for key in [
+                "rho_predicted",
+                "rho_simulated",
+                "wq_predicted_s",
+                "wq_simulated_s",
+            ] {
+                let b = base_mgk.get(key).and_then(Json::as_f64);
+                let f = fresh_mgk.get(key).and_then(Json::as_f64);
+                if b.map(f64::to_bits) != f.map(f64::to_bits) {
+                    mgk_ok = false;
+                    rep.fail(format!(
+                        "{label}: mgk {key} moved: baseline {b:?}, fresh {f:?}"
+                    ));
+                }
+            }
+            if mgk_ok {
+                rep.pass(format!("{label}: M/G/k validation unchanged"));
+            }
+        }
+    }
+
+    // Banded: stream throughput is a host-side measurement.
+    if let (Some(base_v), Some(fresh_v)) = (
+        base.get("jobs_per_host_sec").and_then(Json::as_f64),
+        fresh.get("jobs_per_host_sec").and_then(Json::as_f64),
+    ) {
+        if base_v > 0.0 {
+            let drop = 1.0 - fresh_v / base_v;
+            if drop <= tol.events_per_sec_drop {
+                rep.passed += 1;
+            } else if same_host {
+                rep.fail(format!(
+                    "{label}: jobs_per_host_sec dropped {:.0}% \
+                     ({base_v:.0} -> {fresh_v:.0}, tolerance {:.0}%)",
+                    drop * 100.0,
+                    tol.events_per_sec_drop * 100.0
+                ));
+            } else {
+                rep.warn(format!(
+                    "{label}: jobs_per_host_sec dropped {:.0}% on a \
+                     different host regime ({base_v:.0} -> {fresh_v:.0})",
+                    drop * 100.0
+                ));
+            }
         }
     }
 }
@@ -915,6 +1147,144 @@ mod tests {
             assert!(rep.ok(), "{name}: {}", rep.render());
             assert_eq!(rep.warnings, 0, "{name}: {}", rep.render());
         }
+    }
+
+    fn stream_class(label: &str, offered: f64, shed: f64, p50: f64, p99: f64) -> Json {
+        Json::obj([
+            ("label", Json::str(label.to_string())),
+            ("offered", Json::Num(offered)),
+            ("admitted", Json::Num(offered - shed)),
+            ("shed", Json::Num(shed)),
+            ("completed", Json::Num(offered - shed)),
+            ("wait_p50_s", Json::Num(p50)),
+            ("wait_p99_s", Json::Num(p99)),
+            ("slowdown_p99", Json::Num(12.0)),
+        ])
+    }
+
+    fn stream_doc(fp: &str, shed: f64, p50: f64, jobs_per_s: f64) -> Json {
+        Json::obj([
+            ("schema", Json::str("metablade-stream/1")),
+            ("smoke", Json::Bool(true)),
+            ("host_threads", Json::Num(8.0)),
+            (
+                "scenarios",
+                Json::Arr(vec![Json::obj([
+                    ("name", Json::str("poisson_open")),
+                    ("pattern", Json::str("poisson")),
+                    ("policy", Json::str("fcfs")),
+                    ("topology", Json::str("ft16x2o4")),
+                    ("nodes", Json::Num(24.0)),
+                    ("offered", Json::Num(1000.0)),
+                    ("shed", Json::Num(shed)),
+                    ("stream_fingerprint", Json::str(fp.to_string())),
+                    ("makespan_s", Json::Num(9000.0)),
+                    ("utilization", Json::Num(0.8)),
+                    ("identical_across_execs", Json::Bool(true)),
+                    ("jobs_per_host_sec", Json::Num(jobs_per_s)),
+                    (
+                        "classes",
+                        Json::Arr(vec![
+                            stream_class("latency", 200.0, 0.0, p50, 90.0),
+                            stream_class("batch", 800.0, shed, 140.0, 1200.0),
+                        ]),
+                    ),
+                    ("mgk", Json::Null),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_stream_documents_pass() {
+        let d = stream_doc("aa11", 25.0, 4.0, 1e5);
+        let rep = compare_documents("BENCH_stream_smoke.json", &d, &d, &Tolerances::smoke());
+        assert!(rep.ok(), "{}", rep.render());
+        assert!(rep.render().contains("stream fingerprint unchanged"));
+        assert!(rep.render().contains("admission counts exact"));
+        assert_eq!(rep.warnings, 0, "{}", rep.render());
+    }
+
+    #[test]
+    fn stream_fingerprint_and_shed_count_changes_are_hard_failures() {
+        let base = stream_doc("aa11", 25.0, 4.0, 1e5);
+        let refp = stream_doc("bb22", 25.0, 4.0, 1e5);
+        let rep = compare_documents("BENCH_stream.json", &base, &refp, &Tolerances::smoke());
+        assert!(!rep.ok());
+        assert!(rep.render().contains("stream fingerprint changed"));
+
+        // One more job shed: the admission accounting is virtual, so
+        // any count delta is a regression even inside the smoke band.
+        let shed_more = stream_doc("aa11", 26.0, 4.0, 1e5);
+        let rep = compare_documents("BENCH_stream.json", &base, &shed_more, &Tolerances::smoke());
+        assert!(!rep.ok());
+        assert!(rep.render().contains("count changed"));
+    }
+
+    #[test]
+    fn stream_percentiles_band_and_throughput_follows_host_regime() {
+        let base = stream_doc("aa11", 25.0, 4.0, 1e5);
+        // A 50% p50 drift busts the default drift band but not smoke's.
+        let drifted = stream_doc("aa11", 25.0, 6.0, 1e5);
+        let rep = compare_documents("BENCH_stream.json", &base, &drifted, &Tolerances::default());
+        assert!(!rep.ok(), "{}", rep.render());
+        assert!(rep.render().contains("wait_p50_s drifted 50%"));
+        let rep = compare_documents("BENCH_stream.json", &base, &drifted, &Tolerances::smoke());
+        assert!(rep.ok(), "{}", rep.render());
+
+        // A 70% throughput cliff on the same host fails even in smoke;
+        // on a different host regime it degrades to a warning.
+        let slow = stream_doc("aa11", 25.0, 4.0, 0.3e5);
+        let rep = compare_documents("BENCH_stream.json", &base, &slow, &Tolerances::smoke());
+        assert!(!rep.ok(), "{}", rep.render());
+        assert!(rep.render().contains("jobs_per_host_sec dropped 70%"));
+        let mut other_host = slow.clone();
+        if let Json::Obj(m) = &mut other_host {
+            m.insert("host_threads".to_string(), Json::Num(2.0));
+        }
+        let rep = compare_documents(
+            "BENCH_stream.json",
+            &base,
+            &other_host,
+            &Tolerances::smoke(),
+        );
+        assert!(rep.ok(), "{}", rep.render());
+        assert!(rep.warnings >= 2, "{}", rep.render());
+    }
+
+    #[test]
+    fn stream_exec_divergence_and_smoke_flag_flips_fail() {
+        let base = stream_doc("aa11", 25.0, 4.0, 1e5);
+        let mut diverged = base.clone();
+        if let Json::Obj(m) = &mut diverged {
+            if let Some(Json::Arr(secs)) = m.get_mut("scenarios") {
+                if let Some(Json::Obj(sec)) = secs.first_mut() {
+                    sec.insert("identical_across_execs".to_string(), Json::Bool(false));
+                }
+            }
+        }
+        let rep = compare_documents("BENCH_stream.json", &base, &diverged, &Tolerances::smoke());
+        assert!(!rep.ok());
+        assert!(rep.render().contains("diverged across executor widths"));
+
+        let mut full = base.clone();
+        if let Json::Obj(m) = &mut full {
+            m.insert("smoke".to_string(), Json::Bool(false));
+        }
+        let rep = compare_documents("BENCH_stream.json", &base, &full, &Tolerances::smoke());
+        assert!(!rep.ok());
+        assert!(rep.render().contains("smoke flag changed"));
+    }
+
+    #[test]
+    fn committed_stream_baseline_gates_against_itself() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_stream_smoke.json");
+        let doc = load(&path).expect("committed stream baseline parses");
+        let rep = compare_documents("BENCH_stream_smoke.json", &doc, &doc, &Tolerances::smoke());
+        assert!(rep.ok(), "{}", rep.render());
+        assert_eq!(rep.warnings, 0, "{}", rep.render());
     }
 
     #[test]

@@ -384,8 +384,44 @@ fn run(wl_cfg: &WorkloadConfig, cfg: &SchedConfig, execs: &[ExecPolicy], smoke: 
     }
 }
 
+const USAGE: &str = "\
+sched_sim: batch scheduling on the simulated MetaBlade vs a TCO-equal Beowulf
+
+USAGE:
+    sched_sim [--smoke] [--help]
+
+OPTIONS:
+    --smoke     Small failure-heavy workload swept across three executor
+                policies (the CI determinism gate); writes
+                BENCH_sched_smoke.json
+    -h, --help  Print this help and exit
+
+Both runs replay the workload under FCFS, EASY backfill and SJF on the
+24-node MetaBlade and on the largest traditional Beowulf affordable at
+the same TCO, then contrast placement policies on an oversubscribed
+fat tree: `lowest` (first-fit) and `compact` (pod-packing) against
+`contention` (contention-aware), each with and without ECMP route
+spreading (route_spread). The executor for the full run comes from
+MB_PARALLEL (with Sequential re-run as the determinism reference).
+Documents land in the artifact directory ($MB_TELEMETRY_DIR, default
+./traces) together with per-node occupancy and per-link hot-spot
+Chrome traces.";
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("sched_sim: unknown argument '{other}'\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     if smoke {
         // Small, failure-heavy, and swept across three executors: the
         // CI determinism gate.

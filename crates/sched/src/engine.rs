@@ -20,12 +20,16 @@ use std::sync::Arc;
 use mb_cluster::checkpoint::CheckpointModel;
 use mb_cluster::contention::{self, JobTraffic};
 use mb_cluster::reliability::{sample_failures, FailureLaw};
+use mb_cluster::spec::ClusterSpec;
 use mb_cluster::{Cluster, CommStats, ExecPolicy, NodeSet, Topology};
 use mb_telemetry::prof::LogHistogram;
 use mb_telemetry::{Fnv, Registry};
 
 use crate::job::{JobRecord, JobSpec, WorkModel};
 use crate::policy::{PolicyCtx, QueuedJob, RunningJob, SchedPolicy};
+use crate::stream::{
+    AdmissionControl, AdmissionCtx, ArrivalSource, ClassReport, StreamReport, VecArrivals,
+};
 
 /// Node-failure injection for a simulated run.
 ///
@@ -119,6 +123,11 @@ pub struct SchedConfig {
     /// *share* (and hence the mean-field slowdown), never a single
     /// job's isolated cost.
     pub route_spread: bool,
+    /// Skip the O(events) telemetry that only reporting consumes —
+    /// per-node occupancy spans and the queue-depth series. Million-job
+    /// streams set this; it never changes the simulated timeline or the
+    /// fingerprint (neither feeds the outcome hash).
+    pub lean: bool,
 }
 
 impl Default for SchedConfig {
@@ -133,6 +142,7 @@ impl Default for SchedConfig {
             failure: None,
             placement: Placement::default(),
             route_spread: false,
+            lean: false,
         }
     }
 }
@@ -277,6 +287,54 @@ impl<'a> ServiceModel<'a> {
     }
 }
 
+/// What the event loop needs from a service-time oracle: the cluster
+/// shape it prices jobs against, and one step's virtual cost (plus
+/// per-rank traffic counters) on an exact node set.
+///
+/// [`ServiceModel`] is the executor-backed implementation — every
+/// distinct step is lowered onto the simulated cluster once via
+/// [`Cluster::run_on`]. `mb-workload`'s calibrated closed-form cost
+/// model implements the same trait without touching the executor, which
+/// is what makes million-job open-arrival streams tractable. Any
+/// implementation must be a pure function of its inputs so the engine's
+/// fingerprints stay executor-invariant.
+pub trait ServiceOracle {
+    /// The cluster spec jobs are priced against (node count, network).
+    fn spec(&self) -> &ClusterSpec;
+
+    /// One step of `work` on the given nodes: virtual makespan plus the
+    /// per-rank traffic counters the contention layer folds over
+    /// topology routes (`stats.len()` must equal `nodes.len()`).
+    fn step_profile_on(&self, work: &WorkModel, nodes: &NodeSet) -> StepProfile;
+
+    /// Virtual seconds for one step of `work` on the given nodes.
+    fn step_on(&self, work: &WorkModel, nodes: &NodeSet) -> f64 {
+        self.step_profile_on(work, nodes).step_s
+    }
+
+    /// Virtual seconds for one step of `work` on `width` nodes (the
+    /// lowest-numbered ones — the reference placement).
+    fn step_s(&self, work: &WorkModel, width: usize) -> f64 {
+        assert!(width >= 1, "width must be at least 1");
+        self.step_on(work, &NodeSet::new((0..width).collect()))
+    }
+
+    /// Virtual seconds of useful work for the whole job at `width`.
+    fn work_s(&self, work: &WorkModel, width: usize) -> f64 {
+        self.step_s(work, width) * f64::from(work.steps())
+    }
+}
+
+impl ServiceOracle for ServiceModel<'_> {
+    fn spec(&self) -> &ClusterSpec {
+        self.cluster.spec()
+    }
+
+    fn step_profile_on(&self, work: &WorkModel, nodes: &NodeSet) -> StepProfile {
+        ServiceModel::step_profile_on(self, work, nodes)
+    }
+}
+
 /// One node's occupancy interval (for the per-node Chrome-trace track).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OccSpan {
@@ -352,6 +410,11 @@ struct QueueEntry {
     ji: usize,
     id: usize,
     ranks: usize,
+    /// The job's work model (queue entries must be self-contained: a
+    /// streamed run has no job slice to index back into).
+    work: WorkModel,
+    /// SLO class (and queue priority rank; 0 = highest).
+    class: usize,
     work_rem_s: f64,
     resumed: bool,
     attempt: u32,
@@ -360,6 +423,7 @@ struct QueueEntry {
 struct RunEntry {
     ji: usize,
     id: usize,
+    work: WorkModel,
     nodes: NodeSet,
     start_s: f64,
     end_s: f64,
@@ -408,7 +472,7 @@ impl RunEntry {
     }
 }
 
-/// Run `jobs` through `policy` on the service model's cluster.
+/// Run `jobs` through `policy` on the service oracle's cluster.
 ///
 /// The event loop processes, at each virtual instant, repairs →
 /// completions → failures → arrivals → dispatch, each sub-ordered
@@ -416,23 +480,60 @@ impl RunEntry {
 /// order). Failure-struck jobs lose uncheckpointed work per the
 /// Young/Daly accounting and are requeued at the head of the queue
 /// with their remaining work.
-pub fn simulate(
-    service: &ServiceModel,
+///
+/// This is the closed-batch wrapper around [`simulate_stream`]: the job
+/// list replays through [`VecArrivals`] under the single-class
+/// [`crate::stream::AdmitAll`] admission, which reproduces the
+/// pre-streaming engine — and the committed `metablade-sched/3`
+/// fingerprints — bit for bit.
+pub fn simulate<S: ServiceOracle + ?Sized>(
+    service: &S,
     policy: &dyn SchedPolicy,
     jobs: &[JobSpec],
     cfg: &SchedConfig,
 ) -> SimReport {
     assert!(!jobs.is_empty(), "empty workload");
-    let n = service.cluster().spec().nodes;
+    let mut source = VecArrivals::new(jobs);
+    let mut admission = crate::stream::AdmitAll;
+    simulate_stream(service, policy, &mut source, &mut admission, cfg).sim
+}
+
+/// Drive an open arrival stream through `policy` on the service
+/// oracle's cluster, consulting `admission` before each arrival joins
+/// the queue.
+///
+/// Identical event-loop semantics to [`simulate`] (repairs →
+/// completions → failures → arrivals → dispatch per instant), except
+/// that jobs are pulled lazily from `source` in submit order and each
+/// is classified (or shed) by `admission`. Admitted jobs queue by
+/// class rank — class 0 ahead of class 1 — FIFO within a class;
+/// failure requeues keep their head-of-queue priority. The run ends
+/// when the source is drained and queue and running set are empty:
+/// failure events past that point are not applied, exactly as the
+/// batch engine never sampled failures past its last completion.
+pub fn simulate_stream<S: ServiceOracle + ?Sized>(
+    service: &S,
+    policy: &dyn SchedPolicy,
+    source: &mut dyn ArrivalSource,
+    admission: &mut dyn AdmissionControl,
+    cfg: &SchedConfig,
+) -> StreamReport {
+    let n = service.spec().nodes;
     assert!(n > 0, "cluster has no nodes");
 
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by(|&a, &b| {
-        jobs[a]
-            .submit_s
-            .total_cmp(&jobs[b].submit_s)
-            .then(jobs[a].id.cmp(&jobs[b].id))
-    });
+    let labels = admission.class_labels();
+    assert!(
+        !labels.is_empty(),
+        "admission must define at least one class"
+    );
+    let nclass = labels.len();
+    let mut queued_per_class = vec![0u32; nclass];
+    let mut offered_per_class = vec![0u64; nclass];
+    let mut admitted_per_class = vec![0u64; nclass];
+    let mut shed_per_class = vec![0u64; nclass];
+    let mut completed_per_class = vec![0u64; nclass];
+    let mut class_wait: Vec<LogHistogram> = (0..nclass).map(|_| LogHistogram::new()).collect();
+    let mut class_slow: Vec<LogHistogram> = (0..nclass).map(|_| LogHistogram::new()).collect();
 
     // Failure timeline in virtual seconds, plus the matching Young/Daly
     // interval at the accelerated MTBF.
@@ -456,28 +557,17 @@ pub fn simulate(
         restart_s: cfg.checkpoint.restart_h * 3600.0,
     };
 
-    let mut records: Vec<JobRecord> = jobs
-        .iter()
-        .map(|j| JobRecord {
-            id: j.id,
-            ranks: j.ranks.clamp(1, n),
-            submit_s: j.submit_s,
-            start_s: -1.0,
-            end_s: -1.0,
-            clean_service_s: 0.0,
-            restarts: 0,
-            lost_work_s: 0.0,
-        })
-        .collect();
+    // Records grow as arrivals are admitted (arrival order; sorted by
+    // id before reporting). `rec_class[ji]` tracks each record's class.
+    let mut records: Vec<JobRecord> = Vec::new();
+    let mut rec_class: Vec<usize> = Vec::new();
 
     let mut up = vec![true; n];
     let mut busy = vec![false; n];
     let mut repairs: Vec<(f64, usize)> = Vec::new();
     let mut fail_idx = 0usize;
-    let mut arrive_idx = 0usize;
     let mut queue: Vec<QueueEntry> = Vec::new();
     let mut running: Vec<RunEntry> = Vec::new();
-    let mut completed = 0usize;
     let mut busy_node_s = 0.0;
     let mut occupancy: Vec<OccSpan> = Vec::new();
     let mut failures_applied = 0u32;
@@ -496,8 +586,8 @@ pub fn simulate(
     // any of it: placements there are cost-free, host links are never
     // shared, and skipping the traffic fold keeps star timelines (and
     // fingerprints) bit-identical to the pre-contention engine.
-    let topo = service.cluster().spec().network.topology;
-    let gap = service.cluster().spec().network.gap_s_per_byte();
+    let topo = service.spec().network.topology;
+    let gap = service.spec().network.gap_s_per_byte();
     let is_star = topo == Topology::Star;
     let ways = if cfg.route_spread {
         topo.ecmp_ways()
@@ -533,10 +623,18 @@ pub fn simulate(
         r.acct_s = t;
     }
 
-    while completed < jobs.len() {
+    loop {
+        // The run is over when no arrival, queued or running job
+        // remains — pending failure/repair events past that point stay
+        // unapplied, exactly as the batch loop stopped at its last
+        // completion.
+        let next_arrival_s = source.peek_s();
+        if next_arrival_s.is_none() && queue.is_empty() && running.is_empty() {
+            break;
+        }
         let mut now = f64::INFINITY;
-        if arrive_idx < order.len() {
-            now = now.min(jobs[order[arrive_idx]].submit_s);
+        if let Some(t) = next_arrival_s {
+            now = now.min(t);
         }
         for r in &running {
             now = now.min(r.end_s);
@@ -549,10 +647,11 @@ pub fn simulate(
         }
         assert!(
             now.is_finite(),
-            "scheduler deadlock under '{}': {completed}/{} jobs done, {} queued",
+            "scheduler deadlock under '{}': {} completed, {} queued, {} running",
             policy.name(),
-            jobs.len(),
+            records.iter().filter(|r| r.end_s >= 0.0).count(),
             queue.len(),
+            running.len(),
         );
 
         // 1. Repairs: failed nodes come back up.
@@ -587,19 +686,24 @@ pub fn simulate(
             busy_node_s += (run.end_s - run.start_s) * run.nodes.len() as f64;
             for &nd in run.nodes.ids() {
                 busy[nd] = false;
-                occupancy.push(OccSpan {
-                    node: nd,
-                    t0_s: run.start_s,
-                    t1_s: run.end_s,
-                    job: run.id,
-                    attempt: run.attempt,
-                });
+                if !cfg.lean {
+                    occupancy.push(OccSpan {
+                        node: nd,
+                        t0_s: run.start_s,
+                        t1_s: run.end_s,
+                        job: run.id,
+                        attempt: run.attempt,
+                    });
+                }
             }
             let rec = &mut records[run.ji];
             rec.end_s = run.end_s;
-            completed += 1;
             wait_hist.observe(rec.wait_s());
             slowdown_hist.observe(rec.slowdown());
+            let cls = rec_class[run.ji];
+            completed_per_class[cls] += 1;
+            class_wait[cls].observe(rec.wait_s());
+            class_slow[cls].observe(rec.slowdown());
         }
 
         // 3. Failures: mark the node down, schedule its repair, and
@@ -624,25 +728,31 @@ pub fn simulate(
                 busy_node_s += elapsed * run.nodes.len() as f64;
                 for &m in run.nodes.ids() {
                     busy[m] = false;
-                    occupancy.push(OccSpan {
-                        node: m,
-                        t0_s: run.start_s,
-                        t1_s: now,
-                        job: run.id,
-                        attempt: run.attempt,
-                    });
+                    if !cfg.lean {
+                        occupancy.push(OccSpan {
+                            node: m,
+                            t0_s: run.start_s,
+                            t1_s: now,
+                            job: run.id,
+                            attempt: run.attempt,
+                        });
+                    }
                 }
                 let rec = &mut records[run.ji];
                 rec.restarts += 1;
                 rec.lost_work_s += lost;
                 lost_total += lost;
                 requeues += 1;
+                let cls = rec_class[run.ji];
+                queued_per_class[cls] += 1;
                 queue.insert(
                     0,
                     QueueEntry {
                         ji: run.ji,
                         id: run.id,
                         ranks: run.nodes.len(),
+                        work: run.work,
+                        class: cls,
                         // Queue entries carry *reference* work (lowest
                         // nodes); undo this attempt's placement factor.
                         // `pfac` is exactly 1.0 on the star, so the
@@ -655,22 +765,64 @@ pub fn simulate(
             }
         }
 
-        // 4. Arrivals.
-        while arrive_idx < order.len() && jobs[order[arrive_idx]].submit_s <= now {
-            let ji = order[arrive_idx];
-            arrive_idx += 1;
-            let spec = &jobs[ji];
+        // 4. Arrivals, through admission control.
+        while source.peek_s().is_some_and(|t| t <= now) {
+            let arr = source.next_arrival().expect("peeked arrival");
+            let asked = arr.class.min(nclass - 1);
+            offered_per_class[asked] += 1;
+            let decision = admission.admit(
+                &arr,
+                &AdmissionCtx {
+                    now_s: now,
+                    queued_per_class: &queued_per_class,
+                    running_jobs: running.len(),
+                    total_nodes: n,
+                },
+            );
+            let Some(cls) = decision else {
+                shed_per_class[asked] += 1;
+                continue;
+            };
+            let cls = cls.min(nclass - 1);
+            admitted_per_class[cls] += 1;
+            queued_per_class[cls] += 1;
+            let spec = arr.spec;
             let width = spec.ranks.clamp(1, n);
             let work_s = service.work_s(&spec.work, width);
-            records[ji].clean_service_s = charge.wall_for(work_s, false);
-            queue.push(QueueEntry {
-                ji,
+            let ji = records.len();
+            records.push(JobRecord {
                 id: spec.id,
                 ranks: width,
-                work_rem_s: work_s,
-                resumed: false,
-                attempt: 0,
+                submit_s: spec.submit_s,
+                start_s: -1.0,
+                end_s: -1.0,
+                clean_service_s: charge.wall_for(work_s, false),
+                restarts: 0,
+                lost_work_s: 0.0,
             });
+            rec_class.push(cls);
+            // Class rank orders the queue (FIFO within a class): insert
+            // before the first strictly lower-priority entry. With one
+            // class this is exactly the old `push`, and a requeued
+            // failure victim at the head keeps its place against
+            // same-or-lower classes.
+            let pos = queue
+                .iter()
+                .position(|e| e.class > cls)
+                .unwrap_or(queue.len());
+            queue.insert(
+                pos,
+                QueueEntry {
+                    ji,
+                    id: spec.id,
+                    ranks: width,
+                    work: spec.work,
+                    class: cls,
+                    work_rem_s: work_s,
+                    resumed: false,
+                    attempt: 0,
+                },
+            );
         }
 
         // 5. Dispatch: consult the policy, then re-validate each pick
@@ -740,7 +892,7 @@ pub fn simulate(
                 let (pfac, traffic) = if is_star {
                     (1.0, JobTraffic::default())
                 } else {
-                    let work = &jobs[q.ji].work;
+                    let work = &q.work;
                     let profile = service.step_profile_on(work, &nodes);
                     let reference = service.step_s(work, nodes.len());
                     let traffic = contention::job_traffic(
@@ -758,6 +910,7 @@ pub fn simulate(
                 running.push(RunEntry {
                     ji: q.ji,
                     id: q.id,
+                    work: q.work,
                     nodes,
                     start_s: now,
                     end_s: now + wall,
@@ -777,9 +930,12 @@ pub fn simulate(
         }
         started.sort_unstable();
         for &p in started.iter().rev() {
+            queued_per_class[queue[p].class] -= 1;
             queue.remove(p);
         }
-        registry.sample(qd, now, queue.len() as f64);
+        if !cfg.lean {
+            registry.sample(qd, now, queue.len() as f64);
+        }
 
         // 6. Cross-job contention epoch: close out the hot-spot
         // accounting for the interval that just ended, then recompute
@@ -820,8 +976,11 @@ pub fn simulate(
 
     let makespan_s = records.iter().map(|r| r.end_s).fold(0.0, f64::max);
     let utilization = busy_node_s / (n as f64 * makespan_s.max(1e-9));
-    let mean_wait_s = records.iter().map(|r| r.wait_s()).sum::<f64>() / records.len() as f64;
-    let mean_slowdown = records.iter().map(|r| r.slowdown()).sum::<f64>() / records.len() as f64;
+    // `.max(1)` guards the all-shed stream; for any non-empty record
+    // set the divisor — and every bit of the mean — is unchanged.
+    let mean_wait_s = records.iter().map(|r| r.wait_s()).sum::<f64>() / records.len().max(1) as f64;
+    let mean_slowdown =
+        records.iter().map(|r| r.slowdown()).sum::<f64>() / records.len().max(1) as f64;
     let jobs_per_hour = records.len() as f64 / (makespan_s.max(1e-9) / 3600.0);
 
     registry.record_gauge("sched.utilization", policy.name(), utilization);
@@ -838,6 +997,15 @@ pub fn simulate(
         registry.record_gauge("sched.link_shared_s", l, *s);
     }
     registry.record_gauge("sched.max_contention_factor", policy.name(), max_contention);
+    for (c, label) in labels.iter().enumerate() {
+        registry.count("stream.offered", label, offered_per_class[c]);
+        registry.count("stream.admitted", label, admitted_per_class[c]);
+        registry.count("stream.shed", label, shed_per_class[c]);
+        if class_wait[c].count() > 0 {
+            registry.set_histogram("stream.wait_s", label, class_wait[c].to_metric());
+            registry.set_histogram("stream.slowdown", label, class_slow[c].to_metric());
+        }
+    }
 
     records.sort_by_key(|r| r.id);
     occupancy.sort_by(|a, b| a.node.cmp(&b.node).then(a.t0_s.total_cmp(&b.t0_s)));
@@ -858,25 +1026,61 @@ pub fn simulate(
     f.write_u64(u64::from(failures_applied));
     let fingerprint = f.finish();
 
-    SimReport {
-        policy: policy.name(),
-        jobs: records,
-        makespan_s,
-        utilization,
-        mean_wait_s,
-        mean_slowdown,
-        wait_hist,
-        slowdown_hist,
-        jobs_per_hour,
-        failures: failures_applied,
-        requeues,
-        lost_work_s: lost_total,
-        occupancy,
-        link_bytes,
-        link_shared_s,
-        max_contention_factor: max_contention,
-        registry,
-        fingerprint,
+    // The stream fingerprint folds the batch outcome hash with every
+    // admission decision, so two runs that shed differently can never
+    // collide even when their admitted sets happen to agree.
+    let mut sf = Fnv::new();
+    sf.write_u64(fingerprint);
+    sf.write_u64(nclass as u64);
+    for c in 0..nclass {
+        sf.write_u64(offered_per_class[c]);
+        sf.write_u64(admitted_per_class[c]);
+        sf.write_u64(shed_per_class[c]);
+        sf.write_u64(completed_per_class[c]);
+    }
+    let stream_fingerprint = sf.finish();
+
+    let offered: u64 = offered_per_class.iter().sum();
+    let shed: u64 = shed_per_class.iter().sum();
+    let classes: Vec<ClassReport> = labels
+        .into_iter()
+        .enumerate()
+        .map(|(c, label)| ClassReport {
+            label,
+            offered: offered_per_class[c],
+            admitted: admitted_per_class[c],
+            shed: shed_per_class[c],
+            completed: completed_per_class[c],
+            wait_hist: std::mem::take(&mut class_wait[c]),
+            slowdown_hist: std::mem::take(&mut class_slow[c]),
+        })
+        .collect();
+
+    StreamReport {
+        sim: SimReport {
+            policy: policy.name(),
+            jobs: records,
+            makespan_s,
+            utilization,
+            mean_wait_s,
+            mean_slowdown,
+            wait_hist,
+            slowdown_hist,
+            jobs_per_hour,
+            failures: failures_applied,
+            requeues,
+            lost_work_s: lost_total,
+            occupancy,
+            link_bytes,
+            link_shared_s,
+            max_contention_factor: max_contention,
+            registry,
+            fingerprint,
+        },
+        classes,
+        offered,
+        shed,
+        stream_fingerprint,
     }
 }
 

@@ -17,7 +17,11 @@
 //! * [`policy`] — [`Fcfs`], [`EasyBackfill`] and [`Sjf`] behind the
 //!   [`SchedPolicy`] trait;
 //! * [`engine`] — the event loop ([`simulate`]), the memoizing
-//!   [`ServiceModel`], and failure/checkpoint accounting;
+//!   [`ServiceModel`] behind the [`ServiceOracle`] trait, and
+//!   failure/checkpoint accounting;
+//! * [`stream`] — open-arrival sources and SLO admission control
+//!   behind [`simulate_stream`] (the closed batch is the degenerate
+//!   single-class stream);
 //! * [`report`] — Chrome-trace occupancy export, equal-TCO fleet
 //!   sizing, and `BENCH_sched.json` rows.
 //!
@@ -51,11 +55,17 @@ pub mod engine;
 pub mod job;
 pub mod policy;
 pub mod report;
+pub mod stream;
 pub mod workload;
 
 pub use engine::{
-    simulate, FailureConfig, OccSpan, Placement, SchedConfig, ServiceModel, SimReport, StepProfile,
+    simulate, simulate_stream, FailureConfig, OccSpan, Placement, SchedConfig, ServiceModel,
+    ServiceOracle, SimReport, StepProfile,
 };
 pub use job::{JobRecord, JobSpec, NpbKernel, WorkModel};
 pub use policy::{EasyBackfill, Fcfs, PolicyCtx, QueuedJob, RunningJob, SchedPolicy, Sjf};
+pub use stream::{
+    AdmissionControl, AdmissionCtx, AdmitAll, Arrival, ArrivalSource, ClassReport, StreamReport,
+    VecArrivals,
+};
 pub use workload::{generate, standard, WorkloadConfig};

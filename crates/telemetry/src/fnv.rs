@@ -15,17 +15,37 @@ impl Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    /// Fold in one u64, little-endian.
-    pub fn write_u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
+    /// Fold in raw bytes — the FNV-1a primitive every other writer
+    /// lowers onto.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x100_0000_01b3);
         }
     }
 
+    /// Fold in one u64, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
     /// Fold in one f64's exact bit pattern.
     pub fn write_f64(&mut self, v: f64) {
         self.write_u64(v.to_bits());
+    }
+
+    /// Fold in one usize (widened to u64, so 32- and 64-bit hosts
+    /// agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Fold in a string: its length, then its UTF-8 bytes — the length
+    /// prefix keeps `("ab","c")` and `("a","bc")` distinct when strings
+    /// are hashed back to back.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
     }
 
     /// The digest.
@@ -54,6 +74,23 @@ mod tests {
         let mut c = Fnv::new();
         c.write_f64(0.0);
         assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn str_writes_are_length_prefixed() {
+        let mut a = Fnv::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+        // write_u64 is write_bytes over the LE encoding.
+        let mut c = Fnv::new();
+        c.write_u64(0x0102_0304_0506_0708);
+        let mut d = Fnv::new();
+        d.write_bytes(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(c.finish(), d.finish());
     }
 
     #[test]

@@ -8,28 +8,24 @@
 use mb_cluster::machine::Cluster;
 use mb_cluster::spec::metablade;
 use mb_cluster::{CommStats, ExecPolicy};
+use mb_telemetry::Fnv;
 use mb_treecode::parallel::{distributed_step, DistributedConfig, StepReport};
 use mb_treecode::plummer;
 
-/// FNV-1a over the exact bit patterns of the particle state (original
-/// body order): accelerations then potentials.
+/// FNV-1a (the shared [`mb_telemetry::Fnv`] hasher) over the exact bit
+/// patterns of the particle state (original body order): accelerations
+/// then potentials.
 fn particle_state_hash(report: &StepReport) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |v: f64| {
-        for b in v.to_bits().to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    };
+    let mut h = Fnv::new();
     for a in &report.acc {
         for c in a {
-            eat(*c);
+            h.write_f64(*c);
         }
     }
     for p in &report.pot {
-        eat(*p);
+        h.write_f64(*p);
     }
-    h
+    h.finish()
 }
 
 /// The comparable core of per-rank [`CommStats`] (all counters and

@@ -1,0 +1,171 @@
+//! SLO admission control: priority classes, per-class queue limits,
+//! demotion, and load shedding.
+//!
+//! The streaming engine asks admission control one question per
+//! arrival: *which class does this job queue under — or does it not
+//! queue at all?* [`SloAdmission`] answers with a fixed class ladder
+//! (latency-sensitive ahead of batch ahead of scavenger; the class
+//! index is the queue priority rank) and a per-class queue limit.
+//! Latency-sensitive overflow is shed outright — a latency job that
+//! would sit behind a long queue has already missed its point. Middle
+//! classes demote to the lowest class while it has room; lowest-class
+//! overflow is shed. Every decision is a pure function of
+//! `(arrival, queue depths)`, so the stream fingerprint stays
+//! executor-invariant.
+
+use mb_sched::stream::{AdmissionControl, AdmissionCtx, Arrival};
+
+/// One SLO class: a stable label and the queue-depth limit beyond which
+/// arrivals no longer join it.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Stable label (reports, histogram artifact keys).
+    pub label: String,
+    /// Maximum jobs queued in this class before it overflows.
+    pub queue_limit: u32,
+}
+
+/// Admission with SLO priority classes and per-class queue limits.
+#[derive(Debug, Clone)]
+pub struct SloAdmission {
+    classes: Vec<ClassSpec>,
+    /// Demote overflowing middle-class arrivals into the lowest class
+    /// (scavenger) when it has room, instead of shedding them.
+    pub demote_overflow: bool,
+}
+
+impl SloAdmission {
+    /// The standard three-class ladder for a cluster of `nodes` nodes:
+    /// `latency` (tight limit — a latency job behind a deep queue is
+    /// already lost), `batch` (the bulk of traffic), and `scavenger`
+    /// (deep best-effort backlog). Limits scale with the cluster so a
+    /// bigger machine buffers proportionally more.
+    pub fn standard(nodes: usize) -> Self {
+        let n = nodes.max(1) as u32;
+        Self {
+            classes: vec![
+                ClassSpec {
+                    label: "latency".into(),
+                    queue_limit: 2 * n,
+                },
+                ClassSpec {
+                    label: "batch".into(),
+                    queue_limit: 16 * n,
+                },
+                ClassSpec {
+                    label: "scavenger".into(),
+                    queue_limit: 32 * n,
+                },
+            ],
+            demote_overflow: true,
+        }
+    }
+
+    /// A custom ladder. Class order is priority order (index 0 first).
+    pub fn new(classes: Vec<ClassSpec>, demote_overflow: bool) -> Self {
+        assert!(!classes.is_empty(), "admission needs at least one class");
+        Self {
+            classes,
+            demote_overflow,
+        }
+    }
+
+    /// The class ladder.
+    pub fn classes(&self) -> &[ClassSpec] {
+        &self.classes
+    }
+}
+
+impl AdmissionControl for SloAdmission {
+    fn class_labels(&self) -> Vec<String> {
+        self.classes.iter().map(|c| c.label.clone()).collect()
+    }
+
+    fn admit(&mut self, arrival: &Arrival, ctx: &AdmissionCtx) -> Option<usize> {
+        let last = self.classes.len() - 1;
+        let cls = arrival.class.min(last);
+        let queued = |c: usize| ctx.queued_per_class.get(c).copied().unwrap_or(0);
+        if queued(cls) < self.classes[cls].queue_limit {
+            return Some(cls);
+        }
+        // Overflow. Class 0 (latency) is shed, not demoted: late
+        // latency-sensitive work is worthless. Middle classes may sink
+        // to the lowest class while it has room.
+        if self.demote_overflow
+            && cls > 0
+            && cls < last
+            && queued(last) < self.classes[last].queue_limit
+        {
+            return Some(last);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_sched::{JobSpec, NpbKernel, WorkModel};
+
+    fn arrival(class: usize) -> Arrival {
+        Arrival {
+            spec: JobSpec {
+                id: 0,
+                submit_s: 0.0,
+                ranks: 1,
+                work: WorkModel::Npb {
+                    kernel: NpbKernel::Ep,
+                    iters: 1,
+                },
+            },
+            class,
+        }
+    }
+
+    fn ctx(queued: &[u32]) -> AdmissionCtx<'_> {
+        AdmissionCtx {
+            now_s: 0.0,
+            queued_per_class: queued,
+            running_jobs: 0,
+            total_nodes: 24,
+        }
+    }
+
+    #[test]
+    fn standard_ladder_admits_within_limits() {
+        let mut adm = SloAdmission::standard(24);
+        assert_eq!(
+            adm.class_labels(),
+            vec!["latency", "batch", "scavenger"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(adm.admit(&arrival(0), &ctx(&[0, 0, 0])), Some(0));
+        assert_eq!(adm.admit(&arrival(1), &ctx(&[0, 0, 0])), Some(1));
+        assert_eq!(adm.admit(&arrival(2), &ctx(&[0, 0, 0])), Some(2));
+    }
+
+    #[test]
+    fn latency_overflow_is_shed_not_demoted() {
+        let mut adm = SloAdmission::standard(24); // latency limit = 48
+        assert_eq!(adm.admit(&arrival(0), &ctx(&[48, 0, 0])), None);
+    }
+
+    #[test]
+    fn batch_overflow_demotes_until_scavenger_fills() {
+        let mut adm = SloAdmission::standard(24); // batch 384, scav 768
+        assert_eq!(adm.admit(&arrival(1), &ctx(&[0, 384, 0])), Some(2));
+        assert_eq!(adm.admit(&arrival(1), &ctx(&[0, 384, 768])), None);
+        adm.demote_overflow = false;
+        assert_eq!(adm.admit(&arrival(1), &ctx(&[0, 384, 0])), None);
+    }
+
+    #[test]
+    fn scavenger_overflow_is_shed_and_classes_clamp() {
+        let mut adm = SloAdmission::standard(24);
+        assert_eq!(adm.admit(&arrival(2), &ctx(&[0, 0, 768])), None);
+        // Out-of-range requested classes clamp to the lowest class.
+        assert_eq!(adm.admit(&arrival(9), &ctx(&[0, 0, 0])), Some(2));
+    }
+}

@@ -1,0 +1,113 @@
+//! Closed-form M/G/k queueing approximations.
+//!
+//! The streamed simulator is validated against textbook queueing
+//! theory: at low and medium load, a Poisson stream of fixed-width
+//! jobs on a cluster of `n` nodes behaves like an M/G/k queue with
+//! `k = n / width` servers. Mean queue wait comes from the
+//! Allen–Cunneen approximation
+//! `Wq(M/G/k) ≈ (Ca² + Cs²)/2 · Wq(M/M/k)`, with `Wq(M/M/k)` via the
+//! Erlang-C delay probability. For the deterministic service times the
+//! cost model produces (`Cs² = 0`, i.e. M/D/k) the factor is exactly
+//! one half. These are approximations — the validation tolerance is
+//! documented where it is asserted (EXPERIMENTS.md and the stream
+//! tests), not pretended away.
+
+/// Erlang-C delay probability: an arrival finds all `k` servers busy.
+/// `a` is the offered load in Erlangs (`λ·E[S]`); requires `a < k` for
+/// a stable queue (returns 1.0 at or beyond saturation).
+pub fn erlang_c(k: usize, a: f64) -> f64 {
+    assert!(k >= 1, "need at least one server");
+    assert!(a >= 0.0, "offered load must be nonnegative");
+    if a >= k as f64 {
+        return 1.0;
+    }
+    // Erlang-B by the stable recurrence, then the B→C conversion.
+    let mut b = 1.0;
+    for j in 1..=k {
+        b = a * b / (j as f64 + a * b);
+    }
+    let kf = k as f64;
+    k as f64 * b / (kf - a * (1.0 - b))
+}
+
+/// Mean queue wait of an M/M/k queue, seconds. `lambda` jobs/s,
+/// `es` mean service seconds, `k` servers; infinite at saturation.
+pub fn mmk_wq_s(lambda: f64, es: f64, k: usize) -> f64 {
+    let a = lambda * es;
+    if a >= k as f64 {
+        return f64::INFINITY;
+    }
+    erlang_c(k, a) * es / (k as f64 - a)
+}
+
+/// Allen–Cunneen mean queue wait of an M/G/k queue, seconds. `cs2` is
+/// the squared coefficient of variation of service time (0 for the
+/// deterministic services the cost model emits; the arrival process is
+/// Poisson, so Ca² = 1).
+pub fn mgk_wq_s(lambda: f64, es: f64, cs2: f64, k: usize) -> f64 {
+    (1.0 + cs2) / 2.0 * mmk_wq_s(lambda, es, k)
+}
+
+/// The closed-form prediction a simulated scenario is compared with.
+#[derive(Debug, Clone, Copy)]
+pub struct MgkPrediction {
+    /// Per-server utilization `λ·E[S]/k`.
+    pub rho: f64,
+    /// Probability an arrival waits (Erlang-C).
+    pub p_wait: f64,
+    /// Mean queue wait, seconds.
+    pub wq_s: f64,
+}
+
+/// Predict utilization, delay probability and mean wait for an M/G/k
+/// queue with `k` servers, arrival rate `lambda`, mean service `es`,
+/// and service-time SCV `cs2`.
+pub fn predict(lambda: f64, es: f64, cs2: f64, k: usize) -> MgkPrediction {
+    let a = lambda * es;
+    MgkPrediction {
+        rho: a / k as f64,
+        p_wait: erlang_c(k, a),
+        wq_s: mgk_wq_s(lambda, es, cs2, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_c_matches_known_values() {
+        // M/M/1: C = ρ.
+        assert!((erlang_c(1, 0.5) - 0.5).abs() < 1e-12);
+        // M/M/2 at a = 1 (ρ = 0.5): C = 1/3.
+        assert!((erlang_c(2, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        // Saturated.
+        assert_eq!(erlang_c(4, 4.0), 1.0);
+        assert_eq!(erlang_c(4, 9.0), 1.0);
+    }
+
+    #[test]
+    fn mmk_wait_matches_mm1_closed_form() {
+        // M/M/1: Wq = ρ/(μ−λ) with μ = 1/E[S].
+        let (lambda, es) = (0.5, 1.0);
+        let rho = lambda * es;
+        let expect = rho * es / (1.0 - rho);
+        assert!((mmk_wq_s(lambda, es, 1) - expect).abs() < 1e-12);
+        assert_eq!(mmk_wq_s(2.0, 1.0, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn deterministic_service_halves_the_mm_wait() {
+        let w_md = mgk_wq_s(0.8, 2.0, 0.0, 4);
+        let w_mm = mmk_wq_s(0.8, 2.0, 4);
+        assert!((w_md - 0.5 * w_mm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_reports_consistent_load() {
+        let p = predict(0.05, 60.0, 0.0, 6);
+        assert!((p.rho - 0.5).abs() < 1e-12);
+        assert!(p.p_wait > 0.0 && p.p_wait < 1.0);
+        assert!(p.wq_s > 0.0 && p.wq_s.is_finite());
+    }
+}

@@ -1,0 +1,148 @@
+//! Seeded statistical property tests for the arrival generators, plus
+//! the SWF golden-file test. All seeds are fixed, so these are exact
+//! regression tests dressed as statistics: the asserted moments are
+//! stable across runs and hosts.
+
+use mb_sched::stream::ArrivalSource;
+use mb_workload::{parse_swf, JobMix, OpenArrivals, SwfConfig, TrafficPattern};
+
+/// Interarrival gaps of `n` arrivals from a fresh generator.
+fn gaps(pattern: TrafficPattern, n: usize, seed: u64) -> Vec<f64> {
+    let mut src = OpenArrivals::new(pattern, JobMix::standard(24), n, seed);
+    let mut times = Vec::with_capacity(n);
+    while let Some(a) = src.next_arrival() {
+        times.push(a.spec.submit_s);
+    }
+    assert_eq!(times.len(), n);
+    times.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Coefficient of variation (std dev over mean).
+fn cv(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt() / m
+}
+
+#[test]
+fn poisson_interarrivals_converge_to_mean_and_unit_cv() {
+    let rate = 0.1;
+    let g = gaps(TrafficPattern::Poisson { rate_per_s: rate }, 20_000, 42);
+    let m = mean(&g);
+    assert!(
+        (m - 1.0 / rate).abs() / (1.0 / rate) < 0.03,
+        "mean gap {m:.3} vs expected {:.3}",
+        1.0 / rate
+    );
+    let c = cv(&g);
+    assert!(
+        (c - 1.0).abs() < 0.05,
+        "exponential CV should be ~1, got {c:.3}"
+    );
+}
+
+#[test]
+fn diurnal_mean_rate_matches_and_peaks_concentrate() {
+    let pattern = TrafficPattern::Diurnal {
+        base_rate_per_s: 0.02,
+        peak_rate_per_s: 0.18,
+        period_s: 3_600.0,
+    };
+    let n = 20_000;
+    let mut src = OpenArrivals::new(pattern, JobMix::standard(24), n, 7);
+    let mut times = Vec::with_capacity(n);
+    while let Some(a) = src.next_arrival() {
+        times.push(a.spec.submit_s);
+    }
+    // Long-run empirical rate ≈ the sinusoid's mean.
+    let rate = n as f64 / times.last().unwrap();
+    let want = pattern.mean_rate_per_s();
+    assert!(
+        (rate - want).abs() / want < 0.05,
+        "empirical rate {rate:.4} vs mean {want:.4}"
+    );
+    // The peak half-period [T/4, 3T/4) must carry well more than half
+    // the arrivals (the rate there is everywhere above the mean).
+    let in_peak = times
+        .iter()
+        .filter(|&&t| {
+            let phase = t % 3_600.0;
+            (900.0..2_700.0).contains(&phase)
+        })
+        .count();
+    assert!(
+        in_peak as f64 > 0.6 * n as f64,
+        "peak half carries only {in_peak}/{n}"
+    );
+}
+
+#[test]
+fn bursty_interarrivals_are_overdispersed() {
+    let g = gaps(
+        TrafficPattern::Bursty {
+            on_rate_per_s: 0.5,
+            off_rate_per_s: 0.0,
+            mean_on_s: 60.0,
+            mean_off_s: 240.0,
+        },
+        20_000,
+        13,
+    );
+    let c = cv(&g);
+    assert!(c > 1.3, "MMPP interarrival CV should exceed 1, got {c:.3}");
+    // And the long-run rate still matches the modulated mean.
+    let m = mean(&g);
+    let want = 1.0
+        / TrafficPattern::Bursty {
+            on_rate_per_s: 0.5,
+            off_rate_per_s: 0.0,
+            mean_on_s: 60.0,
+            mean_off_s: 240.0,
+        }
+        .mean_rate_per_s();
+    assert!(
+        (m - want).abs() / want < 0.10,
+        "mean gap {m:.2} vs modulated expectation {want:.2}"
+    );
+}
+
+#[test]
+fn swf_golden_file_parses_to_the_committed_stream() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/sample.swf");
+    let text = std::fs::read_to_string(path).expect("golden SWF present");
+    let trace = parse_swf(&text, &SwfConfig::standard(24));
+
+    // The golden file carries 3 header comments, 6 good records and 3
+    // malformed lines (short line, negative submit, no usable runtime).
+    assert_eq!(trace.comments, 3);
+    assert_eq!(trace.skipped, 3);
+    assert_eq!(trace.arrivals.len(), 6);
+
+    // Submit-ordered, densely renumbered.
+    let ids: Vec<usize> = trace.arrivals.iter().map(|a| a.spec.id).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    let submits: Vec<f64> = trace.arrivals.iter().map(|a| a.spec.submit_s).collect();
+    assert_eq!(submits, vec![0.0, 120.0, 180.0, 240.0, 600.0, 4000.0]);
+
+    // Width clamps to the cluster; classes follow the queue column.
+    let ranks: Vec<usize> = trace.arrivals.iter().map(|a| a.spec.ranks).collect();
+    assert_eq!(ranks, vec![4, 1, 24, 8, 2, 16]);
+    let classes: Vec<usize> = trace.arrivals.iter().map(|a| a.class).collect();
+    assert_eq!(classes, vec![0, 1, 1, 2, 2, 1]);
+
+    // Step counts follow the recorded runtimes (1 s quantum).
+    let steps: Vec<u32> = trace.arrivals.iter().map(|a| a.spec.work.steps()).collect();
+    assert_eq!(steps, vec![300, 60, 1800, 900, 45, 7200]);
+
+    // Byte-identical input ⇒ identical mapping (the work models are a
+    // pure function of the job number): parse twice and compare.
+    let again = parse_swf(&text, &SwfConfig::standard(24));
+    for (a, b) in trace.arrivals.iter().zip(again.arrivals.iter()) {
+        assert_eq!(a.spec.work, b.spec.work);
+        assert_eq!(a.class, b.class);
+    }
+}

@@ -1,0 +1,8 @@
+//! Repo-root alias for the mb-workload `stream_sim` binary, so
+//! `cargo run --release --bin stream_sim` works without
+//! `-p mb-workload`. Argv and the scenario suite are documented on
+//! `crates/workload/src/bin/stream_sim.rs` and in `mb_workload::cli`.
+
+fn main() {
+    mb_workload::cli::stream_main()
+}
